@@ -1,0 +1,70 @@
+//! Criterion benches for the ablations: the paper's Sec. V-C
+//! memory-controller drop policy, and DESIGN.md's design-choice sweeps
+//! (T2 thresholds, C1 density, mPC keying). Also micro-benchmarks the
+//! simulator itself (instructions simulated per second), since the whole
+//! evaluation methodology rests on it being fast.
+
+use std::cell::Cell;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dol_harness::experiments::{ablations, Report};
+use dol_harness::RunPlan;
+
+fn bench_plan() -> RunPlan {
+    RunPlan { insts: 25_000, seed: 2018, mix_count: 2 }
+}
+
+fn bench_ablation(c: &mut Criterion, id: &str, run: fn(&RunPlan) -> Report) {
+    let plan = bench_plan();
+    let printed = Cell::new(false);
+    let mut group = c.benchmark_group("ablations");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+    group.bench_function(id, |b| {
+        b.iter(|| {
+            let report = run(&plan);
+            if !printed.replace(true) {
+                println!("\n{}", report.render());
+            }
+            report.deviations()
+        })
+    });
+    group.finish();
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    use dol_core::{NoPrefetcher, Tpc};
+    use dol_cpu::{System, SystemConfig, Workload};
+
+    let spec = dol_workloads::by_name("stream_sum").expect("known workload");
+    let workload = Workload::capture(spec.build_vm(1), 100_000).expect("runs");
+    let sys = System::new(SystemConfig::isca2018(1));
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group.throughput(criterion::Throughput::Elements(workload.trace.len() as u64));
+    group.bench_function("timing_core_no_prefetch", |b| {
+        b.iter(|| sys.run(&workload, &mut NoPrefetcher).cycles)
+    });
+    group.bench_function("timing_core_with_tpc", |b| {
+        let mut tpc = Tpc::full();
+        b.iter(|| sys.run(&workload, &mut tpc).cycles)
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_ablation(c, "ablation_drop", ablations::drop_policy);
+    bench_ablation(c, "ablation_t2_thresholds", ablations::t2_thresholds);
+    bench_ablation(c, "ablation_c1_density", ablations::c1_density);
+    bench_ablation(c, "ablation_mpc", ablations::mpc);
+    bench_ablation(c, "ablation_p1_double", ablations::p1_doubling);
+    bench_ablation(c, "ablation_multi_extra", ablations::multi_extra);
+    simulator_throughput(c);
+}
+
+criterion_group!(ablation_benches, benches);
+criterion_main!(ablation_benches);

@@ -1,0 +1,59 @@
+//! One Criterion bench per paper table/figure.
+//!
+//! Each bench regenerates its table/figure at a reduced instruction
+//! budget and prints the rendered rows once (so `cargo bench` output
+//! contains every table the paper reports); Criterion then times the
+//! regeneration. Full-budget runs live in `dol-harness`'s binaries
+//! (`cargo run --release -p dol-harness --bin run_all`).
+
+use std::cell::Cell;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dol_harness::experiments::{
+    fig01, fig08, fig09, fig10, fig11, fig12, fig13, fig14, fig15, fig16, table1, table2,
+    Report,
+};
+use dol_harness::RunPlan;
+
+fn bench_plan() -> RunPlan {
+    RunPlan { insts: 25_000, seed: 2018, mix_count: 2 }
+}
+
+fn bench_figure(c: &mut Criterion, id: &str, run: fn(&RunPlan) -> Report) {
+    let plan = bench_plan();
+    let printed = Cell::new(false);
+    let mut group = c.benchmark_group("figures");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+    group.bench_function(id, |b| {
+        b.iter(|| {
+            let report = run(&plan);
+            if !printed.replace(true) {
+                println!("\n{}", report.render());
+            }
+            report.deviations()
+        })
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_figure(c, "table1", table1::run);
+    bench_figure(c, "table2", table2::run);
+    bench_figure(c, "fig01", fig01::run);
+    bench_figure(c, "fig08", fig08::run);
+    bench_figure(c, "fig09", fig09::run);
+    bench_figure(c, "fig10", fig10::run);
+    bench_figure(c, "fig11", fig11::run);
+    bench_figure(c, "fig12", fig12::run);
+    bench_figure(c, "fig13", fig13::run);
+    bench_figure(c, "fig14", fig14::run);
+    bench_figure(c, "fig15", fig15::run);
+    bench_figure(c, "fig16", fig16::run);
+}
+
+criterion_group!(figures, benches);
+criterion_main!(figures);

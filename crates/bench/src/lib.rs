@@ -1,0 +1,8 @@
+//! Criterion benchmark harness crate.
+//!
+//! The benches in `benches/` regenerate every paper table and figure at
+//! reduced instruction budgets; the full-budget binaries live in
+//! `dol-harness`'s `src/bin/`. This library intentionally re-exports the
+//! harness so bench code and binaries share one implementation.
+
+pub use dol_harness as harness;

@@ -1,0 +1,190 @@
+//! The prefetcher-component interface.
+
+use dol_isa::RetiredInst;
+use dol_mem::{CacheLevel, Origin};
+
+/// A prefetch a component wants issued into the memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchRequest {
+    /// Byte address to prefetch (the whole containing line is fetched).
+    pub addr: u64,
+    /// Destination cache level (L1 or L2).
+    pub dest: CacheLevel,
+    /// Identity stamped on the line for metric attribution and for the
+    /// composite coordinator's ownership learning.
+    pub origin: Origin,
+    /// Confidence 0–255; low-confidence requests are shed first under
+    /// DRAM congestion when [`dol_mem::DropPolicy::LowConfidenceFirst`]
+    /// is active.
+    pub confidence: u8,
+    /// Ask the driver to call [`Prefetcher::on_prefetch_complete`] with
+    /// the *value* at `addr` once the fill lands — how pointer components
+    /// observe prefetched pointers without a demand access.
+    pub want_value: bool,
+}
+
+impl PrefetchRequest {
+    /// Convenience constructor for an ordinary (no value callback) request.
+    pub fn new(addr: u64, dest: CacheLevel, origin: Origin, confidence: u8) -> Self {
+        PrefetchRequest { addr, dest, origin, confidence, want_value: false }
+    }
+}
+
+/// Outcome of a demand access, attached to memory instructions' retire
+/// events by the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessInfo {
+    /// The access hit in L1 (including hits on in-flight fills).
+    pub l1_hit: bool,
+    /// The access merged into an in-flight fill (secondary miss); the
+    /// paper's metrics ignore these.
+    pub secondary: bool,
+    /// Observed access latency in cycles (feeds T2's AMAT estimate).
+    pub latency: u64,
+    /// If the access hit a prefetched line, the origin that brought the
+    /// line in — the composite coordinator uses this to migrate ownership
+    /// of the instruction to that component.
+    pub served_by_prefetch: Option<Origin>,
+}
+
+/// One retired instruction with everything a prefetcher may observe.
+#[derive(Debug, Clone, Copy)]
+pub struct RetireInfo<'a> {
+    /// Retirement cycle.
+    pub now: u64,
+    /// The instruction.
+    pub inst: &'a RetiredInst,
+    /// `PC ^ RAS.top` — the call-site-disambiguated identity the paper's
+    /// SIT is keyed by (Sec. IV-A2). Equals `pc` outside any call.
+    pub mpc: u64,
+    /// Demand-access outcome; `Some` exactly for loads and stores.
+    pub access: Option<AccessInfo>,
+}
+
+/// A completed prefetch whose issuer asked for the value
+/// (`want_value = true`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedPrefetch {
+    /// Cycle the fill landed.
+    pub now: u64,
+    /// The prefetched byte address.
+    pub addr: u64,
+    /// Origin from the original request.
+    pub origin: Origin,
+    /// The 64-bit value in memory at `addr` — the pointer a chain
+    /// component needs to take the next step.
+    pub value: u64,
+}
+
+/// A hardware prefetcher (a monolithic design, one specialized component,
+/// or a composite of components).
+///
+/// The driver feeds every retired instruction, in order, to
+/// [`on_retire`](Prefetcher::on_retire); memory instructions carry an
+/// [`AccessInfo`]. Requests pushed into `out` are issued into the memory
+/// hierarchy at the retire cycle.
+pub trait Prefetcher {
+    /// Short display name ("T2", "TPC", "SPP", …) used in result tables.
+    fn name(&self) -> &str;
+
+    /// Hardware storage budget in bits (the paper's Table II).
+    fn storage_bits(&self) -> u64;
+
+    /// Observe one retired instruction and optionally emit prefetches.
+    fn on_retire(&mut self, ev: &RetireInfo<'_>, out: &mut Vec<PrefetchRequest>);
+
+    /// Called when a `want_value` prefetch completes; pointer components
+    /// continue chains from here.
+    fn on_prefetch_complete(
+        &mut self,
+        _pf: &CompletedPrefetch,
+        _out: &mut Vec<PrefetchRequest>,
+    ) {
+    }
+
+    /// Whether this prefetcher currently recognizes the (m)PC as one of
+    /// its own targets. The composite coordinator filters claimed
+    /// instructions away from the extra components (Sec. IV-E).
+    fn claims_pc(&self, _mpc: u64) -> bool {
+        false
+    }
+}
+
+impl Prefetcher for Box<dyn Prefetcher> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.as_ref().storage_bits()
+    }
+
+    fn on_retire(&mut self, ev: &RetireInfo<'_>, out: &mut Vec<PrefetchRequest>) {
+        self.as_mut().on_retire(ev, out)
+    }
+
+    fn on_prefetch_complete(&mut self, pf: &CompletedPrefetch, out: &mut Vec<PrefetchRequest>) {
+        self.as_mut().on_prefetch_complete(pf, out)
+    }
+
+    fn claims_pc(&self, mpc: u64) -> bool {
+        self.as_ref().claims_pc(mpc)
+    }
+}
+
+/// A prefetcher that never prefetches — the no-prefetch baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPrefetcher;
+
+impl Prefetcher for NoPrefetcher {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+
+    fn on_retire(&mut self, _ev: &RetireInfo<'_>, _out: &mut Vec<PrefetchRequest>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dol_isa::{InstKind, Reg};
+
+    #[test]
+    fn no_prefetcher_stays_silent() {
+        let mut p = NoPrefetcher;
+        let inst = RetiredInst {
+            pc: 0x100,
+            kind: InstKind::Load { addr: 0x8000, value: 0 },
+            dst: Some(Reg::R1),
+            srcs: [Some(Reg::R2), None],
+        };
+        let ev = RetireInfo {
+            now: 0,
+            inst: &inst,
+            mpc: 0x100,
+            access: Some(AccessInfo {
+                l1_hit: false,
+                secondary: false,
+                latency: 200,
+                served_by_prefetch: None,
+            }),
+        };
+        let mut out = Vec::new();
+        p.on_retire(&ev, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(p.name(), "none");
+        assert_eq!(p.storage_bits(), 0);
+        assert!(!p.claims_pc(0x100));
+    }
+
+    #[test]
+    fn request_constructor_defaults() {
+        let r = PrefetchRequest::new(0x1234, CacheLevel::L1, Origin(5), 200);
+        assert!(!r.want_value);
+        assert_eq!(r.addr, 0x1234);
+    }
+}

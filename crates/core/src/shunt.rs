@@ -1,0 +1,128 @@
+//! Shunting: multiple prefetchers in parallel, unaware of each other.
+//!
+//! The paper's Sec. V-C3 contrast case: shunting also increases scope,
+//! but with overlapping effort instead of a division of labor — and it is
+//! consistently *worse* than compositing (Figure 15), because overlapping
+//! prefetchers pollute each other's caches and waste bandwidth.
+
+use crate::{CompletedPrefetch, PrefetchRequest, Prefetcher, RetireInfo};
+
+/// Runs every member on every event and merges all requests.
+pub struct Shunt {
+    members: Vec<Box<dyn Prefetcher>>,
+    name: String,
+}
+
+impl std::fmt::Debug for Shunt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shunt")
+            .field("name", &self.name)
+            .field("members", &self.members.len())
+            .finish()
+    }
+}
+
+impl Shunt {
+    /// Builds a shunt of the given members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<Box<dyn Prefetcher>>) -> Self {
+        assert!(!members.is_empty(), "a shunt needs at least one member");
+        let name = members
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join("|");
+        Shunt { members, name }
+    }
+}
+
+impl Prefetcher for Shunt {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.members.iter().map(|m| m.storage_bits()).sum()
+    }
+
+    fn on_retire(&mut self, ev: &RetireInfo<'_>, out: &mut Vec<PrefetchRequest>) {
+        for m in &mut self.members {
+            m.on_retire(ev, out);
+        }
+    }
+
+    fn on_prefetch_complete(&mut self, pf: &CompletedPrefetch, out: &mut Vec<PrefetchRequest>) {
+        for m in &mut self.members {
+            m.on_prefetch_complete(pf, out);
+        }
+    }
+
+    fn claims_pc(&self, mpc: u64) -> bool {
+        self.members.iter().any(|m| m.claims_pc(mpc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::AccessInfo;
+    use dol_isa::{InstKind, Reg, RetiredInst};
+    use dol_mem::{CacheLevel, Origin};
+
+    struct NextLineish(Origin);
+
+    impl Prefetcher for NextLineish {
+        fn name(&self) -> &str {
+            "nl"
+        }
+
+        fn storage_bits(&self) -> u64 {
+            8
+        }
+
+        fn on_retire(&mut self, ev: &RetireInfo<'_>, out: &mut Vec<PrefetchRequest>) {
+            if let Some(addr) = ev.inst.mem_addr() {
+                out.push(PrefetchRequest::new(addr + 64, CacheLevel::L1, self.0, 100));
+            }
+        }
+    }
+
+    #[test]
+    fn all_members_fire_on_every_event() {
+        let mut s = Shunt::new(vec![
+            Box::new(NextLineish(Origin(50))),
+            Box::new(NextLineish(Origin(51))),
+        ]);
+        let inst = RetiredInst {
+            pc: 0x100,
+            kind: InstKind::Load { addr: 0x8000, value: 0 },
+            dst: Some(Reg::R1),
+            srcs: [Some(Reg::R2), None],
+        };
+        let ev = RetireInfo {
+            now: 0,
+            inst: &inst,
+            mpc: 0x100,
+            access: Some(AccessInfo {
+                l1_hit: false,
+                secondary: false,
+                latency: 200,
+                served_by_prefetch: None,
+            }),
+        };
+        let mut out = Vec::new();
+        s.on_retire(&ev, &mut out);
+        assert_eq!(out.len(), 2, "both members issue — overlapping effort");
+        assert_eq!(s.name(), "nl|nl");
+        assert_eq!(s.storage_bits(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_shunt_panics() {
+        Shunt::new(Vec::new());
+    }
+}

@@ -1,0 +1,389 @@
+//! The Stride Identifier Table (SIT) and per-instruction state labels.
+//!
+//! T2 labels every memory instruction with one of four states held in
+//! I-cache state bits (Sec. IV-A2): *unknown* until it triggers a primary
+//! L1 miss, then *observation* while the SIT watches its address deltas,
+//! and finally *strided* or *non-strided*. The SIT is keyed by the
+//! modified PC (`mPC = PC ^ RAS.top`) so that streams accessed through
+//! different call sites are disambiguated.
+//!
+//! P1 expands SIT entries with pointer metadata: a confirmed
+//! array-of-pointers target offset (`aop_delta`, the constant between the
+//! strided load's *value* and the dependent load's address) and a
+//! confirmed pointer-chain offset (`chain_delta`, the constant between
+//! one iteration's value and the next iteration's address).
+
+use std::collections::HashMap;
+
+/// The four-state label a memory instruction carries in the I-cache
+/// state bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InstLabel {
+    /// State 0: not yet seen a primary L1 miss; ignored.
+    #[default]
+    Unknown,
+    /// State 1: being watched in the SIT.
+    Observation,
+    /// State 2: confirmed canonical strided.
+    Strided,
+    /// State 3: confirmed non-strided (freed from the SIT).
+    NonStrided,
+}
+
+/// SIT tuning knobs (the paper's Sec. IV-A2 values as defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SitConfig {
+    /// Table entries (32 for T2, 8 for a standalone P1 per Table II).
+    pub entries: usize,
+    /// Instructions the label store can track (models the I-cache state
+    /// bits: 2 bits per instruction; the paper budgets 2 KB).
+    pub label_entries: usize,
+    /// Consecutive equal deltas to label an instruction strided (16).
+    pub stride_confirm: u32,
+    /// Consecutive changing deltas to label it non-strided (4).
+    pub nonstride_confirm: u32,
+    /// Equal deltas after which prefetching may begin while still in
+    /// observation (4).
+    pub early_issue: u32,
+    /// Iterations of a constant value→address delta to confirm a pointer
+    /// pattern (4).
+    pub ptr_confirm: u32,
+}
+
+impl Default for SitConfig {
+    fn default() -> Self {
+        SitConfig {
+            entries: 32,
+            label_entries: 8192,
+            stride_confirm: 16,
+            nonstride_confirm: 4,
+            early_issue: 4,
+            ptr_confirm: 4,
+        }
+    }
+}
+
+/// One SIT entry (Figure 3-b, with P1's pointer extensions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SitEntry {
+    /// The modified PC this entry tracks.
+    pub mpc: u64,
+    /// Plain PC (for label updates).
+    pub pc: u64,
+    /// Address of the last execution instance.
+    pub last_addr: u64,
+    /// Value of the last execution instance (loads; 0 for stores).
+    pub last_value: u64,
+    /// Delta between the last two consecutive addresses.
+    pub delta: i64,
+    /// Consecutive instances with the same delta.
+    pub same: u32,
+    /// Consecutive instances with a changing delta.
+    pub diff: u32,
+    /// Confirmed array-of-pointers offset: the dependent load's address is
+    /// always `value + aop_delta`.
+    pub aop_delta: Option<i64>,
+    /// Confirmed pointer-chain offset: the next instance's address is
+    /// always `last value + chain_delta`.
+    pub chain_delta: Option<i64>,
+    /// Furthest address already prefetched for the stride stream.
+    pub frontier: u64,
+    stamp: u64,
+}
+
+impl SitEntry {
+    fn new(mpc: u64, pc: u64, addr: u64, value: u64, stamp: u64) -> Self {
+        SitEntry {
+            mpc,
+            pc,
+            last_addr: addr,
+            last_value: value,
+            delta: 0,
+            same: 0,
+            diff: 0,
+            aop_delta: None,
+            chain_delta: None,
+            frontier: addr,
+            stamp,
+        }
+    }
+
+    /// Whether the entry has seen `n` consecutive instances of one delta.
+    pub fn stable_for(&self, n: u32) -> bool {
+        self.same >= n && self.delta != 0
+    }
+}
+
+/// What a SIT update observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SitUpdate {
+    /// The delta between this and the previous address.
+    pub new_delta: i64,
+    /// Consecutive same-delta count after the update.
+    pub same: u32,
+    /// Consecutive changing-delta count after the update.
+    pub diff: u32,
+    /// The chain check: `addr - previous value` (P1's pointer-chain
+    /// delta candidate).
+    pub value_to_addr: i64,
+}
+
+/// The Stride Identifier Table plus the instruction-label store.
+#[derive(Debug, Clone)]
+pub struct Sit {
+    cfg: SitConfig,
+    entries: Vec<SitEntry>,
+    labels: HashMap<u64, InstLabel>,
+    clock: u64,
+}
+
+impl Sit {
+    /// Creates an empty table.
+    pub fn new(cfg: SitConfig) -> Self {
+        Sit {
+            cfg,
+            entries: Vec::with_capacity(cfg.entries),
+            labels: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SitConfig {
+        &self.cfg
+    }
+
+    /// Storage bits, matching the paper's Table II budget: each entry
+    /// holds a partial mPC tag (16b), truncated last address (24b), delta
+    /// (16b), and confirmation counters (8b) — 64 bits — plus 2 bits of
+    /// I-cache state per labelled instruction (the paper's "2 KB state
+    /// bits"). P1's value/pointer extensions are budgeted to P1.
+    pub fn storage_bits(&self) -> u64 {
+        self.cfg.entries as u64 * 64 + self.cfg.label_entries as u64 * 2
+    }
+
+    /// The label of instruction `pc`.
+    pub fn label(&self, pc: u64) -> InstLabel {
+        self.labels.get(&pc).copied().unwrap_or(InstLabel::Unknown)
+    }
+
+    /// Sets the label of instruction `pc`. Models finite I-cache state
+    /// bits by forgetting an arbitrary entry when full.
+    pub fn set_label(&mut self, pc: u64, label: InstLabel) {
+        if self.labels.len() >= self.cfg.label_entries && !self.labels.contains_key(&pc) {
+            // The I-cache line holding some old instruction was replaced;
+            // its state bits reset to Unknown.
+            if let Some(&victim) = self.labels.keys().next() {
+                self.labels.remove(&victim);
+            }
+        }
+        self.labels.insert(pc, label);
+    }
+
+    /// Shared access to an entry.
+    pub fn entry(&self, mpc: u64) -> Option<&SitEntry> {
+        self.entries.iter().find(|e| e.mpc == mpc)
+    }
+
+    /// Mutable access to an entry.
+    pub fn entry_mut(&mut self, mpc: u64) -> Option<&mut SitEntry> {
+        self.entries.iter_mut().find(|e| e.mpc == mpc)
+    }
+
+    /// Finds the entry for `mpc`, allocating (LRU victim) if absent.
+    pub fn find_or_alloc(&mut self, mpc: u64, pc: u64, addr: u64, value: u64) -> &mut SitEntry {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(i) = self.entries.iter().position(|e| e.mpc == mpc) {
+            self.entries[i].stamp = stamp;
+            return &mut self.entries[i];
+        }
+        if self.entries.len() < self.cfg.entries {
+            self.entries.push(SitEntry::new(mpc, pc, addr, value, stamp));
+            let i = self.entries.len() - 1;
+            return &mut self.entries[i];
+        }
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(i, _)| i)
+            .expect("table is non-empty");
+        self.entries[victim] = SitEntry::new(mpc, pc, addr, value, stamp);
+        &mut self.entries[victim]
+    }
+
+    /// Removes the entry for `mpc` (instruction became non-strided and
+    /// holds no pointer pattern).
+    pub fn release(&mut self, mpc: u64) {
+        self.entries.retain(|e| e.mpc != mpc);
+    }
+
+    /// Records a new execution instance of `mpc`, updating stride
+    /// statistics. Allocates the entry if needed. Returns the update
+    /// summary, or `None` for the very first instance (no delta yet).
+    pub fn update(&mut self, mpc: u64, pc: u64, addr: u64, value: u64) -> Option<SitUpdate> {
+        self.clock += 1;
+        let stamp = self.clock;
+        let cfg = self.cfg;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.mpc == mpc) {
+            e.stamp = stamp;
+            let new_delta = addr.wrapping_sub(e.last_addr) as i64;
+            let value_to_addr = addr.wrapping_sub(e.last_value) as i64;
+            if new_delta == e.delta && new_delta != 0 {
+                e.same = e.same.saturating_add(1);
+                e.diff = 0;
+            } else {
+                e.delta = new_delta;
+                e.same = 1;
+                e.diff = e.diff.saturating_add(1);
+            }
+            let _ = cfg;
+            e.last_addr = addr;
+            e.last_value = value;
+            if e.frontier < addr && e.delta > 0 {
+                e.frontier = addr;
+            } else if e.frontier > addr && e.delta < 0 {
+                e.frontier = addr;
+            }
+            Some(SitUpdate { new_delta, same: e.same, diff: e.diff, value_to_addr })
+        } else {
+            self.find_or_alloc(mpc, pc, addr, value);
+            None
+        }
+    }
+
+    /// All live entries (for inspection and tests).
+    pub fn entries(&self) -> &[SitEntry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sit() -> Sit {
+        Sit::new(SitConfig::default())
+    }
+
+    #[test]
+    fn first_instance_allocates_without_delta() {
+        let mut s = sit();
+        assert!(s.update(0x100, 0x100, 0x8000, 0).is_none());
+        assert_eq!(s.entries().len(), 1);
+    }
+
+    #[test]
+    fn stable_stride_counts_up() {
+        let mut s = sit();
+        s.update(0x100, 0x100, 0x8000, 0);
+        for i in 1..=20u64 {
+            let u = s.update(0x100, 0x100, 0x8000 + i * 64, 0).unwrap();
+            assert_eq!(u.new_delta, 64);
+            if i >= 2 {
+                assert_eq!(u.same, i as u32);
+            }
+        }
+        let e = s.entry(0x100).unwrap();
+        assert!(e.stable_for(16));
+        assert_eq!(e.frontier, 0x8000 + 20 * 64);
+    }
+
+    #[test]
+    fn changing_deltas_count_diff() {
+        let mut s = sit();
+        let addrs = [0x8000u64, 0x8040, 0x9000, 0x9010, 0xa000];
+        s.update(0x100, 0x100, addrs[0], 0);
+        let mut last_diff = 0;
+        for a in &addrs[1..] {
+            last_diff = s.update(0x100, 0x100, *a, 0).unwrap().diff;
+        }
+        assert!(last_diff >= 3, "deltas kept changing, diff = {last_diff}");
+    }
+
+    #[test]
+    fn same_delta_resets_diff() {
+        let mut s = sit();
+        s.update(0x100, 0x100, 0x8000, 0);
+        s.update(0x100, 0x100, 0x9000, 0); // delta 0x1000
+        s.update(0x100, 0x100, 0x9040, 0); // delta 0x40 (diff 2)
+        let u = s.update(0x100, 0x100, 0x9080, 0).unwrap(); // delta 0x40 again
+        assert_eq!(u.diff, 0);
+        assert_eq!(u.same, 2);
+    }
+
+    #[test]
+    fn negative_strides_track() {
+        let mut s = sit();
+        s.update(0x100, 0x100, 0x9000, 0);
+        for i in 1..=8u64 {
+            s.update(0x100, 0x100, 0x9000 - i * 64, 0);
+        }
+        let e = s.entry(0x100).unwrap();
+        assert_eq!(e.delta, -64);
+        assert!(e.stable_for(4));
+        assert_eq!(e.frontier, 0x9000 - 8 * 64);
+    }
+
+    #[test]
+    fn value_to_addr_feeds_chain_detection() {
+        let mut s = sit();
+        // A list walk: value of one instance is (addr - 8) of the next.
+        s.update(0x100, 0x100, 0x1000, 0x2000);
+        let u = s.update(0x100, 0x100, 0x2008, 0x3000).unwrap();
+        assert_eq!(u.value_to_addr, 8);
+        let u = s.update(0x100, 0x100, 0x3008, 0x4000).unwrap();
+        assert_eq!(u.value_to_addr, 8);
+    }
+
+    #[test]
+    fn lru_replacement_evicts_oldest() {
+        let mut s = Sit::new(SitConfig { entries: 2, ..SitConfig::default() });
+        s.update(0x100, 0x100, 1, 0);
+        s.update(0x200, 0x200, 2, 0);
+        s.update(0x100, 0x100, 3, 0); // refresh 0x100
+        s.update(0x300, 0x300, 4, 0); // evicts 0x200
+        assert!(s.entry(0x100).is_some());
+        assert!(s.entry(0x200).is_none());
+        assert!(s.entry(0x300).is_some());
+    }
+
+    #[test]
+    fn labels_default_unknown_and_update() {
+        let mut s = sit();
+        assert_eq!(s.label(0x400), InstLabel::Unknown);
+        s.set_label(0x400, InstLabel::Observation);
+        assert_eq!(s.label(0x400), InstLabel::Observation);
+        s.set_label(0x400, InstLabel::Strided);
+        assert_eq!(s.label(0x400), InstLabel::Strided);
+    }
+
+    #[test]
+    fn label_store_is_bounded() {
+        let mut s = Sit::new(SitConfig { label_entries: 4, ..SitConfig::default() });
+        for pc in 0..8u64 {
+            s.set_label(pc, InstLabel::Strided);
+        }
+        let tracked = (0..8u64).filter(|pc| s.label(*pc) != InstLabel::Unknown).count();
+        assert!(tracked <= 4);
+    }
+
+    #[test]
+    fn release_frees_entry() {
+        let mut s = sit();
+        s.update(0x100, 0x100, 1, 0);
+        s.release(0x100);
+        assert!(s.entry(0x100).is_none());
+    }
+
+    #[test]
+    fn different_call_sites_get_distinct_entries() {
+        let mut s = sit();
+        // Same pc, two mPCs (different RAS tops).
+        s.update(0x100 ^ 0xAAAA, 0x100, 0x8000, 0);
+        s.update(0x100 ^ 0xBBBB, 0x100, 0xF000, 0);
+        assert_eq!(s.entries().len(), 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests on the prefetcher components' invariants.
+
+use dol_core::{AccessInfo, Prefetcher, PrefetchRequest, RetireInfo, Sit, SitConfig, Tpc};
+use dol_isa::{InstKind, Reg, RetiredInst};
+use proptest::prelude::*;
+
+fn feed_loads(
+    p: &mut dyn Prefetcher,
+    accesses: &[(u64, u64)], // (pc, addr)
+) -> Vec<PrefetchRequest> {
+    let mut out = Vec::new();
+    for (i, (pc, addr)) in accesses.iter().enumerate() {
+        let inst = RetiredInst {
+            pc: *pc,
+            kind: InstKind::Load { addr: *addr, value: 0 },
+            dst: Some(Reg::R1),
+            srcs: [Some(Reg::R2), None],
+        };
+        let ev = RetireInfo {
+            now: i as u64 * 10,
+            inst: &inst,
+            mpc: *pc,
+            access: Some(AccessInfo {
+                l1_hit: false,
+                secondary: false,
+                latency: 150,
+                served_by_prefetch: None,
+            }),
+        };
+        p.on_retire(&ev, &mut out);
+    }
+    out
+}
+
+proptest! {
+    /// The SIT never exceeds its configured entry count, whatever the
+    /// access mix.
+    #[test]
+    fn sit_capacity_bounded(
+        entries in 1usize..16,
+        accesses in proptest::collection::vec((0u64..64, 0u64..1 << 20), 1..400),
+    ) {
+        let mut sit = Sit::new(SitConfig { entries, ..SitConfig::default() });
+        for (pc, addr) in &accesses {
+            sit.update(pc * 4, pc * 4, addr & !7, 0);
+        }
+        prop_assert!(sit.entries().len() <= entries);
+    }
+
+    /// For any positive stride, T2's prefetch addresses are exact
+    /// multiples of the stride ahead of the stream — never off-stream.
+    #[test]
+    fn t2_prefetches_stay_on_stream(stride in 1u64..5000, n in 24u64..120) {
+        let stride = stride & !7 | 8; // 8-byte aligned, nonzero
+        let base = 0x40_0000u64;
+        let accesses: Vec<(u64, u64)> =
+            (0..n).map(|i| (0x100, base + i * stride)).collect();
+        let mut t2 = Tpc::t2_only();
+        let reqs = feed_loads(&mut t2, &accesses);
+        for r in &reqs {
+            prop_assert!(r.addr > base, "prefetch ahead of the stream base");
+            prop_assert_eq!(
+                (r.addr - base) % stride,
+                0,
+                "prefetch {:#x} off the stride-{} lattice",
+                r.addr,
+                stride
+            );
+        }
+    }
+
+    /// T2 issues nothing for streams shorter than the early-issue
+    /// threshold.
+    #[test]
+    fn t2_quiet_below_confirmation(stride in 8u64..512, n in 1u64..4) {
+        let accesses: Vec<(u64, u64)> =
+            (0..n).map(|i| (0x100, 0x40_0000 + i * (stride & !7))).collect();
+        let mut t2 = Tpc::t2_only();
+        let reqs = feed_loads(&mut t2, &accesses);
+        prop_assert!(reqs.is_empty(), "{} accesses must not trigger prefetch", n);
+    }
+
+    /// Random (delta-unstable) access streams never trigger T2.
+    #[test]
+    fn t2_silent_on_random(seed in any::<u64>()) {
+        let mut x = seed | 1;
+        let accesses: Vec<(u64, u64)> = (0..200)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (0x100u64, 0x10_0000 + (x % (1 << 24)) & !7)
+            })
+            .collect();
+        let mut t2 = Tpc::t2_only();
+        let reqs = feed_loads(&mut t2, &accesses);
+        // An accidental short run of equal deltas is astronomically
+        // unlikely; allow a tiny burst but no sustained prefetching.
+        prop_assert!(reqs.len() < 10, "random stream produced {} prefetches", reqs.len());
+    }
+
+    /// The full TPC never emits a request for the zero page, regardless
+    /// of input.
+    #[test]
+    fn tpc_never_prefetches_near_null(
+        accesses in proptest::collection::vec((0u64..8, 0u64..1 << 22), 50..300),
+    ) {
+        let mut tpc = Tpc::full();
+        let accesses: Vec<(u64, u64)> = accesses
+            .iter()
+            .map(|(pc, a)| (0x100 + pc * 4, a & !7))
+            .collect();
+        let reqs = feed_loads(&mut tpc, &accesses);
+        for r in &reqs {
+            prop_assert!(r.addr > 4096, "prefetch touched the zero page: {:#x}", r.addr);
+        }
+    }
+
+    /// TPC is deterministic: the same access sequence yields the same
+    /// requests.
+    #[test]
+    fn tpc_is_deterministic(
+        accesses in proptest::collection::vec((0u64..8, 0u64..1 << 22), 10..200),
+    ) {
+        let accesses: Vec<(u64, u64)> = accesses
+            .iter()
+            .map(|(pc, a)| (0x100 + pc * 4, a & !7))
+            .collect();
+        let mut a = Tpc::full();
+        let mut b = Tpc::full();
+        let ra = feed_loads(&mut a, &accesses);
+        let rb = feed_loads(&mut b, &accesses);
+        prop_assert_eq!(ra, rb);
+    }
+}

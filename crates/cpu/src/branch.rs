@@ -1,0 +1,143 @@
+//! Branch prediction: gshare plus a small loop predictor.
+
+/// A gshare direction predictor with a loop-exit side predictor, standing
+/// in for the paper's L-TAGE (Table I lists a TAGE with a 256-entry loop
+/// predictor; a gshare+loop pair reproduces the relevant behaviour —
+/// near-perfect inner loops with occasional exit mispredictions).
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    /// 2-bit saturating counters.
+    table: Vec<u8>,
+    history: u64,
+    mask: u64,
+    loop_table: Vec<LoopEntry>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LoopEntry {
+    pc: u64,
+    /// Taken streak lengths observed.
+    trip: u32,
+    current: u32,
+    confident: bool,
+    valid: bool,
+}
+
+impl BranchPredictor {
+    /// A predictor with `2^bits` gshare counters and 256 loop entries.
+    pub fn new(bits: u32) -> Self {
+        let size = 1usize << bits;
+        BranchPredictor {
+            table: vec![2; size], // weakly taken
+            history: 0,
+            mask: (size - 1) as u64,
+            loop_table: vec![LoopEntry::default(); 256],
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) & self.mask) as usize
+    }
+
+    fn loop_slot(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) % self.loop_table.len()
+    }
+
+    /// Predicts the direction of the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        let le = &self.loop_table[self.loop_slot(pc)];
+        if le.valid && le.pc == pc && le.confident {
+            // Predict taken until the learned trip count, then not-taken.
+            return le.current + 1 < le.trip;
+        }
+        self.table[self.index(pc)] >= 2
+    }
+
+    /// Updates with the actual outcome; returns whether the prediction
+    /// was correct.
+    pub fn update(&mut self, pc: u64, taken: bool) -> bool {
+        let predicted = self.predict(pc);
+        let idx = self.index(pc);
+        let c = &mut self.table[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = (self.history << 1) | taken as u64;
+
+        let slot = self.loop_slot(pc);
+        let le = &mut self.loop_table[slot];
+        if !le.valid || le.pc != pc {
+            *le = LoopEntry { pc, trip: 0, current: 0, confident: false, valid: true };
+        }
+        if taken {
+            le.current += 1;
+        } else {
+            // A streak ended; learn the trip count.
+            if le.trip == le.current + 1 && le.trip > 2 {
+                le.confident = true;
+            } else {
+                le.confident = le.trip == le.current + 1 && le.confident;
+                le.trip = le.current + 1;
+            }
+            le.current = 0;
+        }
+        predicted == taken
+    }
+}
+
+impl Default for BranchPredictor {
+    fn default() -> Self {
+        BranchPredictor::new(12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut bp = BranchPredictor::default();
+        let mut correct = 0;
+        for _ in 0..100 {
+            if bp.update(0x100, true) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 95, "always-taken learned, {correct}/100");
+    }
+
+    #[test]
+    fn loop_predictor_learns_trip_count() {
+        let mut bp = BranchPredictor::default();
+        // Loop of 8 iterations: 7 taken + 1 not-taken, repeated.
+        let mut mispredicts = 0;
+        for round in 0..50 {
+            for i in 0..8 {
+                let taken = i < 7;
+                if !bp.update(0x200, taken) && round >= 10 {
+                    mispredicts += 1;
+                }
+            }
+        }
+        assert!(
+            mispredicts <= 8,
+            "trip count must be learned after warm-up, {mispredicts} late mispredicts"
+        );
+    }
+
+    #[test]
+    fn alternating_pattern_is_hard_for_gshare_alone_but_bounded() {
+        let mut bp = BranchPredictor::default();
+        let mut correct = 0;
+        for i in 0..200 {
+            if bp.update(0x300, i % 2 == 0) {
+                correct += 1;
+            }
+        }
+        // gshare with history learns alternation eventually.
+        assert!(correct > 120, "history should capture alternation, got {correct}");
+    }
+}

@@ -1,0 +1,656 @@
+//! The trace-driven system driver.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use dol_core::{AccessInfo, CompletedPrefetch, Prefetcher, PrefetchRequest, RetireInfo};
+use dol_isa::{InstKind, SparseMemory, Trace, Vm, VmError};
+use dol_mem::{line_of, CacheLevel, DropReason, MemEvent, MemorySystem, SystemStats};
+
+use crate::{BranchPredictor, DestinationPolicy, SystemConfig};
+
+/// Per-core address-space separation for multiprogrammed runs: each
+/// core's addresses are offset into a private 1 TiB window before they
+/// reach the shared memory system.
+const CORE_SPACE_SHIFT: u32 = 40;
+
+/// One workload: a functional trace plus the final memory image (the
+/// value source for pointer prefetch callbacks).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Retired-instruction trace.
+    pub trace: Trace,
+    /// Memory contents after functional execution; pointer-chasing
+    /// prefetchers read future pointers from here when their prefetches
+    /// complete. Workloads that traverse stable data structures (the
+    /// common case) are represented exactly.
+    pub memory: SparseMemory,
+}
+
+impl Workload {
+    /// Runs `vm` for up to `max_insts` instructions and captures the
+    /// trace and memory image.
+    pub fn capture(mut vm: Vm, max_insts: u64) -> Result<Workload, VmError> {
+        let trace = vm.run(max_insts)?;
+        Ok(Workload { trace, memory: vm.memory().clone() })
+    }
+}
+
+/// Result of a single-core run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Total cycles (retire time of the last instruction).
+    pub cycles: u64,
+    /// Instructions simulated.
+    pub instructions: u64,
+    /// Dispatch-stall cycles by cause: [ROB-full, LSQ-full, branch].
+    pub stalls: [u64; 3],
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+    /// Memory-system counters.
+    pub stats: SystemStats,
+    /// Metric events from the memory system.
+    pub events: Vec<MemEvent>,
+}
+
+impl RunResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Result of a multi-core run.
+#[derive(Debug, Clone)]
+pub struct MultiRunResult {
+    /// Per-core (cycles, instructions).
+    pub cores: Vec<(u64, u64)>,
+    /// Per-core dispatch-stall cycles by cause: [ROB-full, LSQ-full,
+    /// branch-mispredict] (diagnostics).
+    pub stalls: Vec<[u64; 3]>,
+    /// Per-core branch mispredictions.
+    pub mispredicts: Vec<u64>,
+    /// Shared memory-system counters.
+    pub stats: SystemStats,
+    /// Metric events (all cores).
+    pub events: Vec<MemEvent>,
+}
+
+impl MultiRunResult {
+    /// Per-core IPC values.
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.cores
+            .iter()
+            .map(|&(c, i)| if c == 0 { 0.0 } else { i as f64 / c as f64 })
+            .collect()
+    }
+}
+
+struct CoreRt<'a> {
+    trace: &'a [dol_isa::RetiredInst],
+    memory: &'a SparseMemory,
+    pos: usize,
+    regs: [u64; dol_isa::Reg::COUNT],
+    rob: VecDeque<u64>,
+    lsq: VecDeque<u64>,
+    dispatch: u64,
+    dispatched: u32,
+    last_retire: u64,
+    ras: Vec<u64>,
+    bp: BranchPredictor,
+    mispredicts: u64,
+    insts: u64,
+    /// Dispatch-stall cycles by cause: [rob, lsq, branch] (diagnostics).
+    stalls: [u64; 3],
+    /// `(completes_at, untranslated addr, origin)` for value callbacks.
+    pending: BinaryHeap<Reverse<(u64, u64, u16)>>,
+    /// Prefetches rejected for transient reasons (full prefetch queue or
+    /// DRAM backpressure), retried after a backoff. Hardware prefetchers
+    /// keep rejected requests in their request queues rather than
+    /// silently losing coverage.
+    retries: Vec<(u64, u8, PrefetchRequest)>,
+}
+
+impl<'a> CoreRt<'a> {
+    fn new(w: &'a Workload, gshare_bits: u32) -> Self {
+        CoreRt {
+            trace: w.trace.as_slice(),
+            memory: &w.memory,
+            pos: 0,
+            regs: [0; dol_isa::Reg::COUNT],
+            rob: VecDeque::new(),
+            lsq: VecDeque::new(),
+            dispatch: 0,
+            dispatched: 0,
+            last_retire: 0,
+            ras: Vec::new(),
+            bp: BranchPredictor::new(gshare_bits),
+            mispredicts: 0,
+            insts: 0,
+            stalls: [0; 3],
+            pending: BinaryHeap::new(),
+            retries: Vec::new(),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.trace.len()
+    }
+}
+
+/// The simulation driver: builds a memory system from its configuration
+/// and replays workload traces through the timing model under a given
+/// prefetcher per core.
+#[derive(Debug, Clone)]
+pub struct System {
+    cfg: SystemConfig,
+}
+
+impl System {
+    /// Creates a driver for the given configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        System { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Runs one workload on a single core with the given prefetcher.
+    pub fn run(&self, workload: &Workload, prefetcher: &mut dyn Prefetcher) -> RunResult {
+        let mut prefetchers: [&mut dyn Prefetcher; 1] = [prefetcher];
+        let multi = self.run_inner(std::slice::from_ref(workload), &mut prefetchers);
+        let (cycles, instructions) = multi.cores[0];
+        RunResult {
+            cycles,
+            instructions,
+            stalls: multi.stalls[0],
+            mispredicts: multi.mispredicts[0],
+            stats: multi.stats,
+            events: multi.events,
+        }
+    }
+
+    /// Runs one workload per core (sharing L3 and DRAM), one prefetcher
+    /// per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads` and `prefetchers` lengths differ or exceed
+    /// the configured core count.
+    pub fn run_multi(
+        &self,
+        workloads: &[Workload],
+        prefetchers: &mut [&mut dyn Prefetcher],
+    ) -> MultiRunResult {
+        self.run_inner(workloads, prefetchers)
+    }
+
+    fn run_inner(
+        &self,
+        workloads: &[Workload],
+        prefetchers: &mut [&mut dyn Prefetcher],
+    ) -> MultiRunResult {
+        assert_eq!(workloads.len(), prefetchers.len(), "one prefetcher per core");
+        assert!(
+            workloads.len() <= self.cfg.hierarchy.cores as usize,
+            "more workloads than configured cores"
+        );
+        let mut mem = MemorySystem::new(self.cfg.hierarchy);
+        let mut cores: Vec<CoreRt<'_>> = workloads
+            .iter()
+            .map(|w| CoreRt::new(w, self.cfg.core.gshare_bits))
+            .collect();
+        let mut out_buf: Vec<PrefetchRequest> = Vec::with_capacity(32);
+
+        // Interleave cores by current dispatch cycle.
+        loop {
+            let next = cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.done())
+                .min_by_key(|(_, c)| c.dispatch)
+                .map(|(i, _)| i);
+            let Some(i) = next else { break };
+            self.step_inst(i, &mut cores[i], prefetchers[i], &mut mem, &mut out_buf);
+        }
+
+        let per_core: Vec<(u64, u64)> = cores.iter().map(|c| (c.last_retire, c.insts)).collect();
+        let mispredicts: Vec<u64> = cores.iter().map(|c| c.mispredicts).collect();
+        let stalls: Vec<[u64; 3]> = cores.iter().map(|c| c.stalls).collect();
+        let stats = mem.stats();
+        let mut events = mem.drain_events();
+        events.shrink_to_fit();
+        MultiRunResult { cores: per_core, stalls, mispredicts, stats, events }
+    }
+
+    #[inline]
+    fn xlate(core: usize, addr: u64) -> u64 {
+        addr.wrapping_add((core as u64) << CORE_SPACE_SHIFT)
+    }
+
+    fn deliver_pending(
+        &self,
+        core_idx: usize,
+        c: &mut CoreRt<'_>,
+        prefetcher: &mut dyn Prefetcher,
+        mem: &mut MemorySystem,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        while let Some(&Reverse((t, addr, origin))) = c.pending.peek() {
+            if t > c.dispatch {
+                break;
+            }
+            c.pending.pop();
+            let value = c.memory.read_u64(addr);
+            let pf = CompletedPrefetch {
+                now: t,
+                addr,
+                origin: dol_mem::Origin(origin),
+                value,
+            };
+            out.clear();
+            prefetcher.on_prefetch_complete(&pf, out);
+            let requests = std::mem::take(out);
+            self.issue_requests(core_idx, c, &requests, t, mem);
+            *out = requests;
+        }
+    }
+
+    fn issue_requests(
+        &self,
+        core_idx: usize,
+        c: &mut CoreRt<'_>,
+        requests: &[PrefetchRequest],
+        now: u64,
+        mem: &mut MemorySystem,
+    ) {
+        self.issue_requests_attempt(core_idx, c, requests, now, mem, 0);
+    }
+
+    fn issue_requests_attempt(
+        &self,
+        core_idx: usize,
+        c: &mut CoreRt<'_>,
+        requests: &[PrefetchRequest],
+        now: u64,
+        mem: &mut MemorySystem,
+        attempt: u8,
+    ) {
+        for req in requests {
+            let dest = match &self.cfg.dest_policy {
+                DestinationPolicy::AsRequested => req.dest,
+                DestinationPolicy::ForceL1 => CacheLevel::L1,
+                DestinationPolicy::ForceL2 => CacheLevel::L2,
+                DestinationPolicy::StratifiedByLine(lhf) => {
+                    if lhf.contains(&line_of(req.addr)) {
+                        CacheLevel::L1
+                    } else {
+                        CacheLevel::L2
+                    }
+                }
+            };
+            let outcome = mem.prefetch(
+                core_idx,
+                Self::xlate(core_idx, req.addr),
+                dest,
+                req.origin,
+                req.confidence,
+                now,
+            );
+            if outcome.accepted && req.want_value {
+                c.pending.push(Reverse((outcome.completes_at, req.addr, req.origin.0)));
+            }
+            // Transient rejections back off and retry (twice at most).
+            if !outcome.accepted
+                && attempt < 2
+                && c.retries.len() < 256
+                && matches!(
+                    outcome.drop_reason,
+                    Some(DropReason::NoMshr) | Some(DropReason::QueueFull)
+                )
+            {
+                c.retries.push((now + 96, attempt + 1, *req));
+            }
+        }
+    }
+
+    fn drain_retries(
+        &self,
+        core_idx: usize,
+        c: &mut CoreRt<'_>,
+        mem: &mut MemorySystem,
+    ) {
+        if c.retries.is_empty() {
+            return;
+        }
+        let now = c.dispatch;
+        let mut due = Vec::new();
+        c.retries.retain(|&(t, a, req)| {
+            if t <= now {
+                due.push((a, req));
+                false
+            } else {
+                true
+            }
+        });
+        for (attempt, req) in due {
+            self.issue_requests_attempt(core_idx, c, &[req], now, mem, attempt);
+        }
+    }
+
+    fn step_inst(
+        &self,
+        core_idx: usize,
+        c: &mut CoreRt<'_>,
+        prefetcher: &mut dyn Prefetcher,
+        mem: &mut MemorySystem,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        let cfg = &self.cfg.core;
+        self.deliver_pending(core_idx, c, prefetcher, mem, out);
+        self.drain_retries(core_idx, c, mem);
+
+        let inst = c.trace[c.pos];
+        c.pos += 1;
+        c.insts += 1;
+
+        // Front-end width.
+        if c.dispatched >= cfg.width {
+            c.dispatch += 1;
+            c.dispatched = 0;
+        }
+        // ROB occupancy: dispatching into a full window waits for the
+        // head to retire.
+        if c.rob.len() >= cfg.rob {
+            let head = c.rob.pop_front().expect("rob non-empty");
+            if head > c.dispatch {
+                c.stalls[0] += head - c.dispatch;
+                c.dispatch = head;
+                c.dispatched = 0;
+            }
+        }
+        if inst.is_mem() && c.lsq.len() >= cfg.lsq {
+            let head = c.lsq.pop_front().expect("lsq non-empty");
+            if head > c.dispatch {
+                c.stalls[1] += head - c.dispatch;
+                c.dispatch = head;
+                c.dispatched = 0;
+            }
+        }
+
+        // Dependence-limited issue.
+        let mut issue = c.dispatch;
+        for s in inst.srcs.iter().flatten() {
+            issue = issue.max(c.regs[s.index()]);
+        }
+
+        let ras_top = c.ras.last().copied().unwrap_or(0);
+        let mut access: Option<AccessInfo> = None;
+        let complete = match inst.kind {
+            InstKind::Alu { latency } => issue + latency as u64,
+            InstKind::Load { addr, .. } | InstKind::Store { addr } => {
+                let is_write = matches!(inst.kind, InstKind::Store { .. });
+                let outcome =
+                    mem.demand_access(core_idx, Self::xlate(core_idx, addr), is_write, issue, inst.pc);
+                access = Some(AccessInfo {
+                    l1_hit: outcome.l1_hit,
+                    secondary: outcome.l1_secondary,
+                    latency: outcome.latency,
+                    served_by_prefetch: outcome.served_by_prefetch,
+                });
+                let mem_done = issue + outcome.latency;
+                c.lsq.push_back(mem_done);
+                if is_write {
+                    // The store buffer hides store latency from the core.
+                    issue + 1
+                } else {
+                    mem_done
+                }
+            }
+            InstKind::Branch { taken, .. } => {
+                let resolve = issue + 1;
+                if !c.bp.update(inst.pc, taken) {
+                    c.mispredicts += 1;
+                    let redirect = resolve + cfg.branch_penalty;
+                    if redirect > c.dispatch {
+                        c.stalls[2] += redirect - c.dispatch;
+                        c.dispatch = redirect;
+                        c.dispatched = 0;
+                    }
+                }
+                resolve
+            }
+            InstKind::Call { return_to, .. } => {
+                if c.ras.len() >= cfg.ras {
+                    c.ras.remove(0);
+                }
+                c.ras.push(return_to);
+                issue + 1
+            }
+            InstKind::Ret { .. } => {
+                c.ras.pop();
+                issue + 1
+            }
+            InstKind::Jump { .. } | InstKind::Other => issue + 1,
+        };
+
+        if let Some(dst) = inst.dst {
+            c.regs[dst.index()] = complete;
+        }
+        let retire = complete.max(c.last_retire);
+        c.last_retire = retire;
+        c.rob.push_back(retire);
+        c.dispatched += 1;
+
+        // Prefetcher training and issue.
+        let mpc = if inst.is_mem() { inst.pc ^ ras_top } else { inst.pc };
+        let ev = RetireInfo { now: issue, inst: &inst, mpc, access };
+        out.clear();
+        prefetcher.on_retire(&ev, out);
+        if !out.is_empty() {
+            let requests = std::mem::take(out);
+            self.issue_requests(core_idx, c, &requests, issue, mem);
+            *out = requests;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dol_core::{NoPrefetcher, Tpc};
+    use dol_isa::{AluOp, Cond, Operand, ProgramBuilder, Reg};
+
+    /// A linear streaming-sum kernel touching `n` consecutive words.
+    fn stream_workload(n: i64) -> Workload {
+        let mut b = ProgramBuilder::new();
+        let (base, i, cnt, sum, t) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+        b.imm(base, 0x10_0000);
+        b.imm(i, 0);
+        b.imm(cnt, n);
+        b.imm(sum, 0);
+        let top = b.label();
+        b.bind(top);
+        b.load(t, base, 0);
+        b.alu_rr(AluOp::Add, sum, sum, t);
+        b.alu_ri(AluOp::Add, base, base, 8);
+        b.alu_ri(AluOp::Add, i, i, 1);
+        b.branch(Cond::Ne, i, Operand::Reg(cnt), top);
+        b.halt();
+        let mut vm = Vm::new(b.build().unwrap());
+        for k in 0..n as u64 {
+            vm.memory_mut().write_u64(0x10_0000 + 8 * k, k);
+        }
+        Workload::capture(vm, 10_000_000).unwrap()
+    }
+
+    /// A pointer-chase kernel over a scrambled list of `n` nodes.
+    fn chase_workload(n: u64) -> Workload {
+        let mut b = ProgramBuilder::new();
+        let (cur, cnt) = (Reg::R1, Reg::R2);
+        b.imm(cur, 0x40_0000);
+        b.imm(cnt, n as i64 - 1);
+        let top = b.label();
+        b.bind(top);
+        b.load(cur, cur, 8); // cur = cur->next (offset 8)
+        b.alu_ri(AluOp::Sub, cnt, cnt, 1);
+        b.branch(Cond::Ne, cnt, Operand::Imm(0), top);
+        b.halt();
+        let mut vm = Vm::new(b.build().unwrap());
+        // Scrambled node layout: node k at 0x40_0000 + perm(k) * 192.
+        let addr_of = |k: u64| 0x40_0000 + ((k * 7919) % n) * 192;
+        for k in 0..n {
+            let this = if k == 0 { 0x40_0000 } else { addr_of(k) };
+            let next = if k + 1 < n { addr_of(k + 1) } else { 0x40_0000 };
+            vm.memory_mut().write_u64(this + 8, next);
+        }
+        Workload::capture(vm, 10_000_000).unwrap()
+    }
+
+    #[test]
+    fn baseline_run_is_deterministic() {
+        let w = stream_workload(2000);
+        let sys = System::new(SystemConfig::tiny(1));
+        let a = sys.run(&w, &mut NoPrefetcher);
+        let b = sys.run(&w, &mut NoPrefetcher);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+        assert!(a.cycles > 0);
+        assert_eq!(a.instructions as usize, w.trace.len());
+    }
+
+    #[test]
+    fn t2_speeds_up_a_streaming_kernel() {
+        let w = stream_workload(8000);
+        let sys = System::new(SystemConfig::isca2018(1));
+        let base = sys.run(&w, &mut NoPrefetcher);
+        let mut t2 = Tpc::t2_only();
+        let with = sys.run(&w, &mut t2);
+        let speedup = base.cycles as f64 / with.cycles as f64;
+        assert!(
+            speedup > 1.10,
+            "T2 must speed up streaming: {speedup:.3} (base {} vs {})",
+            base.cycles,
+            with.cycles
+        );
+        assert!(with.stats.cores[0].prefetches > 100);
+    }
+
+    #[test]
+    fn tpc_speeds_up_pointer_chasing() {
+        let w = chase_workload(6000);
+        let sys = System::new(SystemConfig::isca2018(1));
+        let base = sys.run(&w, &mut NoPrefetcher);
+        let mut tpc = Tpc::full();
+        let with = sys.run(&w, &mut tpc);
+        let speedup = base.cycles as f64 / with.cycles as f64;
+        assert!(
+            speedup > 1.02,
+            "P1 chains must help: {speedup:.3} (base {} vs {})",
+            base.cycles,
+            with.cycles
+        );
+    }
+
+    #[test]
+    fn prefetching_never_breaks_instruction_count() {
+        let w = stream_workload(3000);
+        let sys = System::new(SystemConfig::tiny(1));
+        let mut tpc = Tpc::full();
+        let r = sys.run(&w, &mut tpc);
+        assert_eq!(r.instructions as usize, w.trace.len());
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn multicore_shares_the_hierarchy() {
+        let w1 = stream_workload(3000);
+        let w2 = chase_workload(2000);
+        let sys = System::new(SystemConfig::tiny(2));
+        let mut p1 = Tpc::full();
+        let mut p2 = Tpc::full();
+        let r = sys.run_multi(
+            &[w1.clone(), w2.clone()],
+            &mut [&mut p1 as &mut dyn Prefetcher, &mut p2 as &mut dyn Prefetcher],
+        );
+        assert_eq!(r.cores.len(), 2);
+        assert_eq!(r.cores[0].1 as usize, w1.trace.len());
+        assert_eq!(r.cores[1].1 as usize, w2.trace.len());
+        assert!(r.ipcs().iter().all(|&ipc| ipc > 0.0));
+        // Both cores miss in their own L1s.
+        assert!(r.stats.cores[0].l1_misses > 0);
+        assert!(r.stats.cores[1].l1_misses > 0);
+    }
+
+    #[test]
+    fn multicore_contention_slows_cores_down() {
+        let w = stream_workload(6000);
+        let solo = System::new(SystemConfig::isca2018(1)).run(&w, &mut NoPrefetcher);
+        let sys = System::new(SystemConfig::isca2018(4));
+        let ws = vec![w.clone(), w.clone(), w.clone(), w.clone()];
+        let mut ps: Vec<NoPrefetcher> = vec![NoPrefetcher; 4];
+        let mut refs: Vec<&mut dyn Prefetcher> =
+            ps.iter_mut().map(|p| p as &mut dyn Prefetcher).collect();
+        let r = sys.run_multi(&ws, &mut refs);
+        // Shared DRAM bandwidth: at least one core should be no faster
+        // than running alone.
+        let worst = r.cores.iter().map(|&(c, _)| c).max().unwrap();
+        assert!(worst >= solo.cycles, "contention: worst {worst} vs solo {}", solo.cycles);
+    }
+
+    #[test]
+    fn force_l2_policy_redirects_prefetches() {
+        let w = stream_workload(4000);
+        let mut cfg = SystemConfig::isca2018(1);
+        cfg.dest_policy = DestinationPolicy::ForceL2;
+        let sys = System::new(cfg);
+        let mut t2 = Tpc::t2_only();
+        let r = sys.run(&w, &mut t2);
+        let issued: Vec<&MemEvent> = r
+            .events
+            .iter()
+            .filter(|e| matches!(e, MemEvent::PrefetchIssued { .. }))
+            .collect();
+        assert!(!issued.is_empty());
+        assert!(issued.iter().all(|e| matches!(
+            e,
+            MemEvent::PrefetchIssued { dest: CacheLevel::L2, .. }
+        )));
+    }
+
+    #[test]
+    fn mispredicts_are_counted() {
+        // A data-dependent unpredictable branch pattern.
+        let mut b = ProgramBuilder::new();
+        let (i, n, x) = (Reg::R1, Reg::R2, Reg::R3);
+        b.imm(i, 0);
+        b.imm(n, 2000);
+        b.imm(x, 0x9E3779B9);
+        let top = b.label();
+        let skip = b.label();
+        b.bind(top);
+        // x = x * 6364136223846793005 + 1 (pseudo-random)
+        b.alu_ri(AluOp::Mul, x, x, 6364136223846793005);
+        b.alu_ri(AluOp::Add, x, x, 1);
+        b.alu_ri(AluOp::Shr, x, x, 33);
+        b.branch(Cond::Eq, x, Operand::Imm(0), skip); // rarely taken
+        b.alu_ri(AluOp::And, x, x, 0xFFFF);
+        b.bind(skip);
+        b.alu_ri(AluOp::Add, i, i, 1);
+        b.branch(Cond::Ne, i, Operand::Reg(n), top);
+        b.halt();
+        let vm = Vm::new(b.build().unwrap());
+        let w = Workload::capture(vm, 1_000_000).unwrap();
+        let sys = System::new(SystemConfig::tiny(1));
+        let r = sys.run(&w, &mut NoPrefetcher);
+        // The loop branch itself is predictable; total mispredicts must
+        // be far below iteration count but structure is exercised.
+        assert!(r.instructions > 10_000);
+    }
+}

@@ -1,0 +1,45 @@
+//! Soft reproduction-band checks against the paper's headline claims.
+
+/// One expectation derived from the paper, with our measured value.
+#[derive(Debug, Clone)]
+pub struct Expectation {
+    /// What the paper claims (short form).
+    pub claim: String,
+    /// Our measurement, formatted.
+    pub measured: String,
+    /// Whether the *shape* holds.
+    pub holds: bool,
+}
+
+impl Expectation {
+    /// Builds a check.
+    pub fn new(claim: impl Into<String>, measured: impl Into<String>, holds: bool) -> Self {
+        Expectation { claim: claim.into(), measured: measured.into(), holds }
+    }
+
+    /// `ok`/`DEVIATES` line for reports.
+    pub fn render(&self) -> String {
+        let tag = if self.holds { "ok      " } else { "DEVIATES" };
+        format!("[{tag}] {} | measured: {}", self.claim, self.measured)
+    }
+}
+
+/// Renders a block of expectations.
+pub fn render_all(expectations: &[Expectation]) -> String {
+    expectations.iter().map(|e| e.render()).collect::<Vec<_>>().join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_status() {
+        let ok = Expectation::new("TPC wins", "1.4 vs 1.3", true);
+        assert!(ok.render().starts_with("[ok"));
+        let bad = Expectation::new("TPC wins", "1.1 vs 1.3", false);
+        assert!(bad.render().contains("DEVIATES"));
+        let all = render_all(&[ok, bad]);
+        assert_eq!(all.lines().count(), 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! `dol` — run any workload under any prefetcher configuration.
+//!
+//! ```text
+//! dol list                                     # workloads and configs
+//! dol run --workload stream_sum --prefetcher TPC [--insts N] [--seed S]
+//! dol compare --workload aop_deref             # all configs on one workload
+//! ```
+
+use dol_core::NoPrefetcher;
+use dol_cpu::{System, SystemConfig, Workload};
+use dol_harness::prefetchers;
+use dol_mem::CacheLevel;
+use dol_metrics::{accuracy_at, footprint, prefetched_lines, scope, TextTable};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  dol list\n  dol run --workload <name> --prefetcher <config> \
+         [--insts N] [--seed S]\n  dol compare --workload <name> [--insts N] [--seed S]\n\
+         \nconfigs: none, TPC, T2, P1, C1, T2+P1, TPC-plainPC, {} and TPC+<mono> / TPC|<mono>",
+        dol_baselines::registry::MONOLITHIC_NAMES.join(", ")
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    workload: Option<String>,
+    prefetcher: Option<String>,
+    insts: u64,
+    seed: u64,
+}
+
+fn parse(args: &[String]) -> Args {
+    let mut out = Args { workload: None, prefetcher: None, insts: 1_000_000, seed: 2018 };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" | "-w" => {
+                out.workload = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--prefetcher" | "-p" => {
+                out.prefetcher = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--insts" | "-n" => {
+                out.insts = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--seed" | "-s" => {
+                out.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    out
+}
+
+fn capture(name: &str, insts: u64, seed: u64) -> Workload {
+    let Some(spec) = dol_workloads::by_name(name) else {
+        eprintln!("unknown workload `{name}`; try `dol list`");
+        std::process::exit(2);
+    };
+    Workload::capture(spec.build_vm(seed), insts).expect("workload runs")
+}
+
+fn cmd_list() {
+    println!("workloads:");
+    for spec in dol_workloads::all_workloads() {
+        println!("  {:20} [{}]", spec.name, spec.suite);
+    }
+    println!("\nprefetcher configs: none, TPC, T2, P1, C1, T2+P1, TPC-plainPC,");
+    println!("  {}", dol_baselines::registry::MONOLITHIC_NAMES.join(", "));
+    println!("  TPC+<monolithic> (composite), TPC|<monolithic> (shunt)");
+}
+
+fn cmd_run(a: Args) {
+    let (Some(workload), Some(config)) = (a.workload.as_deref(), a.prefetcher.as_deref())
+    else {
+        usage()
+    };
+    let w = capture(workload, a.insts, a.seed);
+    let sys = System::new(SystemConfig::isca2018(1));
+    let base = sys.run(&w, &mut NoPrefetcher);
+    let Some(mut p) = prefetchers::build(config) else {
+        eprintln!("unknown prefetcher `{config}`; try `dol list`");
+        std::process::exit(2);
+    };
+    let r = sys.run(&w, p.as_mut());
+    let fp = footprint(&base.events, CacheLevel::L1);
+    let pfp = prefetched_lines(&r.events, None);
+    let acc = accuracy_at(&r.events, CacheLevel::L1, None);
+    println!("workload {workload}: {} insts, seed {}", r.instructions, a.seed);
+    println!(
+        "baseline: {} cycles (IPC {:.2}), {} L1 misses, {} DRAM lines",
+        base.cycles,
+        base.ipc(),
+        base.stats.cores[0].l1_misses,
+        base.stats.dram.total_traffic_lines()
+    );
+    println!(
+        "{config}: {} cycles (IPC {:.2}), {} L1 misses, {} DRAM lines",
+        r.cycles,
+        r.ipc(),
+        r.stats.cores[0].l1_misses,
+        r.stats.dram.total_traffic_lines()
+    );
+    println!(
+        "speedup {:.3}x | traffic {:.3}x | scope {:.2} | eff. accuracy {:.2} \
+         ({} issued / {} useful / {} unused)",
+        base.cycles as f64 / r.cycles as f64,
+        r.stats.dram.total_traffic_lines() as f64
+            / base.stats.dram.total_traffic_lines().max(1) as f64,
+        scope(&fp, &pfp),
+        acc.effective_accuracy(),
+        acc.issued,
+        acc.useful,
+        acc.unused
+    );
+}
+
+fn cmd_compare(a: Args) {
+    let Some(workload) = a.workload.as_deref() else { usage() };
+    let w = capture(workload, a.insts, a.seed);
+    let sys = System::new(SystemConfig::isca2018(1));
+    let base = sys.run(&w, &mut NoPrefetcher);
+    let mut t = TextTable::new(vec![
+        "prefetcher".into(),
+        "speedup".into(),
+        "traffic".into(),
+        "accuracy".into(),
+    ]);
+    for cfg in prefetchers::COMPARISON_SET {
+        let mut p = prefetchers::build(cfg).expect("known config");
+        let r = sys.run(&w, p.as_mut());
+        let acc = accuracy_at(&r.events, CacheLevel::L1, None);
+        t.row(vec![
+            cfg.to_string(),
+            format!("{:.3}", base.cycles as f64 / r.cycles as f64),
+            format!(
+                "{:.3}",
+                r.stats.dram.total_traffic_lines() as f64
+                    / base.stats.dram.total_traffic_lines().max(1) as f64
+            ),
+            format!("{:.2}", acc.effective_accuracy()),
+        ]);
+    }
+    println!("{workload} ({} insts, seed {}):\n{}", a.insts, a.seed, t.render());
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(parse(&argv[1..])),
+        Some("compare") => cmd_compare(parse(&argv[1..])),
+        _ => usage(),
+    }
+}

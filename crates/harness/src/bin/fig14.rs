@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig14.
+
+use dol_harness::{experiments, RunPlan};
+
+fn main() {
+    let plan = RunPlan::from_env();
+    println!("{}", experiments::fig14::run(&plan).render());
+}

@@ -1,0 +1,17 @@
+//! Regenerates every table and figure of the paper in one run.
+
+use dol_harness::{experiments, RunPlan};
+
+fn main() {
+    let plan = RunPlan::from_env();
+    eprintln!(
+        "running all experiments: {} insts/workload, {} mixes (override with DOL_INSTS / DOL_MIXES)",
+        plan.insts, plan.mix_count
+    );
+    let mut deviations = 0;
+    for report in experiments::run_all(&plan) {
+        println!("{}", report.render());
+        deviations += report.deviations();
+    }
+    println!("total shape-check deviations: {deviations}");
+}

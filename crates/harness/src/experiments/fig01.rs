@@ -1,0 +1,86 @@
+//! Figure 1 — accuracy vs scope for AMPM, BOP, and SMS.
+
+use dol_metrics::TextTable;
+
+use crate::bands::Expectation;
+use crate::experiments::matrix::{scan_spec21, weighted_scope_accuracy};
+use crate::experiments::Report;
+use crate::RunPlan;
+
+const TRIO: [&str; 3] = ["AMPM", "BOP", "SMS"];
+
+/// Reproduces Figure 1: per-application scope/accuracy dots and the
+/// global averages for the three motivating prefetchers. The paper
+/// reports average scope 67% / 76% / 87% and accuracy 58% / 49% / 48%
+/// for AMPM / BOP / SMS.
+pub fn run(plan: &RunPlan) -> Report {
+    let apps = scan_spec21(plan, &TRIO);
+    let mut t = TextTable::new(vec![
+        "app".into(),
+        "AMPM scope".into(),
+        "AMPM acc".into(),
+        "BOP scope".into(),
+        "BOP acc".into(),
+        "SMS scope".into(),
+        "SMS acc".into(),
+    ]);
+    for a in &apps {
+        let mut cells = vec![a.app.clone()];
+        for p in TRIO {
+            let c = a.config(p);
+            cells.push(format!("{:.2}", c.scope_l1));
+            cells.push(format!("{:.2}", c.acc_l1.effective_accuracy()));
+        }
+        t.row(cells);
+    }
+    let avg: Vec<(f64, f64)> =
+        TRIO.iter().map(|p| weighted_scope_accuracy(&apps, p)).collect();
+    let mut cells = vec!["AVG(weighted)".to_string()];
+    for (s, acc) in &avg {
+        cells.push(format!("{s:.2}"));
+        cells.push(format!("{acc:.2}"));
+    }
+    t.row(cells);
+
+    // ASCII rendition of the paper's scatter: per-app dots, per-prefetcher
+    // average glyphs (A = AMPM, B = BOP, S = SMS).
+    let mut dots = Vec::new();
+    for a in &apps {
+        for p in TRIO {
+            let c = a.config(p);
+            dots.push((c.scope_l1, c.acc_l1.effective_accuracy()));
+        }
+    }
+    let glyphs: Vec<(char, f64, f64)> = ['A', 'B', 'S']
+        .into_iter()
+        .zip(&avg)
+        .map(|(g, (s, a))| (g, *s, *a))
+        .collect();
+    let plot = dol_metrics::accuracy_scope_plot(&dots, &glyphs, -0.25);
+
+    let (ampm, bop, sms) = (avg[0], avg[1], avg[2]);
+    let expectations = vec![
+        Expectation::new(
+            "scope rises AMPM -> BOP -> SMS (67% -> 76% -> 87%)",
+            format!("{:.2} -> {:.2} -> {:.2}", ampm.0, bop.0, sms.0),
+            ampm.0 <= bop.0 + 0.05 && bop.0 <= sms.0 + 0.05,
+        ),
+        Expectation::new(
+            "accuracy falls AMPM -> SMS (58% -> 48%)",
+            format!("{:.2} -> {:.2}", ampm.1, sms.1),
+            ampm.1 >= sms.1 - 0.05,
+        ),
+        Expectation::new(
+            "all three have broad scope (> 40%)",
+            format!("{:.2}/{:.2}/{:.2}", ampm.0, bop.0, sms.0),
+            ampm.0 > 0.4 && bop.0 > 0.4 && sms.0 > 0.4,
+        ),
+    ];
+    Report {
+        id: "fig01",
+        title: "Accuracy vs scope for AMPM/BOP/SMS (paper Figure 1)".into(),
+        table: format!("{}
+{}", t.render(), plot),
+        expectations,
+    }
+}

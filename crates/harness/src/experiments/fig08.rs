@@ -1,0 +1,81 @@
+//! Figure 8 — speedups of all prefetchers over the no-prefetch baseline.
+
+use dol_metrics::TextTable;
+
+use crate::bands::Expectation;
+use crate::experiments::matrix::{comparison_set, geomean_speedup, scan_spec21, AppSummary};
+use crate::experiments::Report;
+use crate::RunPlan;
+
+/// Runs the comparison matrix and returns both the report and the raw
+/// app summaries (reused by callers that post-process).
+pub fn run_matrix(plan: &RunPlan) -> (Vec<AppSummary>, Report) {
+    let configs = comparison_set();
+    let mut apps = scan_spec21(plan, configs);
+    // The paper sorts applications by average gain.
+    apps.sort_by(|a, b| {
+        let avg = |x: &AppSummary| {
+            x.configs.iter().map(|c| c.speedup).sum::<f64>() / x.configs.len() as f64
+        };
+        avg(a).partial_cmp(&avg(b)).expect("finite speedups")
+    });
+
+    let mut headers = vec!["app".to_string()];
+    headers.extend(configs.iter().map(|s| s.to_string()));
+    let mut t = TextTable::new(headers);
+    for a in &apps {
+        let vals: Vec<f64> = configs.iter().map(|c| a.config(c).speedup).collect();
+        t.row_f64(&a.app, &vals);
+    }
+    let geos: Vec<f64> = configs.iter().map(|c| geomean_speedup(&apps, c)).collect();
+    t.row_f64("GEOMEAN", &geos);
+
+    let tpc = geos[configs.len() - 1];
+    let best_mono = geos[..configs.len() - 1].iter().cloned().fold(0.0f64, f64::max);
+    let tpc_best_count = apps
+        .iter()
+        .filter(|a| {
+            let tpc_s = a.config("TPC").speedup;
+            a.configs.iter().all(|c| c.speedup <= tpc_s + 1e-9)
+        })
+        .count();
+    let tpc_close_count = apps
+        .iter()
+        .filter(|a| {
+            let tpc_s = a.config("TPC").speedup;
+            let best = a.configs.iter().map(|c| c.speedup).fold(0.0f64, f64::max);
+            tpc_s >= 0.90 * best
+        })
+        .count();
+    let expectations = vec![
+        Expectation::new(
+            "TPC geomean beats every monolithic (paper: 1.41 vs 1.21-1.33)",
+            format!("TPC {tpc:.3} vs best monolithic {best_mono:.3}"),
+            tpc > best_mono,
+        ),
+        Expectation::new(
+            "TPC delivers a substantial geomean speedup (> 1.15)",
+            format!("{tpc:.3}"),
+            tpc > 1.15,
+        ),
+        Expectation::new(
+            "TPC broadly effective: within 10% of the best prefetcher on two thirds of the \
+             apps (paper: best on 11/21, within 5% on the rest; our suite includes \
+             delta-pattern kernels deliberately outside TPC's scope)",
+            format!("best on {tpc_best_count}/21, within 10% on {tpc_close_count}/21"),
+            tpc_close_count * 3 >= apps.len() * 2,
+        ),
+    ];
+    let report = Report {
+        id: "fig08",
+        title: "Speedup of individual prefetchers, spec21 suite (paper Figure 8)".into(),
+        table: t.render(),
+        expectations,
+    };
+    (apps, report)
+}
+
+/// Reproduces Figure 8.
+pub fn run(plan: &RunPlan) -> Report {
+    run_matrix(plan).1
+}

@@ -1,0 +1,57 @@
+//! Figure 9 — normalized memory traffic.
+
+use dol_metrics::TextTable;
+
+use crate::bands::Expectation;
+use crate::experiments::matrix::{comparison_set, scan_spec21, traffic_summary};
+use crate::experiments::Report;
+use crate::RunPlan;
+
+/// Reproduces Figure 9: total memory traffic under each prefetcher,
+/// normalized to no prefetching. The paper reports a 6% overhead for TPC
+/// (the lowest) and 12% for the next best (BOP).
+pub fn run(plan: &RunPlan) -> Report {
+    let configs = comparison_set();
+    let apps = scan_spec21(plan, configs);
+    let mut t = TextTable::new(vec![
+        "prefetcher".into(),
+        "traffic geomean".into(),
+        "min".into(),
+        "max".into(),
+    ]);
+    let mut geos = Vec::new();
+    for c in configs {
+        let (g, min, max) = traffic_summary(&apps, c);
+        geos.push((c.to_string(), g));
+        t.row(vec![
+            c.to_string(),
+            format!("{g:.3}"),
+            format!("{min:.3}"),
+            format!("{max:.3}"),
+        ]);
+    }
+    let tpc = geos.iter().find(|(n, _)| n == "TPC").expect("TPC in set").1;
+    let best_mono = geos
+        .iter()
+        .filter(|(n, _)| n != "TPC")
+        .map(|(_, g)| *g)
+        .fold(f64::INFINITY, f64::min);
+    let expectations = vec![
+        Expectation::new(
+            "TPC has the lowest traffic overhead (paper: 6% vs 8-12%)",
+            format!("TPC {:.3} vs best monolithic {:.3}", tpc, best_mono),
+            tpc <= best_mono + 0.01,
+        ),
+        Expectation::new(
+            "TPC traffic overhead is small (< 15%)",
+            format!("{:.1}%", (tpc - 1.0) * 100.0),
+            tpc < 1.15,
+        ),
+    ];
+    Report {
+        id: "fig09",
+        title: "Normalized memory traffic (paper Figure 9)".into(),
+        table: t.render(),
+        expectations,
+    }
+}

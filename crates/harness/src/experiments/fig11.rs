@@ -1,0 +1,134 @@
+//! Figure 11 — speedups across benchmark suites and multicore mixes.
+
+use std::collections::HashMap;
+
+use dol_core::{NoPrefetcher, Prefetcher};
+use dol_cpu::{System, SystemConfig, Workload};
+use dol_metrics::{geomean, weighted_speedup, TextTable};
+use dol_workloads::{mixes, Spec};
+
+use crate::bands::Expectation;
+use crate::experiments::Report;
+use crate::prefetchers::{self, COMPARISON_SET};
+use crate::runner::{single_core, AppRun, BaselineRun};
+use crate::RunPlan;
+
+fn suite_geomeans(plan: &RunPlan, specs: &[Spec]) -> Vec<f64> {
+    let sys = single_core();
+    let mut per_config: Vec<Vec<f64>> = COMPARISON_SET.iter().map(|_| Vec::new()).collect();
+    for spec in specs {
+        let base = BaselineRun::capture(spec, plan, &sys);
+        for (i, cfg) in COMPARISON_SET.iter().enumerate() {
+            let run = AppRun::run(&base, cfg, &sys);
+            per_config[i].push(run.speedup(&base));
+        }
+    }
+    per_config.iter().map(|v| geomean(v)).collect()
+}
+
+/// Normalized weighted speedups of the mixes: for each config, the
+/// average over mixes of `WS(config) / WS(none)`, where the weighted
+/// speedup uses solo no-prefetch IPCs as the reference.
+fn mix_speedups(plan: &RunPlan) -> Vec<f64> {
+    let sys4 = System::new(SystemConfig::isca2018(4));
+    let sys1 = single_core();
+    let mut solo_ipc: HashMap<String, f64> = HashMap::new();
+    let mut workload_cache: HashMap<String, Workload> = HashMap::new();
+    let mut per_config: Vec<Vec<f64>> = COMPARISON_SET.iter().map(|_| Vec::new()).collect();
+
+    for mix in mixes(plan.mix_count, plan.seed) {
+        // Capture members (cached) and their solo baseline IPCs.
+        let members: Vec<Workload> = mix
+            .members
+            .iter()
+            .map(|m| {
+                workload_cache
+                    .entry(m.name.to_string())
+                    .or_insert_with(|| {
+                        Workload::capture(m.build_vm(plan.seed), plan.insts)
+                            .expect("workload runs")
+                    })
+                    .clone()
+            })
+            .collect();
+        let alone: Vec<f64> = mix
+            .members
+            .iter()
+            .zip(&members)
+            .map(|(m, w)| {
+                *solo_ipc.entry(m.name.to_string()).or_insert_with(|| {
+                    sys1.run(w, &mut NoPrefetcher).ipc()
+                })
+            })
+            .collect();
+
+        let ws_of = |cfg: &str| -> f64 {
+            let mut ps: Vec<Box<dyn Prefetcher>> = (0..4)
+                .map(|_| prefetchers::build(cfg).expect("known config"))
+                .collect();
+            let mut refs: Vec<&mut dyn Prefetcher> =
+                ps.iter_mut().map(|p| p.as_mut() as &mut dyn Prefetcher).collect();
+            let r = sys4.run_multi(&members, &mut refs);
+            weighted_speedup(&r.ipcs(), &alone)
+        };
+        let ws_none = ws_of("none");
+        for (i, cfg) in COMPARISON_SET.iter().enumerate() {
+            per_config[i].push(ws_of(cfg) / ws_none);
+        }
+    }
+    per_config.iter().map(|v| geomean(v)).collect()
+}
+
+/// Reproduces Figure 11: geomean speedups per suite (graph, embedded,
+/// scientific — spec21 is Figure 8's result) plus the 4-core mixes. The
+/// paper's overall geomean across 68 workloads: TPC 1.39 vs 1.22–1.31.
+pub fn run(plan: &RunPlan) -> Report {
+    let rows: Vec<(&str, Vec<f64>)> = vec![
+        ("graph", suite_geomeans(plan, &dol_workloads::graphs())),
+        ("embedded", suite_geomeans(plan, &dol_workloads::embedded())),
+        ("scientific", suite_geomeans(plan, &dol_workloads::scientific())),
+        ("4-core mixes", mix_speedups(plan)),
+    ];
+    let mut headers = vec!["suite".to_string()];
+    headers.extend(COMPARISON_SET.iter().map(|s| s.to_string()));
+    let mut t = TextTable::new(headers);
+    for (name, vals) in &rows {
+        t.row_f64(name, vals);
+    }
+    // Overall geomean across the four rows.
+    let overall: Vec<f64> = (0..COMPARISON_SET.len())
+        .map(|i| geomean(&rows.iter().map(|(_, v)| v[i]).collect::<Vec<_>>()))
+        .collect();
+    t.row_f64("OVERALL", &overall);
+
+    let tpc = overall[COMPARISON_SET.len() - 1];
+    let best_mono = overall[..COMPARISON_SET.len() - 1]
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max);
+    let wins_rows = rows
+        .iter()
+        .filter(|(_, v)| {
+            let t = v[COMPARISON_SET.len() - 1];
+            v[..COMPARISON_SET.len() - 1].iter().all(|x| *x <= t + 0.01)
+        })
+        .count();
+    let expectations = vec![
+        Expectation::new(
+            "TPC wins the overall geomean across suites+mixes (paper: 1.39 vs 1.22-1.31)",
+            format!("TPC {tpc:.3} vs best monolithic {best_mono:.3}"),
+            tpc > best_mono,
+        ),
+        Expectation::new(
+            "TPC leads in most suite rows",
+            format!("{wins_rows}/{} rows", rows.len()),
+            wins_rows * 2 >= rows.len(),
+        ),
+    ];
+    Report {
+        id: "fig11",
+        title: "Speedups on other suites and 4-core mixes (paper Figure 11)".into(),
+        table: t.render(),
+        expectations,
+    }
+}

@@ -1,0 +1,128 @@
+//! Figure 12 — effective accuracy and coverage vs scope at L1 and L2,
+//! with TPC built up incrementally (T2, then +P1, then +C1).
+
+use dol_metrics::TextTable;
+
+use crate::bands::Expectation;
+use crate::experiments::matrix::{scan_spec21, AppSummary};
+use crate::experiments::Report;
+use crate::RunPlan;
+
+const CONFIGS: [&str; 10] = [
+    "GHB-PC/DC",
+    "FDP",
+    "VLDP",
+    "SPP",
+    "BOP",
+    "AMPM",
+    "SMS",
+    "T2",
+    "T2+P1",
+    "TPC",
+];
+
+fn suite_row(apps: &[AppSummary], cfg: &str) -> (f64, f64, f64, f64, f64) {
+    // Aggregate accounting (sum counters suite-wide — the paper's "one
+    // large observation window"), plus average coverage weighted by
+    // baseline misses (approximated by MPKI weights).
+    let mut issued1 = 0u64;
+    let mut net1 = 0.0;
+    let mut issued2 = 0u64;
+    let mut net2 = 0.0;
+    let mut scope_num = 0.0;
+    let mut scope_den = 0.0;
+    let mut cov1 = 0.0;
+    let mut cov2 = 0.0;
+    let mut w_total = 0.0;
+    for a in apps {
+        let c = a.config(cfg);
+        issued1 += c.acc_l1.issued;
+        net1 += c.acc_l1.net_avoided();
+        issued2 += c.acc_l2.issued;
+        net2 += c.acc_l2.net_avoided();
+        scope_num += c.scope_l1 * a.mpki;
+        scope_den += a.mpki;
+        cov1 += c.cov_l1 * a.mpki;
+        cov2 += c.cov_l2 * a.mpki;
+        w_total += a.mpki;
+    }
+    let acc1 = if issued1 > 0 { net1 / issued1 as f64 } else { 0.0 };
+    let acc2 = if issued2 > 0 { net2 / issued2 as f64 } else { 0.0 };
+    (
+        scope_num / scope_den.max(1e-12),
+        acc1,
+        cov1 / w_total.max(1e-12),
+        acc2,
+        cov2 / w_total.max(1e-12),
+    )
+}
+
+/// Reproduces Figure 12.
+pub fn run(plan: &RunPlan) -> Report {
+    let apps = scan_spec21(plan, &CONFIGS);
+    let mut t = TextTable::new(vec![
+        "prefetcher".into(),
+        "scope".into(),
+        "L1 acc".into(),
+        "L1 cov".into(),
+        "L2 acc".into(),
+        "L2 cov".into(),
+    ]);
+    let mut rows = Vec::new();
+    for cfg in CONFIGS {
+        let r = suite_row(&apps, cfg);
+        rows.push((cfg, r));
+        t.row(vec![
+            cfg.to_string(),
+            format!("{:.2}", r.0),
+            format!("{:.2}", r.1),
+            format!("{:.2}", r.2),
+            format!("{:.2}", r.3),
+            format!("{:.2}", r.4),
+        ]);
+    }
+    let get = |name: &str| rows.iter().find(|(n, _)| *n == name).expect("present").1;
+    let t2 = get("T2");
+    let t2p1 = get("T2+P1");
+    let tpc = get("TPC");
+    let mono_best_cov1 = rows
+        .iter()
+        .filter(|(n, _)| !n.starts_with('T'))
+        .map(|(_, r)| r.2)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mono_best_acc1 = rows
+        .iter()
+        .filter(|(n, _)| !n.starts_with('T'))
+        .map(|(_, r)| r.1)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let expectations = vec![
+        Expectation::new(
+            "adding components grows TPC's scope (T2 -> +P1 -> +C1)",
+            format!("{:.2} -> {:.2} -> {:.2}", t2.0, t2p1.0, tpc.0),
+            t2.0 <= t2p1.0 + 0.02 && t2p1.0 <= tpc.0 + 0.02,
+        ),
+        Expectation::new(
+            "TPC's L1 effective coverage at least matches the best monolithic's \
+             (while using a third of the storage and the least traffic)",
+            format!("TPC {:.2} vs best monolithic {:.2}", tpc.2, mono_best_cov1),
+            tpc.2 > mono_best_cov1 - 0.03,
+        ),
+        Expectation::new(
+            "TPC's L1 accuracy beats the monolithics'",
+            format!("TPC {:.2} vs best monolithic {:.2}", tpc.1, mono_best_acc1),
+            tpc.1 > mono_best_acc1,
+        ),
+        Expectation::new(
+            "T2 alone is the most accurate point (narrower scope, higher accuracy than TPC)",
+            format!("T2 acc {:.2} / scope {:.2}, TPC acc {:.2} / scope {:.2}", t2.1, t2.0, tpc.1, tpc.0),
+            t2.1 >= tpc.1 - 0.02 && t2.0 <= tpc.0 + 0.02,
+        ),
+    ];
+    Report {
+        id: "fig12",
+        title: "Accuracy & coverage vs scope at L1/L2; TPC incremental (paper Figure 12)"
+            .into(),
+        table: t.render(),
+        expectations,
+    }
+}

@@ -1,0 +1,78 @@
+//! One module per paper table/figure, plus ablations.
+//!
+//! Every experiment exposes `run(&RunPlan) -> Report`. Memory discipline:
+//! workloads are captured, evaluated, summarized and dropped one at a
+//! time — a full 1 M-instruction trace plus events is ~100 MB, and the
+//! suite has 36 of them.
+
+pub mod ablations;
+pub mod fig01;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod matrix;
+pub mod table1;
+pub mod table2;
+
+use crate::bands::{render_all, Expectation};
+
+/// A rendered experiment result.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Stable identifier ("fig08", "table2", …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Rendered result table(s).
+    pub table: String,
+    /// Soft checks against the paper's claims.
+    pub expectations: Vec<Expectation>,
+}
+
+impl Report {
+    /// Renders the full report block.
+    pub fn render(&self) -> String {
+        let mut s = format!("== {} — {} ==\n{}\n", self.id, self.title, self.table);
+        if !self.expectations.is_empty() {
+            s.push_str("paper-shape checks:\n");
+            s.push_str(&render_all(&self.expectations));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Number of failed shape checks.
+    pub fn deviations(&self) -> usize {
+        self.expectations.iter().filter(|e| !e.holds).count()
+    }
+}
+
+/// Runs every experiment in paper order.
+pub fn run_all(plan: &crate::RunPlan) -> Vec<Report> {
+    vec![
+        table1::run(plan),
+        table2::run(plan),
+        fig01::run(plan),
+        fig08::run(plan),
+        fig09::run(plan),
+        fig10::run(plan),
+        fig11::run(plan),
+        fig12::run(plan),
+        fig13::run(plan),
+        fig14::run(plan),
+        fig15::run(plan),
+        fig16::run(plan),
+        ablations::drop_policy(plan),
+        ablations::t2_thresholds(plan),
+        ablations::c1_density(plan),
+        ablations::mpc(plan),
+        ablations::p1_doubling(plan),
+        ablations::multi_extra(plan),
+    ]
+}

@@ -1,0 +1,86 @@
+//! Table I — processor configuration.
+
+use dol_cpu::SystemConfig;
+use dol_metrics::TextTable;
+
+use crate::experiments::Report;
+use crate::RunPlan;
+
+/// Prints the simulated machine configuration (the paper's Table I).
+pub fn run(_plan: &RunPlan) -> Report {
+    let cfg = SystemConfig::isca2018(4);
+    let mut t = TextTable::new(vec!["parameter".into(), "value".into()]);
+    let rows: Vec<(&str, String)> = vec![
+        ("cores", "1-4, OoO-approximate, trace-driven".into()),
+        ("width", cfg.core.width.to_string()),
+        ("ROB", cfg.core.rob.to_string()),
+        ("LSQ", cfg.core.lsq.to_string()),
+        ("branch miss penalty", format!("{} cycles", cfg.core.branch_penalty)),
+        ("branch predictor", format!("gshare 2^{} + 256-entry loop", cfg.core.gshare_bits)),
+        ("RAS", cfg.core.ras.to_string()),
+        (
+            "L1D",
+            format!(
+                "{} KiB, {}-way, 64 B, {} cycles, {} MSHRs, LRU",
+                cfg.hierarchy.l1d.size_bytes / 1024,
+                cfg.hierarchy.l1d.ways,
+                cfg.hierarchy.l1d.latency,
+                cfg.hierarchy.l1d.mshrs
+            ),
+        ),
+        (
+            "L2",
+            format!(
+                "{} KiB, {}-way, {} cycles, {} MSHRs, LRU",
+                cfg.hierarchy.l2.size_bytes / 1024,
+                cfg.hierarchy.l2.ways,
+                cfg.hierarchy.l2.latency,
+                cfg.hierarchy.l2.mshrs
+            ),
+        ),
+        (
+            "L3 (shared)",
+            format!(
+                "{} MiB, {}-way, {} cycles, LRU",
+                cfg.hierarchy.l3.size_bytes / (1024 * 1024),
+                cfg.hierarchy.l3.ways,
+                cfg.hierarchy.l3.latency
+            ),
+        ),
+        (
+            "DRAM",
+            format!(
+                "{} channels, {} banks/ch, tACT {}, tACC {}, tPRE {} cycles, queue {}",
+                cfg.hierarchy.dram.channels,
+                cfg.hierarchy.dram.banks_per_channel,
+                cfg.hierarchy.dram.t_activate,
+                cfg.hierarchy.dram.t_access,
+                cfg.hierarchy.dram.t_precharge,
+                cfg.hierarchy.dram.queue_capacity
+            ),
+        ),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.to_string(), v]);
+    }
+    Report {
+        id: "table1",
+        title: "Processor configuration (paper Table I)".into(),
+        table: t.render(),
+        expectations: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_key_parameters() {
+        let r = run(&RunPlan::quick());
+        assert!(r.table.contains("ROB"));
+        assert!(r.table.contains("192"));
+        assert!(r.table.contains("96"));
+        assert_eq!(r.deviations(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Table II — storage cost of the evaluated prefetchers.
+
+use dol_metrics::TextTable;
+
+use crate::bands::Expectation;
+use crate::experiments::Report;
+use crate::prefetchers;
+use crate::RunPlan;
+
+/// Paper values in KB for the shared rows.
+const PAPER_KB: [(&str, f64); 11] = [
+    ("GHB-PC/DC", 4.0),
+    ("SPP", 5.0),
+    ("VLDP", 3.25),
+    ("BOP", 4.0),
+    ("FDP", 2.5),
+    ("SMS", 12.0),
+    ("AMPM", 4.0),
+    ("T2", 2.3),
+    ("P1", 1.07),
+    ("C1", 1.2),
+    ("TPC", 4.57),
+];
+
+/// Reports the storage budget of every prefetcher next to the paper's
+/// Table II figure.
+pub fn run(_plan: &RunPlan) -> Report {
+    let mut t = TextTable::new(vec![
+        "prefetcher".into(),
+        "ours (KB)".into(),
+        "paper (KB)".into(),
+    ]);
+    let mut expectations = Vec::new();
+    for (name, paper_kb) in PAPER_KB {
+        let p = prefetchers::build(name).expect("table names are known");
+        let kb = p.storage_bits() as f64 / 8192.0;
+        t.row(vec![name.to_string(), format!("{kb:.2}"), format!("{paper_kb:.2}")]);
+        let holds = (kb - paper_kb).abs() / paper_kb < 0.25;
+        expectations.push(Expectation::new(
+            format!("{name} storage ≈ {paper_kb} KB (±25%)"),
+            format!("{kb:.2} KB"),
+            holds,
+        ));
+    }
+    Report {
+        id: "table2",
+        title: "Storage cost of evaluated prefetchers (paper Table II)".into(),
+        table: t.render(),
+        expectations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_budgets_within_bands() {
+        let r = run(&RunPlan::quick());
+        assert_eq!(r.deviations(), 0, "{}", r.render());
+        assert!(r.table.contains("TPC"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Run plans: instruction budgets and seeds.
+
+/// How much to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPlan {
+    /// Instructions simulated per workload (per core in multicore runs).
+    pub insts: u64,
+    /// Seed for workload data layout and mix drawing.
+    pub seed: u64,
+    /// Number of 4-core mixes for the multicore experiments.
+    pub mix_count: usize,
+}
+
+impl RunPlan {
+    /// The full plan: 1 M instructions per workload, 8 mixes.
+    pub fn full() -> Self {
+        RunPlan { insts: 1_000_000, seed: 2018, mix_count: 8 }
+    }
+
+    /// A reduced plan for Criterion benches and smoke tests.
+    pub fn quick() -> Self {
+        RunPlan { insts: 120_000, seed: 2018, mix_count: 2 }
+    }
+
+    /// The full plan with `DOL_INSTS` / `DOL_MIXES` environment
+    /// overrides.
+    pub fn from_env() -> Self {
+        let mut plan = RunPlan::full();
+        if let Ok(v) = std::env::var("DOL_INSTS") {
+            if let Ok(n) = v.parse::<u64>() {
+                plan.insts = n.max(10_000);
+            }
+        }
+        if let Ok(v) = std::env::var("DOL_MIXES") {
+            if let Ok(n) = v.parse::<usize>() {
+                plan.mix_count = n.clamp(1, 64);
+            }
+        }
+        plan
+    }
+}
+
+impl Default for RunPlan {
+    fn default() -> Self {
+        RunPlan::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full() {
+        assert!(RunPlan::quick().insts < RunPlan::full().insts);
+        assert!(RunPlan::quick().mix_count <= RunPlan::full().mix_count);
+    }
+}

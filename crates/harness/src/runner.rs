@@ -1,0 +1,149 @@
+//! Shared run helpers: workload capture, baseline + per-config runs.
+
+use dol_core::Prefetcher;
+use dol_cpu::{RunResult, System, SystemConfig, Workload};
+use dol_metrics::{classify_trace, footprint, Classifier, Footprint};
+use dol_mem::CacheLevel;
+use dol_workloads::Spec;
+
+use crate::plan::RunPlan;
+use crate::prefetchers;
+
+/// A captured workload with its baseline (no-prefetch) run and offline
+/// analysis artifacts.
+pub struct BaselineRun {
+    /// Workload name.
+    pub name: String,
+    /// The captured trace + memory image.
+    pub workload: Workload,
+    /// The no-prefetch run.
+    pub result: RunResult,
+    /// Baseline L1 miss footprint (for scope).
+    pub fp_l1: Footprint,
+    /// Baseline L2 miss footprint.
+    pub fp_l2: Footprint,
+    /// Offline LHF/MHF/HHF classification.
+    pub classifier: Classifier,
+    /// Baseline misses per kilo-instruction at L1 (the paper's scatter
+    /// weights).
+    pub mpki: f64,
+}
+
+impl BaselineRun {
+    /// Captures `spec` under `plan` and runs the no-prefetch baseline on
+    /// `sys`.
+    pub fn capture(spec: &Spec, plan: &RunPlan, sys: &System) -> Self {
+        let workload = Workload::capture(spec.build_vm(plan.seed), plan.insts)
+            .unwrap_or_else(|e| panic!("workload {} failed: {e}", spec.name));
+        let mut none = dol_core::NoPrefetcher;
+        let result = sys.run(&workload, &mut none);
+        let fp_l1 = footprint(&result.events, CacheLevel::L1);
+        let fp_l2 = footprint(&result.events, CacheLevel::L2);
+        let classifier = classify_trace(&workload.trace);
+        let mpki = result.stats.cores[0].l1_misses as f64 * 1000.0 / result.instructions as f64;
+        BaselineRun {
+            name: spec.name.to_string(),
+            workload,
+            result,
+            fp_l1,
+            fp_l2,
+            classifier,
+            mpki,
+        }
+    }
+
+    /// Baseline cycle count.
+    pub fn cycles(&self) -> u64 {
+        self.result.cycles
+    }
+
+    /// Baseline DRAM traffic in lines.
+    pub fn traffic(&self) -> u64 {
+        self.result.stats.dram.total_traffic_lines()
+    }
+}
+
+/// One prefetcher configuration's run on one workload.
+pub struct AppRun {
+    /// Configuration name.
+    pub config: String,
+    /// The run.
+    pub result: RunResult,
+}
+
+impl AppRun {
+    /// Runs configuration `config` on a captured baseline's workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown configuration name.
+    pub fn run(base: &BaselineRun, config: &str, sys: &System) -> Self {
+        let mut p = prefetchers::build(config)
+            .unwrap_or_else(|| panic!("unknown prefetcher config {config}"));
+        let result = sys.run(&base.workload, p.as_mut());
+        AppRun { config: config.to_string(), result }
+    }
+
+    /// Speedup over the baseline.
+    pub fn speedup(&self, base: &BaselineRun) -> f64 {
+        base.result.cycles as f64 / self.result.cycles as f64
+    }
+
+    /// DRAM traffic normalized to the baseline.
+    pub fn traffic_ratio(&self, base: &BaselineRun) -> f64 {
+        let b = base.traffic().max(1);
+        self.result.stats.dram.total_traffic_lines() as f64 / b as f64
+    }
+}
+
+/// The standard single-core system of the paper's Table I.
+pub fn single_core() -> System {
+    System::new(SystemConfig::isca2018(1))
+}
+
+/// Captures the whole spec21 suite with baselines (the common prologue
+/// of most figures).
+pub fn capture_spec21(plan: &RunPlan, sys: &System) -> Vec<BaselineRun> {
+    dol_workloads::spec21()
+        .iter()
+        .map(|s| BaselineRun::capture(s, plan, sys))
+        .collect()
+}
+
+/// Convenience: run a set of prefetchers over one prepared app.
+pub fn run_configs(base: &BaselineRun, configs: &[&str], sys: &System) -> Vec<AppRun> {
+    configs.iter().map(|c| AppRun::run(base, c, sys)).collect()
+}
+
+/// Runs one workload under one boxed prefetcher (for callers that build
+/// prefetchers themselves).
+pub fn run_with(base: &BaselineRun, p: &mut dyn Prefetcher, sys: &System) -> RunResult {
+    sys.run(&base.workload, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_capture_produces_artifacts() {
+        let plan = RunPlan::quick();
+        let sys = single_core();
+        let spec = dol_workloads::by_name("stream_sum").unwrap();
+        let base = BaselineRun::capture(&spec, &plan, &sys);
+        assert!(base.cycles() > 0);
+        assert!(base.fp_l1.unique_lines() > 0);
+        assert!(base.mpki > 0.0);
+        assert!(base.classifier.classified_lines() > 0);
+    }
+
+    #[test]
+    fn t2_beats_baseline_on_stream() {
+        let plan = RunPlan::quick();
+        let sys = single_core();
+        let spec = dol_workloads::by_name("stream_sum").unwrap();
+        let base = BaselineRun::capture(&spec, &plan, &sys);
+        let run = AppRun::run(&base, "T2", &sys);
+        assert!(run.speedup(&base) > 1.05, "got {}", run.speedup(&base));
+    }
+}

@@ -1,0 +1,80 @@
+//! Smoke tests for every experiment module at a tiny budget.
+//!
+//! These simulate real workloads, so they are ignored in debug builds
+//! (where the simulator is ~20× slower); `cargo test --release` runs
+//! them.
+
+use dol_harness::experiments::{self, Report};
+use dol_harness::RunPlan;
+
+fn tiny_plan() -> RunPlan {
+    RunPlan { insts: 15_000, seed: 2018, mix_count: 1 }
+}
+
+fn check(report: Report, min_lines: usize) {
+    assert!(
+        report.table.lines().count() >= min_lines,
+        "{}: table too small:\n{}",
+        report.id,
+        report.table
+    );
+    // Rendering must embed id, title and every expectation.
+    let rendered = report.render();
+    assert!(rendered.contains(report.id));
+    for e in &report.expectations {
+        assert!(rendered.contains(&e.measured));
+    }
+}
+
+macro_rules! smoke {
+    ($name:ident, $path:expr, $min_lines:expr) => {
+        #[test]
+        #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+        fn $name() {
+            check($path(&tiny_plan()), $min_lines);
+        }
+    };
+}
+
+smoke!(table1_smoke, experiments::table1::run, 10);
+smoke!(table2_smoke, experiments::table2::run, 12);
+smoke!(fig01_smoke, experiments::fig01::run, 21);
+smoke!(fig08_smoke, experiments::fig08::run, 23);
+smoke!(fig09_smoke, experiments::fig09::run, 9);
+smoke!(fig10_smoke, experiments::fig10::run, 9);
+smoke!(fig12_smoke, experiments::fig12::run, 11);
+smoke!(fig13_smoke, experiments::fig13::run, 9);
+smoke!(fig14_smoke, experiments::fig14::run, 5);
+smoke!(fig15_smoke, experiments::fig15::run, 5);
+smoke!(fig16_smoke, experiments::fig16::run, 4);
+smoke!(ablation_t2_smoke, experiments::ablations::t2_thresholds, 4);
+smoke!(ablation_c1_smoke, experiments::ablations::c1_density, 4);
+smoke!(ablation_mpc_smoke, experiments::ablations::mpc, 3);
+smoke!(ablation_p1_smoke, experiments::ablations::p1_doubling, 3);
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn fig11_and_drop_smoke() {
+    // The multicore experiments share workload captures; exercise both in
+    // one test to keep wall-clock bounded.
+    check(experiments::fig11::run(&tiny_plan()), 6);
+    check(experiments::ablations::drop_policy(&tiny_plan()), 3);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn multi_extra_smoke() {
+    check(experiments::ablations::multi_extra(&tiny_plan()), 4);
+}
+
+#[test]
+fn reports_render_without_panicking_on_empty_expectations() {
+    let r = Report {
+        id: "synthetic",
+        title: "no expectations".into(),
+        table: "a\nb\n".into(),
+        expectations: Vec::new(),
+    };
+    assert!(r.render().contains("synthetic"));
+    assert_eq!(r.deviations(), 0);
+}

@@ -1,0 +1,342 @@
+//! Instruction encodings.
+
+use crate::Reg;
+
+/// Arithmetic/logic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (higher latency in the timing model).
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amount taken modulo 64).
+    Shl,
+    /// Logical shift right (shift amount taken modulo 64).
+    Shr,
+    /// Set if less-than, signed: `dst = (a as i64) < (b as i64)`.
+    SltS,
+    /// Set if less-than, unsigned.
+    SltU,
+}
+
+impl AluOp {
+    /// Execute the operation on two 64-bit values.
+    #[inline]
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+            AluOp::SltS => ((a as i64) < (b as i64)) as u64,
+            AluOp::SltU => (a < b) as u64,
+        }
+    }
+
+    /// Execution latency in cycles used by the timing model.
+    #[inline]
+    pub fn latency(self) -> u8 {
+        match self {
+            AluOp::Mul => 3,
+            _ => 1,
+        }
+    }
+}
+
+/// Branch conditions comparing a register against an operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    LtU,
+    /// Unsigned greater-or-equal.
+    GeU,
+}
+
+impl Cond {
+    /// Evaluate the condition on two 64-bit values.
+    #[inline]
+    pub fn holds(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i64) < (b as i64),
+            Cond::Ge => (a as i64) >= (b as i64),
+            Cond::LtU => a < b,
+            Cond::GeU => a >= b,
+        }
+    }
+}
+
+/// The second operand of an ALU operation or comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate operand.
+    Imm(i64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+/// A fully-resolved instruction (labels already turned into PCs).
+///
+/// Construct programs through [`crate::ProgramBuilder`]; `Inst` values with
+/// branch targets are expressed in absolute byte PCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = value`.
+    Imm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value (sign-extended to 64 bits).
+        value: i64,
+    },
+    /// `dst = op(a, b)`.
+    Alu {
+        /// The operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// First source register.
+        a: Reg,
+        /// Second operand.
+        b: Operand,
+    },
+    /// `dst = mem[base + offset]` (64-bit, 8-byte aligned).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// `mem[base + offset] = src` (64-bit, 8-byte aligned).
+    Store {
+        /// Source register holding the value to store.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// Conditional branch: `if cond(a, b) goto target`.
+    Branch {
+        /// The condition.
+        cond: Cond,
+        /// First comparison source.
+        a: Reg,
+        /// Second comparison operand.
+        b: Operand,
+        /// Absolute target PC.
+        target: u64,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Absolute target PC.
+        target: u64,
+    },
+    /// Call a subroutine, pushing the return address.
+    Call {
+        /// Absolute target PC.
+        target: u64,
+    },
+    /// Return to the most recent pushed return address.
+    Ret,
+    /// No operation.
+    Nop,
+    /// Stop execution.
+    Halt,
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Inst {
+    /// Disassembles the instruction in a compact assembly-like syntax.
+    ///
+    /// ```
+    /// use dol_isa::{AluOp, Inst, Operand, Reg};
+    ///
+    /// let i = Inst::Alu { op: AluOp::Add, dst: Reg::R1, a: Reg::R2, b: Operand::Imm(8) };
+    /// assert_eq!(i.to_string(), "add r1, r2, 8");
+    /// ```
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Inst::Imm { dst, value } => write!(f, "imm {dst}, {value}"),
+            Inst::Alu { op, dst, a, b } => {
+                let name = match op {
+                    AluOp::Add => "add",
+                    AluOp::Sub => "sub",
+                    AluOp::Mul => "mul",
+                    AluOp::And => "and",
+                    AluOp::Or => "or",
+                    AluOp::Xor => "xor",
+                    AluOp::Shl => "shl",
+                    AluOp::Shr => "shr",
+                    AluOp::SltS => "slts",
+                    AluOp::SltU => "sltu",
+                };
+                write!(f, "{name} {dst}, {a}, {b}")
+            }
+            Inst::Load { dst, base, offset } => write!(f, "ld {dst}, [{base}{offset:+}]"),
+            Inst::Store { src, base, offset } => write!(f, "st {src}, [{base}{offset:+}]"),
+            Inst::Branch { cond, a, b, target } => {
+                let name = match cond {
+                    Cond::Eq => "beq",
+                    Cond::Ne => "bne",
+                    Cond::Lt => "blt",
+                    Cond::Ge => "bge",
+                    Cond::LtU => "bltu",
+                    Cond::GeU => "bgeu",
+                };
+                write!(f, "{name} {a}, {b}, {target:#x}")
+            }
+            Inst::Jump { target } => write!(f, "jmp {target:#x}"),
+            Inst::Call { target } => write!(f, "call {target:#x}"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::Nop => write!(f, "nop"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl Inst {
+    /// The destination register written by this instruction, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        match *self {
+            Inst::Imm { dst, .. } | Inst::Alu { dst, .. } | Inst::Load { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+
+    /// The (up to two) source registers read by this instruction.
+    pub fn srcs(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Inst::Alu { a, b, .. } | Inst::Branch { a, b, .. } => {
+                let second = match b {
+                    Operand::Reg(r) => Some(r),
+                    Operand::Imm(_) => None,
+                };
+                [Some(a), second]
+            }
+            Inst::Load { base, .. } => [Some(base), None],
+            Inst::Store { src, base, .. } => [Some(base), Some(src)],
+            _ => [None, None],
+        }
+    }
+
+    /// Whether the instruction reads or writes data memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::Store { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_ops_compute() {
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u64::MAX);
+        assert_eq!(AluOp::Mul.apply(3, 5), 15);
+        assert_eq!(AluOp::Shl.apply(1, 65), 2, "shift amount is mod 64");
+        assert_eq!(AluOp::Shr.apply(8, 2), 2);
+        assert_eq!(AluOp::SltS.apply(u64::MAX, 0), 1, "-1 < 0 signed");
+        assert_eq!(AluOp::SltU.apply(u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn conditions_hold() {
+        assert!(Cond::Eq.holds(4, 4));
+        assert!(Cond::Ne.holds(4, 5));
+        assert!(Cond::Lt.holds(u64::MAX, 0), "signed -1 < 0");
+        assert!(!Cond::LtU.holds(u64::MAX, 0));
+        assert!(Cond::Ge.holds(0, u64::MAX));
+        assert!(Cond::GeU.holds(u64::MAX, 0));
+    }
+
+    #[test]
+    fn src_and_dst_extraction() {
+        let ld = Inst::Load { dst: Reg::R1, base: Reg::R2, offset: 8 };
+        assert_eq!(ld.dst(), Some(Reg::R1));
+        assert_eq!(ld.srcs(), [Some(Reg::R2), None]);
+        assert!(ld.is_mem());
+
+        let st = Inst::Store { src: Reg::R3, base: Reg::R4, offset: 0 };
+        assert_eq!(st.dst(), None);
+        assert_eq!(st.srcs(), [Some(Reg::R4), Some(Reg::R3)]);
+
+        let alu = Inst::Alu { op: AluOp::Add, dst: Reg::R5, a: Reg::R6, b: Operand::Imm(1) };
+        assert_eq!(alu.srcs(), [Some(Reg::R6), None]);
+        assert!(!alu.is_mem());
+    }
+
+    #[test]
+    fn mul_has_higher_latency() {
+        assert!(AluOp::Mul.latency() > AluOp::Add.latency());
+    }
+
+    #[test]
+    fn disassembly_round_trips_key_shapes() {
+        let cases: Vec<(Inst, &str)> = vec![
+            (Inst::Imm { dst: Reg::R1, value: -5 }, "imm r1, -5"),
+            (Inst::Load { dst: Reg::R2, base: Reg::R3, offset: 8 }, "ld r2, [r3+8]"),
+            (Inst::Store { src: Reg::R4, base: Reg::R5, offset: -16 }, "st r4, [r5-16]"),
+            (
+                Inst::Branch {
+                    cond: Cond::Ne,
+                    a: Reg::R6,
+                    b: Operand::Reg(Reg::R7),
+                    target: 0x1000,
+                },
+                "bne r6, r7, 0x1000",
+            ),
+            (Inst::Jump { target: 0x2000 }, "jmp 0x2000"),
+            (Inst::Call { target: 0x3000 }, "call 0x3000"),
+            (Inst::Ret, "ret"),
+            (Inst::Nop, "nop"),
+            (Inst::Halt, "halt"),
+        ];
+        for (inst, expect) in cases {
+            assert_eq!(inst.to_string(), expect);
+        }
+    }
+}

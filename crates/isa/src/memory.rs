@@ -1,0 +1,108 @@
+//! Sparse, paged data memory for the functional VM.
+
+use std::collections::HashMap;
+
+const PAGE_BYTES: u64 = 4096;
+const WORDS_PER_PAGE: usize = (PAGE_BYTES / 8) as usize;
+
+/// Sparse byte-addressable memory backed by 4 KiB pages of 64-bit words.
+///
+/// All accesses are 64-bit and must be 8-byte aligned; unaligned addresses
+/// are truncated down to the containing word (the toy ISA never generates
+/// unaligned accesses, but workload setup code is forgiven for it).
+/// Reads of untouched memory return zero.
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u64; WORDS_PER_PAGE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn split(addr: u64) -> (u64, usize) {
+        let page = addr / PAGE_BYTES;
+        let word = ((addr % PAGE_BYTES) / 8) as usize;
+        (page, word)
+    }
+
+    /// Reads the 64-bit word containing `addr`.
+    #[inline]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let (page, word) = Self::split(addr);
+        match self.pages.get(&page) {
+            Some(p) => p[word],
+            None => 0,
+        }
+    }
+
+    /// Writes the 64-bit word containing `addr`.
+    #[inline]
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        let (page, word) = Self::split(addr);
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u64; WORDS_PER_PAGE]))[word] = value;
+    }
+
+    /// Writes a contiguous slice of words starting at `addr`.
+    pub fn write_words(&mut self, addr: u64, values: &[u64]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_u64(addr + 8 * i as u64, *v);
+        }
+    }
+
+    /// Reads `n` contiguous words starting at `addr`.
+    pub fn read_words(&self, addr: u64, n: usize) -> Vec<u64> {
+        (0..n).map(|i| self.read_u64(addr + 8 * i as u64)).collect()
+    }
+
+    /// Number of distinct 4 KiB pages that have been written.
+    pub fn touched_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_before_write() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read_u64(0), 0);
+        assert_eq!(m.read_u64(0xdead_beef_0000), 0);
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut m = SparseMemory::new();
+        m.write_u64(0x1000, 42);
+        m.write_u64(0x1008, 43);
+        assert_eq!(m.read_u64(0x1000), 42);
+        assert_eq!(m.read_u64(0x1008), 43);
+        assert_eq!(m.read_u64(0x1010), 0);
+    }
+
+    #[test]
+    fn unaligned_addresses_truncate_to_word() {
+        let mut m = SparseMemory::new();
+        m.write_u64(0x2000, 7);
+        for off in 1..8 {
+            assert_eq!(m.read_u64(0x2000 + off), 7);
+        }
+    }
+
+    #[test]
+    fn bulk_words_round_trip_across_page_boundary() {
+        let mut m = SparseMemory::new();
+        let base = PAGE_BYTES - 16;
+        let vals: Vec<u64> = (0..8).collect();
+        m.write_words(base, &vals);
+        assert_eq!(m.read_words(base, 8), vals);
+        assert_eq!(m.touched_pages(), 2);
+    }
+}

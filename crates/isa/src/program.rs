@@ -1,0 +1,313 @@
+//! Programs and the label-resolving builder.
+
+use crate::{AluOp, Cond, Inst, Operand, Reg, INST_BYTES};
+
+/// Default PC of the first instruction in a program.
+pub const DEFAULT_BASE_PC: u64 = 0x1000;
+
+/// A forward-referencable code label issued by [`ProgramBuilder::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors produced while building a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A label was used as a branch/jump/call target but never bound.
+    UnboundLabel(Label),
+    /// A label was bound more than once.
+    RebindLabel(Label),
+    /// The program contains no instructions.
+    Empty,
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::UnboundLabel(l) => write!(f, "label {l:?} was never bound"),
+            ProgramError::RebindLabel(l) => write!(f, "label {l:?} bound twice"),
+            ProgramError::Empty => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// An immutable, fully-resolved program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    base_pc: u64,
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// The PC of the first instruction.
+    pub fn base_pc(&self) -> u64 {
+        self.base_pc
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Fetch the instruction at `pc`, if it is inside the program.
+    #[inline]
+    pub fn fetch(&self, pc: u64) -> Option<&Inst> {
+        if pc < self.base_pc || (pc - self.base_pc) % INST_BYTES != 0 {
+            return None;
+        }
+        self.insts.get(((pc - self.base_pc) / INST_BYTES) as usize)
+    }
+
+    /// Iterates over `(pc, inst)` pairs in layout order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Inst)> {
+        let base = self.base_pc;
+        self.insts
+            .iter()
+            .enumerate()
+            .map(move |(i, inst)| (base + i as u64 * INST_BYTES, inst))
+    }
+
+    /// Renders the whole program as an assembly listing, one
+    /// `pc: inst` line per instruction (debugging aid for kernels).
+    pub fn disassemble(&self) -> String {
+        self.iter()
+            .map(|(pc, inst)| format!("{pc:#06x}: {inst}\n"))
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PendingTarget {
+    Label(Label),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    Done(Inst),
+    Branch { cond: Cond, a: Reg, b: Operand, target: PendingTarget },
+    Jump { target: PendingTarget },
+    Call { target: PendingTarget },
+}
+
+/// Builds [`Program`]s, resolving forward label references.
+///
+/// See the crate-level example for typical use. All emit methods append one
+/// instruction; `label`/`bind` create and place jump targets.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    base_pc: u64,
+    pending: Vec<Pending>,
+    labels: Vec<Option<u64>>, // index -> bound pc
+}
+
+impl ProgramBuilder {
+    /// Creates a builder whose first instruction sits at [`DEFAULT_BASE_PC`].
+    pub fn new() -> Self {
+        Self::with_base_pc(DEFAULT_BASE_PC)
+    }
+
+    /// Creates a builder with an explicit base PC.
+    pub fn with_base_pc(base_pc: u64) -> Self {
+        ProgramBuilder { base_pc, pending: Vec::new(), labels: Vec::new() }
+    }
+
+    /// PC of the *next* instruction to be emitted.
+    pub fn here(&self) -> u64 {
+        self.base_pc + self.pending.len() as u64 * INST_BYTES
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound (programming error in the
+    /// kernel generator; surfaced eagerly rather than at `build`).
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.here());
+    }
+
+    /// Emits a raw resolved instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.pending.push(Pending::Done(inst));
+    }
+
+    /// `dst = value`.
+    pub fn imm(&mut self, dst: Reg, value: i64) {
+        self.push(Inst::Imm { dst, value });
+    }
+
+    /// `dst = op(a, b)` with a register second operand.
+    pub fn alu_rr(&mut self, op: AluOp, dst: Reg, a: Reg, b: Reg) {
+        self.push(Inst::Alu { op, dst, a, b: Operand::Reg(b) });
+    }
+
+    /// `dst = op(a, imm)` with an immediate second operand.
+    pub fn alu_ri(&mut self, op: AluOp, dst: Reg, a: Reg, imm: i64) {
+        self.push(Inst::Alu { op, dst, a, b: Operand::Imm(imm) });
+    }
+
+    /// `dst = mem[base + offset]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) {
+        self.push(Inst::Load { dst, base, offset });
+    }
+
+    /// `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) {
+        self.push(Inst::Store { src, base, offset });
+    }
+
+    /// `if cond(a, b) goto label`.
+    pub fn branch(&mut self, cond: Cond, a: Reg, b: Operand, target: Label) {
+        self.pending.push(Pending::Branch { cond, a, b, target: PendingTarget::Label(target) });
+    }
+
+    /// `goto label`.
+    pub fn jump(&mut self, target: Label) {
+        self.pending.push(Pending::Jump { target: PendingTarget::Label(target) });
+    }
+
+    /// Call the subroutine at `label`.
+    pub fn call(&mut self, target: Label) {
+        self.pending.push(Pending::Call { target: PendingTarget::Label(target) });
+    }
+
+    /// Return from the current subroutine.
+    pub fn ret(&mut self) {
+        self.push(Inst::Ret);
+    }
+
+    /// No operation.
+    pub fn nop(&mut self) {
+        self.push(Inst::Nop);
+    }
+
+    /// Stop execution.
+    pub fn halt(&mut self) {
+        self.push(Inst::Halt);
+    }
+
+    /// Resolves all labels and produces the immutable program.
+    pub fn build(self) -> Result<Program, ProgramError> {
+        if self.pending.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        let resolve = |t: PendingTarget| -> Result<u64, ProgramError> {
+            match t {
+                PendingTarget::Label(l) => {
+                    self.labels[l.0].ok_or(ProgramError::UnboundLabel(l))
+                }
+            }
+        };
+        let insts = self
+            .pending
+            .iter()
+            .map(|p| -> Result<Inst, ProgramError> {
+                Ok(match *p {
+                    Pending::Done(i) => i,
+                    Pending::Branch { cond, a, b, target } => {
+                        Inst::Branch { cond, a, b, target: resolve(target)? }
+                    }
+                    Pending::Jump { target } => Inst::Jump { target: resolve(target)? },
+                    Pending::Call { target } => Inst::Call { target: resolve(target)? },
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Program { base_pc: self.base_pc, insts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert_eq!(ProgramBuilder::new().build().unwrap_err(), ProgramError::Empty);
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.jump(l);
+        assert!(matches!(b.build().unwrap_err(), ProgramError::UnboundLabel(_)));
+    }
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let fwd = b.label();
+        let back = b.label();
+        b.bind(back);
+        b.nop(); // pc base
+        b.jump(fwd); // pc base+4
+        b.branch(Cond::Eq, Reg::R0, Operand::Imm(0), back); // pc base+8
+        b.bind(fwd);
+        b.halt(); // pc base+12
+        let p = b.build().unwrap();
+        assert_eq!(p.len(), 4);
+        let base = p.base_pc();
+        assert_eq!(p.fetch(base + 4), Some(&Inst::Jump { target: base + 12 }));
+        match p.fetch(base + 8) {
+            Some(&Inst::Branch { target, .. }) => assert_eq!(target, base),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fetch_rejects_out_of_range_and_misaligned() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build().unwrap();
+        assert!(p.fetch(p.base_pc()).is_some());
+        assert!(p.fetch(p.base_pc() + 1).is_none());
+        assert!(p.fetch(p.base_pc() + 4).is_none());
+        assert!(p.fetch(0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn rebinding_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn disassembly_lists_every_instruction() {
+        let mut b = ProgramBuilder::new();
+        b.imm(Reg::R1, 7);
+        b.load(Reg::R2, Reg::R1, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let asm = p.disassemble();
+        assert_eq!(asm.lines().count(), 3);
+        assert!(asm.contains("imm r1, 7"));
+        assert!(asm.contains("ld r2, [r1+0]"));
+        assert!(asm.contains("halt"));
+    }
+
+    #[test]
+    fn iter_yields_pcs_in_layout_order() {
+        let mut b = ProgramBuilder::with_base_pc(0x400);
+        b.nop();
+        b.halt();
+        let p = b.build().unwrap();
+        let pcs: Vec<u64> = p.iter().map(|(pc, _)| pc).collect();
+        assert_eq!(pcs, vec![0x400, 0x404]);
+    }
+}

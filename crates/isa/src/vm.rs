@@ -1,0 +1,337 @@
+//! The functional virtual machine.
+
+use crate::{Inst, InstKind, Operand, Program, Reg, RetiredInst, SparseMemory, Trace, INST_BYTES};
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The PC left the program text (bad branch target or fell off the end).
+    BadPc(u64),
+    /// `Ret` executed with an empty call stack.
+    ReturnUnderflow {
+        /// PC of the offending `Ret`.
+        pc: u64,
+    },
+    /// The call stack exceeded its bound (runaway recursion in a kernel).
+    CallOverflow {
+        /// PC of the offending `Call`.
+        pc: u64,
+    },
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::BadPc(pc) => write!(f, "pc {pc:#x} is outside the program"),
+            VmError::ReturnUnderflow { pc } => write!(f, "ret at {pc:#x} with empty call stack"),
+            VmError::CallOverflow { pc } => write!(f, "call stack overflow at {pc:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+const MAX_CALL_DEPTH: usize = 1024;
+
+/// Functional executor for a [`Program`].
+///
+/// The VM holds the architectural state (registers, data memory, call
+/// stack) and retires one instruction per [`step`](Vm::step), emitting the
+/// [`RetiredInst`] record consumed by the timing model and prefetchers.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    program: Program,
+    regs: [u64; Reg::COUNT],
+    pc: u64,
+    memory: SparseMemory,
+    call_stack: Vec<u64>,
+    halted: bool,
+    retired: u64,
+}
+
+impl Vm {
+    /// Creates a VM at the program's base PC with zeroed registers and
+    /// empty memory.
+    pub fn new(program: Program) -> Self {
+        let pc = program.base_pc();
+        Vm {
+            program,
+            regs: [0; Reg::COUNT],
+            pc,
+            memory: SparseMemory::new(),
+            call_stack: Vec::new(),
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// Read a register.
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Write a register (useful for passing kernel arguments).
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        self.regs[r.index()] = value;
+    }
+
+    /// The data memory, for reading results.
+    pub fn memory(&self) -> &SparseMemory {
+        &self.memory
+    }
+
+    /// The data memory, for initializing workload data structures.
+    pub fn memory_mut(&mut self) -> &mut SparseMemory {
+        &mut self.memory
+    }
+
+    /// Whether a `Halt` has retired.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Total instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Current PC.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    #[inline]
+    fn operand(&self, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(v) => v as u64,
+        }
+    }
+
+    /// Executes one instruction, returning its retirement record.
+    ///
+    /// Returns `Ok(None)` once the VM has halted.
+    pub fn step(&mut self) -> Result<Option<RetiredInst>, VmError> {
+        if self.halted {
+            return Ok(None);
+        }
+        let pc = self.pc;
+        let inst = *self.program.fetch(pc).ok_or(VmError::BadPc(pc))?;
+        let dst = inst.dst();
+        let srcs = inst.srcs();
+        let mut next_pc = pc + INST_BYTES;
+
+        let kind = match inst {
+            Inst::Imm { dst, value } => {
+                self.regs[dst.index()] = value as u64;
+                InstKind::Alu { latency: 1 }
+            }
+            Inst::Alu { op, dst, a, b } => {
+                let result = op.apply(self.reg(a), self.operand(b));
+                self.regs[dst.index()] = result;
+                InstKind::Alu { latency: op.latency() }
+            }
+            Inst::Load { dst, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as u64) & !7;
+                let value = self.memory.read_u64(addr);
+                self.regs[dst.index()] = value;
+                InstKind::Load { addr, value }
+            }
+            Inst::Store { src, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as u64) & !7;
+                self.memory.write_u64(addr, self.reg(src));
+                InstKind::Store { addr }
+            }
+            Inst::Branch { cond, a, b, target } => {
+                let taken = cond.holds(self.reg(a), self.operand(b));
+                if taken {
+                    next_pc = target;
+                }
+                InstKind::Branch { taken, target }
+            }
+            Inst::Jump { target } => {
+                next_pc = target;
+                InstKind::Jump { target }
+            }
+            Inst::Call { target } => {
+                if self.call_stack.len() >= MAX_CALL_DEPTH {
+                    return Err(VmError::CallOverflow { pc });
+                }
+                let return_to = pc + INST_BYTES;
+                self.call_stack.push(return_to);
+                next_pc = target;
+                InstKind::Call { target, return_to }
+            }
+            Inst::Ret => {
+                let target =
+                    self.call_stack.pop().ok_or(VmError::ReturnUnderflow { pc })?;
+                next_pc = target;
+                InstKind::Ret { target }
+            }
+            Inst::Nop => InstKind::Other,
+            Inst::Halt => {
+                self.halted = true;
+                InstKind::Other
+            }
+        };
+
+        self.pc = next_pc;
+        self.retired += 1;
+        Ok(Some(RetiredInst { pc, kind, dst, srcs }))
+    }
+
+    /// Runs until `Halt` or until `max_insts` instructions have retired,
+    /// collecting the trace.
+    pub fn run(&mut self, max_insts: u64) -> Result<Trace, VmError> {
+        let mut trace = Trace::new();
+        while self.retired < max_insts {
+            match self.step()? {
+                Some(r) => trace.push(r),
+                None => break,
+            }
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Cond, ProgramBuilder};
+
+    fn simple_loop(n: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.imm(Reg::R1, 0);
+        b.imm(Reg::R2, n);
+        let top = b.label();
+        b.bind(top);
+        b.alu_ri(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch(Cond::Ne, Reg::R1, Operand::Reg(Reg::R2), top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_loop_iterations() {
+        let mut vm = Vm::new(simple_loop(10));
+        let trace = vm.run(1_000_000).unwrap();
+        assert!(vm.is_halted());
+        assert_eq!(vm.reg(Reg::R1), 10);
+        // 2 setup + 10 * (add + branch) + halt
+        assert_eq!(trace.len(), 2 + 20 + 1);
+        let backward = trace.iter().filter(|r| r.is_backward_branch()).count();
+        assert_eq!(backward, 9, "final branch falls through");
+    }
+
+    #[test]
+    fn respects_instruction_budget() {
+        let mut vm = Vm::new(simple_loop(1_000_000));
+        let trace = vm.run(100).unwrap();
+        assert_eq!(trace.len(), 100);
+        assert!(!vm.is_halted());
+        // Budget is cumulative across calls.
+        let more = vm.run(150).unwrap();
+        assert_eq!(more.len(), 50);
+    }
+
+    #[test]
+    fn loads_and_stores_hit_memory() {
+        let mut b = ProgramBuilder::new();
+        b.imm(Reg::R1, 0x8000);
+        b.imm(Reg::R2, 99);
+        b.store(Reg::R2, Reg::R1, 8);
+        b.load(Reg::R3, Reg::R1, 8);
+        b.halt();
+        let mut vm = Vm::new(b.build().unwrap());
+        let trace = vm.run(10).unwrap();
+        assert_eq!(vm.reg(Reg::R3), 99);
+        assert_eq!(vm.memory().read_u64(0x8008), 99);
+        let addrs: Vec<u64> = trace.iter().filter_map(|r| r.mem_addr()).collect();
+        assert_eq!(addrs, vec![0x8008, 0x8008]);
+    }
+
+    #[test]
+    fn call_and_ret_round_trip() {
+        let mut b = ProgramBuilder::new();
+        let func = b.label();
+        let main = b.label();
+        b.jump(main);
+        b.bind(func);
+        b.alu_ri(AluOp::Add, Reg::R1, Reg::R1, 7);
+        b.ret();
+        b.bind(main);
+        b.call(func);
+        b.call(func);
+        b.halt();
+        let mut vm = Vm::new(b.build().unwrap());
+        let trace = vm.run(100).unwrap();
+        assert!(vm.is_halted());
+        assert_eq!(vm.reg(Reg::R1), 14);
+        let calls = trace
+            .iter()
+            .filter(|r| matches!(r.kind, InstKind::Call { .. }))
+            .count();
+        let rets = trace
+            .iter()
+            .filter(|r| matches!(r.kind, InstKind::Ret { .. }))
+            .count();
+        assert_eq!((calls, rets), (2, 2));
+    }
+
+    #[test]
+    fn return_underflow_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.ret();
+        let mut vm = Vm::new(b.build().unwrap());
+        assert_eq!(vm.step(), Err(VmError::ReturnUnderflow { pc: vm.program.base_pc() }));
+    }
+
+    #[test]
+    fn falling_off_the_end_is_bad_pc() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        let mut vm = Vm::new(b.build().unwrap());
+        vm.step().unwrap();
+        assert!(matches!(vm.step(), Err(VmError::BadPc(_))));
+    }
+
+    #[test]
+    fn pointer_chase_observes_values() {
+        // Build a 3-node list in memory: node = [next]. Chase it.
+        let mut b = ProgramBuilder::new();
+        b.imm(Reg::R1, 0x9000);
+        b.imm(Reg::R2, 3);
+        let top = b.label();
+        b.bind(top);
+        b.load(Reg::R1, Reg::R1, 0);
+        b.alu_ri(AluOp::Sub, Reg::R2, Reg::R2, 1);
+        b.branch(Cond::Ne, Reg::R2, Operand::Imm(0), top);
+        b.halt();
+        let mut vm = Vm::new(b.build().unwrap());
+        vm.memory_mut().write_u64(0x9000, 0xA000);
+        vm.memory_mut().write_u64(0xA000, 0xB000);
+        vm.memory_mut().write_u64(0xB000, 0xC000);
+        let trace = vm.run(100).unwrap();
+        let loads: Vec<(u64, u64)> = trace
+            .iter()
+            .filter_map(|r| match r.kind {
+                InstKind::Load { addr, value } => Some((addr, value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(loads, vec![(0x9000, 0xA000), (0xA000, 0xB000), (0xB000, 0xC000)]);
+        assert_eq!(vm.reg(Reg::R1), 0xC000);
+    }
+
+    #[test]
+    fn halted_vm_steps_to_none() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let mut vm = Vm::new(b.build().unwrap());
+        assert!(vm.step().unwrap().is_some());
+        assert_eq!(vm.step().unwrap(), None);
+        assert!(vm.is_halted());
+    }
+}

@@ -1,0 +1,415 @@
+//! Set-associative cache with prefetch metadata.
+
+use crate::{CacheConfig, Origin, ReplacementPolicy};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Set when a demand access touches the line after its fill.
+    used: bool,
+    /// `Some` if the line was brought in by a prefetch (cleared never;
+    /// `used` distinguishes consumed from unconsumed prefetches).
+    prefetch: Option<Origin>,
+    /// Cycle at which the line's data is actually present (fills in
+    /// flight have a future `ready_at`).
+    ready_at: u64,
+    /// Replacement stamp (monotone counter).
+    stamp: u64,
+}
+
+/// Result of a demand lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// The line is present.
+    Hit {
+        /// Origin of the prefetch that brought the line in, if any
+        /// (persists across uses, for avoided-miss crediting).
+        prefetched_by: Option<Origin>,
+        /// Whether this access is the line's first demand use since fill.
+        first_use: bool,
+        /// Cycle the data is available (≥ `now` when hitting a fill in
+        /// flight; callers add `ready_at - now` to the latency).
+        ready_at: u64,
+    },
+    /// The line is absent.
+    Miss,
+}
+
+/// What a fill displaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictInfo {
+    /// Line address of the victim.
+    pub line: u64,
+    /// Whether it was dirty (must be written back).
+    pub dirty: bool,
+    /// `Some(origin)` if the victim was a prefetched line that never
+    /// served a demand access.
+    pub unused_prefetch: Option<Origin>,
+}
+
+/// A set-associative cache.
+///
+/// Tags store full line addresses; geometry comes from [`CacheConfig`].
+/// The cache tracks, per line, whether it was filled by a prefetch and
+/// whether a demand access has used it — the raw material for the paper's
+/// useful/useless prefetch and pollution accounting.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    set_mask: u64,
+    ways: usize,
+    lines: Vec<Line>,
+    clock: u64,
+    rng: u64,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            set_mask: sets - 1,
+            ways: cfg.ways as usize,
+            lines: vec![Line::default(); (sets * cfg.ways as u64) as usize],
+            clock: 0,
+            rng: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line & self.set_mask) as usize;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    #[inline]
+    fn next_stamp(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Whether the line is present, without disturbing replacement state.
+    pub fn probe(&self, line: u64) -> bool {
+        self.lines[self.set_range(line)].iter().any(|l| l.valid && l.tag == line)
+    }
+
+    /// Whether the line is present but its fill is still in flight.
+    pub fn in_flight(&self, line: u64, now: u64) -> bool {
+        self.lines[self.set_range(line)]
+            .iter()
+            .any(|l| l.valid && l.tag == line && l.ready_at > now)
+    }
+
+    /// A demand access to `line` at cycle `now`; updates replacement and
+    /// use/dirty metadata on a hit.
+    pub fn demand_access(&mut self, line: u64, now: u64, is_write: bool) -> LookupOutcome {
+        let stamp = self.next_stamp();
+        let update_on_hit = self.cfg.replacement != ReplacementPolicy::Fifo;
+        let range = self.set_range(line);
+        for l in &mut self.lines[range] {
+            if l.valid && l.tag == line {
+                let first_use = !l.used;
+                l.used = true;
+                if is_write {
+                    l.dirty = true;
+                }
+                if update_on_hit {
+                    l.stamp = stamp;
+                }
+                return LookupOutcome::Hit {
+                    prefetched_by: l.prefetch,
+                    first_use,
+                    ready_at: l.ready_at.max(now),
+                };
+            }
+        }
+        LookupOutcome::Miss
+    }
+
+    /// Inserts `line` (data ready at `ready_at`), returning the victim.
+    ///
+    /// `origin` is `Some` for prefetch fills. Filling a line that is
+    /// already present refreshes `ready_at`/`dirty` instead of
+    /// duplicating it and returns `None`.
+    pub fn fill(
+        &mut self,
+        line: u64,
+        ready_at: u64,
+        origin: Option<Origin>,
+        dirty: bool,
+    ) -> Option<EvictInfo> {
+        self.fill_with_priority(line, ready_at, origin, dirty, false)
+    }
+
+    /// Like [`fill`](Self::fill); with `low_priority` the line is
+    /// inserted just above the set's LRU position instead of at MRU, so
+    /// a prefetch that never gets used is evicted quickly while one
+    /// that does is promoted on its first demand hit (LIP-style
+    /// prefetch insertion, standard for L1 prefetching).
+    pub fn fill_with_priority(
+        &mut self,
+        line: u64,
+        ready_at: u64,
+        origin: Option<Origin>,
+        dirty: bool,
+        low_priority: bool,
+    ) -> Option<EvictInfo> {
+        let stamp = self.next_stamp();
+        let range = self.set_range(line);
+        // Refresh an existing copy.
+        for l in &mut self.lines[range.clone()] {
+            if l.valid && l.tag == line {
+                l.dirty |= dirty;
+                l.ready_at = l.ready_at.min(ready_at);
+                return None;
+            }
+        }
+        let victim_at = self.pick_victim(range.clone());
+        let stamp = if low_priority {
+            // Just above the current LRU line: next-but-one victim.
+            self.lines[range]
+                .iter()
+                .filter(|l| l.valid)
+                .map(|l| l.stamp)
+                .min()
+                .map(|min| min + 1)
+                .unwrap_or(stamp)
+        } else {
+            stamp
+        };
+        let l = &mut self.lines[victim_at];
+        let evicted = if l.valid {
+            Some(EvictInfo {
+                line: l.tag,
+                dirty: l.dirty,
+                unused_prefetch: if l.used { None } else { l.prefetch },
+            })
+        } else {
+            None
+        };
+        *l = Line {
+            tag: line,
+            valid: true,
+            dirty,
+            used: false,
+            prefetch: origin,
+            ready_at,
+            stamp,
+        };
+        evicted
+    }
+
+    fn pick_victim(&mut self, range: std::ops::Range<usize>) -> usize {
+        // Invalid way first.
+        if let Some(i) = self.lines[range.clone()].iter().position(|l| !l.valid) {
+            return range.start + i;
+        }
+        match self.cfg.replacement {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                let (i, _) = self.lines[range.clone()]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.stamp)
+                    .expect("non-empty set");
+                range.start + i
+            }
+            ReplacementPolicy::Random => {
+                // xorshift64*
+                self.rng ^= self.rng << 13;
+                self.rng ^= self.rng >> 7;
+                self.rng ^= self.rng << 17;
+                range.start + (self.rng % self.ways as u64) as usize
+            }
+        }
+    }
+
+    /// Origins of prefetched lines currently resident in `line`'s set —
+    /// the blame list for an induced miss on `line`.
+    pub fn prefetch_origins_in_set(&self, line: u64) -> Vec<Origin> {
+        self.lines[self.set_range(line)]
+            .iter()
+            .filter(|l| l.valid)
+            .filter_map(|l| l.prefetch)
+            .collect()
+    }
+
+    /// Number of valid lines (for occupancy assertions in tests).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Removes the line if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, line: u64) -> Option<bool> {
+        let range = self.set_range(line);
+        for l in &mut self.lines[range] {
+            if l.valid && l.tag == line {
+                l.valid = false;
+                return Some(l.dirty);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(replacement: ReplacementPolicy) -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 4 * 64, // 1 set? no: 4 lines. With 2 ways -> 2 sets.
+            ways: 2,
+            latency: 1,
+            mshrs: 4,
+            replacement,
+        })
+    }
+
+    #[test]
+    fn hit_after_fill_miss_before() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        assert_eq!(c.demand_access(10, 0, false), LookupOutcome::Miss);
+        assert!(c.fill(10, 5, None, false).is_none());
+        match c.demand_access(10, 6, false) {
+            LookupOutcome::Hit { prefetched_by, first_use, ready_at } => {
+                assert_eq!(prefetched_by, None);
+                assert!(first_use);
+                assert_eq!(ready_at, 6);
+            }
+            LookupOutcome::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn hit_under_fill_reports_future_ready() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.fill(10, 100, None, false);
+        assert!(c.in_flight(10, 50));
+        match c.demand_access(10, 50, false) {
+            LookupOutcome::Hit { ready_at, .. } => assert_eq!(ready_at, 100),
+            LookupOutcome::Miss => panic!("expected hit"),
+        }
+        assert!(!c.in_flight(10, 100));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        // Lines 0, 2, 4 map to set 0 (2 sets).
+        c.fill(0, 0, None, false);
+        c.fill(2, 0, None, false);
+        c.demand_access(0, 1, false); // 0 now MRU
+        let ev = c.fill(4, 2, None, false).expect("eviction");
+        assert_eq!(ev.line, 2);
+        assert!(c.probe(0) && c.probe(4) && !c.probe(2));
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut c = tiny(ReplacementPolicy::Fifo);
+        c.fill(0, 0, None, false);
+        c.fill(2, 0, None, false);
+        c.demand_access(0, 1, false); // must not save line 0
+        let ev = c.fill(4, 2, None, false).expect("eviction");
+        assert_eq!(ev.line, 0);
+    }
+
+    #[test]
+    fn unused_prefetch_reported_on_eviction() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.fill(0, 0, Some(Origin(7)), false);
+        c.fill(2, 0, None, false);
+        let ev = c.fill(4, 1, None, false).expect("eviction");
+        assert_eq!(ev.line, 0);
+        assert_eq!(ev.unused_prefetch, Some(Origin(7)));
+    }
+
+    #[test]
+    fn used_prefetch_not_reported_unused() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.fill(0, 0, Some(Origin(7)), false);
+        match c.demand_access(0, 1, false) {
+            LookupOutcome::Hit { prefetched_by, first_use, .. } => {
+                assert_eq!(prefetched_by, Some(Origin(7)));
+                assert!(first_use);
+            }
+            LookupOutcome::Miss => panic!(),
+        }
+        // Second touch is not a first use, but the origin persists.
+        match c.demand_access(0, 2, false) {
+            LookupOutcome::Hit { prefetched_by, first_use, .. } => {
+                assert_eq!(prefetched_by, Some(Origin(7)));
+                assert!(!first_use);
+            }
+            LookupOutcome::Miss => panic!(),
+        }
+        c.fill(2, 3, None, false);
+        let ev = c.fill(4, 4, None, false).expect("eviction");
+        assert_eq!(ev.line, 0, "line 0 is LRU after line 2's fill");
+        assert_eq!(ev.unused_prefetch, None, "prefetch was consumed");
+    }
+
+    #[test]
+    fn dirty_writeback_flag() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.fill(0, 0, None, false);
+        c.demand_access(0, 1, true);
+        c.fill(2, 2, None, false);
+        c.demand_access(2, 3, false);
+        let ev = c.fill(4, 4, None, false).expect("eviction");
+        assert_eq!((ev.line, ev.dirty), (0, true));
+    }
+
+    #[test]
+    fn refill_refreshes_instead_of_duplicating() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.fill(0, 10, None, false);
+        assert!(c.fill(0, 5, None, true).is_none());
+        assert_eq!(c.valid_lines(), 1);
+        match c.demand_access(0, 0, false) {
+            LookupOutcome::Hit { ready_at, .. } => assert_eq!(ready_at, 5, "earlier fill wins"),
+            LookupOutcome::Miss => panic!(),
+        }
+    }
+
+    #[test]
+    fn blame_list_collects_prefetched_lines() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.fill(0, 0, Some(Origin(1)), false);
+        c.fill(2, 0, Some(Origin(2)), false);
+        let mut blamed = c.prefetch_origins_in_set(4);
+        blamed.sort();
+        assert_eq!(blamed, vec![Origin(1), Origin(2)]);
+        assert!(c.prefetch_origins_in_set(1).is_empty(), "other set");
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.fill(0, 0, None, false);
+        c.demand_access(0, 1, true);
+        assert_eq!(c.invalidate(0), Some(true));
+        assert!(!c.probe(0));
+        assert_eq!(c.invalidate(0), None);
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic() {
+        let mut a = tiny(ReplacementPolicy::Random);
+        let mut b = tiny(ReplacementPolicy::Random);
+        for i in 0..100u64 {
+            let line = i * 2; // all in set 0
+            let ea = a.fill(line, i, None, false);
+            let eb = b.fill(line, i, None, false);
+            assert_eq!(ea, eb);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Miss-status holding registers.
+
+/// A file of miss-status holding registers for one cache.
+///
+/// Tracks lines with fetches in flight. A request for a line already in
+/// flight is a *secondary* miss: it merges with the pending fetch and is
+/// excluded from prefetcher metrics (the paper's footnote 2). When all
+/// registers are busy, the next request must wait until the earliest
+/// in-flight fetch completes.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    /// `(line, completes_at)` for in-flight fetches.
+    inflight: Vec<(u64, u64)>,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "need at least one MSHR");
+        MshrFile { capacity: capacity as usize, inflight: Vec::with_capacity(capacity as usize) }
+    }
+
+    /// Drops entries that have completed by `now`.
+    pub fn expire(&mut self, now: u64) {
+        self.inflight.retain(|&(_, t)| t > now);
+    }
+
+    /// If `line` has a fetch in flight at `now`, returns its completion
+    /// cycle (a secondary miss).
+    pub fn pending(&mut self, line: u64, now: u64) -> Option<u64> {
+        self.expire(now);
+        self.inflight.iter().find(|&&(l, _)| l == line).map(|&(_, t)| t)
+    }
+
+    /// Whether a register is free at `now` without waiting.
+    pub fn has_free(&mut self, now: u64) -> bool {
+        self.expire(now);
+        self.inflight.len() < self.capacity
+    }
+
+    /// Earliest cycle ≥ `now` at which a register is available.
+    pub fn next_free(&mut self, now: u64) -> u64 {
+        self.expire(now);
+        if self.inflight.len() < self.capacity {
+            now
+        } else {
+            self.inflight.iter().map(|&(_, t)| t).min().expect("file is full")
+        }
+    }
+
+    /// Allocates a register for `line`, completing at `completes_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no register is free — call [`next_free`](Self::next_free)
+    /// and retry at that cycle instead.
+    pub fn allocate(&mut self, line: u64, now: u64, completes_at: u64) {
+        self.expire(now);
+        assert!(self.inflight.len() < self.capacity, "MSHR file full");
+        self.inflight.push((line, completes_at));
+    }
+
+    /// Number of in-flight fetches at `now`.
+    pub fn occupancy(&mut self, now: u64) -> usize {
+        self.expire(now);
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secondary_miss_merges() {
+        let mut m = MshrFile::new(4);
+        m.allocate(10, 0, 100);
+        assert_eq!(m.pending(10, 50), Some(100));
+        assert_eq!(m.pending(11, 50), None);
+        assert_eq!(m.pending(10, 100), None, "expired at completion");
+    }
+
+    #[test]
+    fn full_file_reports_next_free() {
+        let mut m = MshrFile::new(2);
+        m.allocate(1, 0, 30);
+        m.allocate(2, 0, 20);
+        assert!(!m.has_free(5));
+        assert_eq!(m.next_free(5), 20);
+        assert!(m.has_free(20));
+        m.allocate(3, 20, 99);
+        assert_eq!(m.occupancy(20), 2);
+        assert_eq!(m.occupancy(30), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "MSHR file full")]
+    fn over_allocation_panics() {
+        let mut m = MshrFile::new(1);
+        m.allocate(1, 0, 100);
+        m.allocate(2, 0, 100);
+    }
+}

@@ -1,0 +1,218 @@
+//! Effective accuracy and coverage (the paper's Sec. III and V-C).
+
+use dol_mem::{CacheLevel, MemEvent, Origin};
+
+/// Prefetch accounting at one cache level, optionally restricted to a
+/// set of origins.
+///
+/// The paper's *effective accuracy* is the number of misses avoided per
+/// prefetch issued, where every prefetching-induced miss (detected
+/// through the alternative-reality shadow tags) is a debit split among
+/// the prefetched lines in the victim set. Effective accuracy can be
+/// negative; plain accuracy (useful / issued) cannot.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EffectiveAccuracy {
+    /// Prefetches accepted into the hierarchy.
+    pub issued: u64,
+    /// Prefetched lines that served at least one demand access.
+    pub useful: u64,
+    /// Prefetched lines evicted without use.
+    pub unused: u64,
+    /// Demand accesses that hit only thanks to a prefetch (+1 each).
+    pub avoided: u64,
+    /// Induced-miss debits charged to these origins (fractional when
+    /// blame is split).
+    pub induced: f64,
+}
+
+impl EffectiveAccuracy {
+    /// Net misses avoided (may be negative).
+    pub fn net_avoided(&self) -> f64 {
+        self.avoided as f64 - self.induced
+    }
+
+    /// Effective accuracy: net avoided misses per issued prefetch.
+    /// Zero when nothing was issued.
+    pub fn effective_accuracy(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.net_avoided() / self.issued as f64
+        }
+    }
+
+    /// Classic (optimistic) accuracy: useful per issued.
+    pub fn plain_accuracy(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.useful as f64 / self.issued as f64
+        }
+    }
+}
+
+fn origin_matches(origin: Origin, filter: Option<&[Origin]>) -> bool {
+    match filter {
+        Some(set) => set.contains(&origin),
+        None => true,
+    }
+}
+
+/// Builds the effective-accuracy accounting for one cache level from a
+/// run's events. `origins = None` accounts for the whole prefetcher.
+///
+/// Useful/unused are counted at the given level; `PrefetchIssued` events
+/// (which carry the destination) are counted when their *destination* is
+/// at or above the level — an L1-destined prefetch also fills L2, so it
+/// counts at both levels.
+pub fn accuracy_at(
+    events: &[MemEvent],
+    level: CacheLevel,
+    origins: Option<&[Origin]>,
+) -> EffectiveAccuracy {
+    let mut acc = EffectiveAccuracy::default();
+    for e in events {
+        match e {
+            MemEvent::PrefetchIssued { origin, dest, .. } => {
+                if origin_matches(*origin, origins) && *dest <= level {
+                    acc.issued += 1;
+                }
+            }
+            MemEvent::PrefetchUseful { level: l, origin, .. } => {
+                if *l == level && origin_matches(*origin, origins) {
+                    acc.useful += 1;
+                }
+            }
+            MemEvent::PrefetchUnused { level: l, origin, .. } => {
+                if *l == level && origin_matches(*origin, origins) {
+                    acc.unused += 1;
+                }
+            }
+            MemEvent::AvoidedMiss { level: l, origin, .. } => {
+                if *l == level && origin_matches(*origin, origins) {
+                    acc.avoided += 1;
+                }
+            }
+            MemEvent::InducedMiss { level: l, blamed, .. } => {
+                if *l != level {
+                    continue;
+                }
+                if blamed.is_empty() {
+                    // Pollution whose perpetrators already left the set:
+                    // charge the whole prefetcher (only when unfiltered).
+                    if origins.is_none() {
+                        acc.induced += 1.0;
+                    }
+                } else {
+                    let share = 1.0 / blamed.len() as f64;
+                    for o in blamed {
+                        if origin_matches(*o, origins) {
+                            acc.induced += share;
+                        }
+                    }
+                }
+            }
+            MemEvent::PrefetchDropped { .. } | MemEvent::DemandMiss { .. } => {}
+        }
+    }
+    acc
+}
+
+/// Effective coverage: the percent reduction of primary misses at a
+/// level, given the baseline and prefetched miss counts.
+pub fn coverage(baseline_misses: u64, with_prefetch_misses: u64) -> f64 {
+    if baseline_misses == 0 {
+        return 0.0;
+    }
+    1.0 - with_prefetch_misses as f64 / baseline_misses as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev_issued(origin: u16, dest: CacheLevel) -> MemEvent {
+        MemEvent::PrefetchIssued { core: 0, line: 1, origin: Origin(origin), dest }
+    }
+
+    fn ev_avoided(origin: u16, level: CacheLevel) -> MemEvent {
+        MemEvent::AvoidedMiss { core: 0, level, line: 1, origin: Origin(origin) }
+    }
+
+    #[test]
+    fn accuracy_counts_and_divides() {
+        let events = vec![
+            ev_issued(5, CacheLevel::L1),
+            ev_issued(5, CacheLevel::L1),
+            ev_avoided(5, CacheLevel::L1),
+        ];
+        let a = accuracy_at(&events, CacheLevel::L1, None);
+        assert_eq!(a.issued, 2);
+        assert_eq!(a.avoided, 1);
+        assert_eq!(a.effective_accuracy(), 0.5);
+    }
+
+    #[test]
+    fn induced_misses_are_debited_and_split() {
+        let events = vec![
+            ev_issued(5, CacheLevel::L1),
+            ev_issued(6, CacheLevel::L1),
+            MemEvent::InducedMiss {
+                core: 0,
+                level: CacheLevel::L1,
+                line: 9,
+                blamed: vec![Origin(5), Origin(6)],
+            },
+        ];
+        let a5 = accuracy_at(&events, CacheLevel::L1, Some(&[Origin(5)]));
+        assert_eq!(a5.induced, 0.5);
+        assert_eq!(a5.effective_accuracy(), -0.5);
+        let all = accuracy_at(&events, CacheLevel::L1, None);
+        assert_eq!(all.induced, 1.0);
+        assert!(all.effective_accuracy() < 0.0, "effective accuracy can be negative");
+    }
+
+    #[test]
+    fn unattributed_induced_charges_only_the_whole() {
+        let events = vec![
+            ev_issued(5, CacheLevel::L1),
+            MemEvent::InducedMiss { core: 0, level: CacheLevel::L1, line: 9, blamed: vec![] },
+        ];
+        let all = accuracy_at(&events, CacheLevel::L1, None);
+        assert_eq!(all.induced, 1.0);
+        let five = accuracy_at(&events, CacheLevel::L1, Some(&[Origin(5)]));
+        assert_eq!(five.induced, 0.0);
+    }
+
+    #[test]
+    fn l1_destined_prefetch_counts_at_l2_too() {
+        let events = vec![ev_issued(5, CacheLevel::L1), ev_issued(6, CacheLevel::L2)];
+        let at_l1 = accuracy_at(&events, CacheLevel::L1, None);
+        assert_eq!(at_l1.issued, 1, "L2-destined prefetch does not reach L1");
+        let at_l2 = accuracy_at(&events, CacheLevel::L2, None);
+        assert_eq!(at_l2.issued, 2);
+    }
+
+    #[test]
+    fn plain_accuracy_never_negative() {
+        let events = vec![
+            ev_issued(5, CacheLevel::L1),
+            MemEvent::InducedMiss {
+                core: 0,
+                level: CacheLevel::L1,
+                line: 9,
+                blamed: vec![Origin(5)],
+            },
+        ];
+        let a = accuracy_at(&events, CacheLevel::L1, None);
+        assert!(a.effective_accuracy() < 0.0);
+        assert_eq!(a.plain_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn coverage_is_percent_reduction() {
+        assert_eq!(coverage(100, 40), 0.6);
+        assert_eq!(coverage(0, 0), 0.0);
+        assert!(coverage(100, 120) < 0.0, "pollution can make coverage negative");
+    }
+}

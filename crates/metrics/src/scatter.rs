@@ -1,0 +1,164 @@
+//! ASCII scatter plots for the paper's accuracy-vs-scope figures.
+
+/// A labelled point for an ASCII scatter plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatterPoint {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+    /// Single glyph to draw (e.g. `'o'` for apps, `'@'` for the average).
+    pub glyph: char,
+}
+
+/// Renders points into a fixed-size ASCII grid with axes.
+///
+/// Figures 1, 10, 13 and 14 of the paper are accuracy-vs-scope scatter
+/// plots; the harness binaries embed these renders next to the numeric
+/// tables so the *shape* is visible in plain terminal output.
+///
+/// ```
+/// use dol_metrics::scatter::{render, ScatterPoint};
+///
+/// let pts = vec![
+///     ScatterPoint { x: 0.2, y: 0.8, glyph: 'o' },
+///     ScatterPoint { x: 0.9, y: 0.4, glyph: '@' },
+/// ];
+/// let plot = render(&pts, (0.0, 1.0), (0.0, 1.0), 40, 10, "scope", "accuracy");
+/// assert!(plot.contains('o'));
+/// assert!(plot.contains('@'));
+/// assert!(plot.contains("scope"));
+/// ```
+pub fn render(
+    points: &[ScatterPoint],
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    width: usize,
+    height: usize,
+    x_label: &str,
+    y_label: &str,
+) -> String {
+    assert!(width >= 8 && height >= 4, "plot must be at least 8x4");
+    assert!(x_range.1 > x_range.0 && y_range.1 > y_range.0, "ranges must be non-empty");
+    let mut grid = vec![vec![' '; width]; height];
+    let place = |v: f64, lo: f64, hi: f64, cells: usize| -> Option<usize> {
+        if !v.is_finite() {
+            return None;
+        }
+        let clamped = v.clamp(lo, hi);
+        let frac = (clamped - lo) / (hi - lo);
+        Some(((frac * (cells - 1) as f64).round() as usize).min(cells - 1))
+    };
+    for p in points {
+        let (Some(cx), Some(cy)) = (
+            place(p.x, x_range.0, x_range.1, width),
+            place(p.y, y_range.0, y_range.1, height),
+        ) else {
+            continue;
+        };
+        let row = height - 1 - cy; // y grows upward
+        // Later points (e.g. averages) overwrite earlier ones.
+        grid[row][cx] = p.glyph;
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_label}\n"));
+    for (i, row) in grid.iter().enumerate() {
+        let tick = if i == 0 {
+            format!("{:>5.2}", y_range.1)
+        } else if i == height - 1 {
+            format!("{:>5.2}", y_range.0)
+        } else {
+            "     ".to_string()
+        };
+        out.push_str(&tick);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("     +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "      {:<width$}\n",
+        format!("{:.2} {x_label} {:.2}", x_range.0, x_range.1),
+        width = width
+    ));
+    out
+}
+
+/// Convenience: an accuracy-vs-scope plot over `[0,1] × [lo,1]` with one
+/// glyph per named series average and `'.'` for individual points.
+pub fn accuracy_scope_plot(
+    app_points: &[(f64, f64)],
+    averages: &[(char, f64, f64)],
+    y_min: f64,
+) -> String {
+    let mut pts: Vec<ScatterPoint> = app_points
+        .iter()
+        .map(|&(x, y)| ScatterPoint { x, y, glyph: '.' })
+        .collect();
+    pts.extend(averages.iter().map(|&(g, x, y)| ScatterPoint { x, y, glyph: g }));
+    render(&pts, (0.0, 1.0), (y_min, 1.0), 56, 14, "scope", "effective accuracy")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_expected_dimensions() {
+        let pts = vec![ScatterPoint { x: 0.5, y: 0.5, glyph: 'x' }];
+        let plot = render(&pts, (0.0, 1.0), (0.0, 1.0), 20, 6, "x", "y");
+        // y label + 6 rows + axis + x label.
+        assert_eq!(plot.lines().count(), 9);
+        assert!(plot.contains('x'));
+    }
+
+    #[test]
+    fn corners_land_on_corners() {
+        let pts = vec![
+            ScatterPoint { x: 0.0, y: 0.0, glyph: 'a' },
+            ScatterPoint { x: 1.0, y: 1.0, glyph: 'b' },
+        ];
+        let plot = render(&pts, (0.0, 1.0), (0.0, 1.0), 10, 5, "x", "y");
+        let lines: Vec<&str> = plot.lines().collect();
+        // 'b' on the top row (max y), at the right edge.
+        assert!(lines[1].ends_with('b'));
+        // 'a' on the bottom grid row at the left edge (after the tick+bar).
+        assert_eq!(lines[5].chars().nth(6), Some('a'));
+    }
+
+    #[test]
+    fn out_of_range_points_clamp() {
+        let pts = vec![ScatterPoint { x: 5.0, y: -3.0, glyph: 'z' }];
+        let plot = render(&pts, (0.0, 1.0), (0.0, 1.0), 10, 5, "x", "y");
+        assert!(plot.contains('z'), "clamped, not dropped");
+    }
+
+    #[test]
+    fn later_points_overwrite() {
+        let pts = vec![
+            ScatterPoint { x: 0.5, y: 0.5, glyph: '#' },
+            ScatterPoint { x: 0.5, y: 0.5, glyph: '@' },
+        ];
+        let plot = render(&pts, (0.0, 1.0), (0.0, 1.0), 11, 5, "x", "y");
+        assert!(plot.contains('@'));
+        assert!(!plot.contains('#'), "earlier glyph must be overwritten");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8x4")]
+    fn tiny_plots_rejected() {
+        render(&[], (0.0, 1.0), (0.0, 1.0), 4, 2, "x", "y");
+    }
+
+    #[test]
+    fn convenience_plot_contains_all_series() {
+        let plot = accuracy_scope_plot(
+            &[(0.3, 0.4), (0.7, 0.9)],
+            &[('A', 0.5, 0.6), ('B', 0.8, 0.5)],
+            0.0,
+        );
+        assert!(plot.contains('A') && plot.contains('B') && plot.contains('.'));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests on the metric definitions.
+
+use dol_metrics::{
+    accuracy_at, classify_trace, footprint, geomean, prefetched_lines, scope, Category,
+    WeightedPoint,
+};
+use dol_mem::{CacheLevel, MemEvent, Origin};
+use proptest::prelude::*;
+
+fn miss(line: u64) -> MemEvent {
+    MemEvent::DemandMiss { core: 0, level: CacheLevel::L1, line, pc: 0x100 }
+}
+
+fn issued(line: u64) -> MemEvent {
+    MemEvent::PrefetchIssued { core: 0, line, origin: Origin(5), dest: CacheLevel::L1 }
+}
+
+proptest! {
+    /// Scope is always within [0, 1].
+    #[test]
+    fn scope_in_unit_interval(
+        misses in proptest::collection::vec(0u64..256, 1..200),
+        prefetches in proptest::collection::vec(0u64..256, 0..200),
+    ) {
+        let base: Vec<MemEvent> = misses.iter().map(|l| miss(*l)).collect();
+        let pf: Vec<MemEvent> = prefetches.iter().map(|l| issued(*l)).collect();
+        let fp = footprint(&base, CacheLevel::L1);
+        let pfp = prefetched_lines(&pf, None);
+        let s = scope(&fp, &pfp);
+        prop_assert!((0.0..=1.0).contains(&s), "scope {s}");
+    }
+
+    /// Prefetching the entire footprint yields scope exactly 1.
+    #[test]
+    fn full_coverage_is_scope_one(misses in proptest::collection::vec(0u64..256, 1..200)) {
+        let base: Vec<MemEvent> = misses.iter().map(|l| miss(*l)).collect();
+        let pf: Vec<MemEvent> = misses.iter().map(|l| issued(*l)).collect();
+        let fp = footprint(&base, CacheLevel::L1);
+        let pfp = prefetched_lines(&pf, None);
+        prop_assert_eq!(scope(&fp, &pfp), 1.0);
+    }
+
+    /// Effective accuracy is bounded above by avoided/issued and classic
+    /// accuracy never exceeds 1.
+    #[test]
+    fn accuracy_bounds(
+        issued_n in 1u64..100,
+        avoided_n in 0u64..100,
+        induced_events in 0usize..20,
+    ) {
+        let avoided_n = avoided_n.min(issued_n);
+        let mut events: Vec<MemEvent> = (0..issued_n).map(issued).collect();
+        events.extend((0..avoided_n).map(|l| MemEvent::AvoidedMiss {
+            core: 0,
+            level: CacheLevel::L1,
+            line: l,
+            origin: Origin(5),
+        }));
+        events.extend((0..induced_events).map(|l| MemEvent::InducedMiss {
+            core: 0,
+            level: CacheLevel::L1,
+            line: l as u64 + 1000,
+            blamed: vec![Origin(5)],
+        }));
+        let a = accuracy_at(&events, CacheLevel::L1, None);
+        prop_assert!(a.effective_accuracy() <= a.avoided as f64 / a.issued as f64 + 1e-12);
+        prop_assert!(a.plain_accuracy() <= 1.0);
+        // More induced misses can only lower effective accuracy.
+        prop_assert!(
+            a.effective_accuracy()
+                <= accuracy_at(&events[..(issued_n + avoided_n) as usize], CacheLevel::L1, None)
+                    .effective_accuracy() + 1e-12
+        );
+    }
+
+    /// Geomean lies between min and max of its inputs.
+    #[test]
+    fn geomean_between_extremes(values in proptest::collection::vec(0.01f64..100.0, 1..50)) {
+        let g = geomean(&values);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(g >= min - 1e-9 && g <= max + 1e-9, "{min} <= {g} <= {max}");
+    }
+
+    /// Weighted averages stay inside the convex hull of the points.
+    #[test]
+    fn weighted_average_in_hull(
+        pts in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..10.0), 1..40),
+    ) {
+        let points: Vec<WeightedPoint> =
+            pts.iter().map(|(x, y, w)| WeightedPoint { x: *x, y: *y, weight: *w }).collect();
+        let (x, y) = WeightedPoint::weighted_average(&points);
+        prop_assert!((0.0..=1.0).contains(&x));
+        prop_assert!((0.0..=1.0).contains(&y));
+    }
+
+    /// The classifier assigns every accessed line exactly one category
+    /// and classifies strided pcs as LHF for any stride.
+    #[test]
+    fn classifier_is_total_and_finds_strides(stride in 8u64..4096) {
+        use dol_isa::{InstKind, Reg, RetiredInst, Trace};
+        let stride = stride & !7 | 8;
+        let trace: Trace = (0..64u64)
+            .map(|i| RetiredInst {
+                pc: 0x100,
+                kind: InstKind::Load { addr: 0x10_0000 + i * stride, value: 0 },
+                dst: Some(Reg::R1),
+                srcs: [Some(Reg::R2), None],
+            })
+            .collect();
+        let c = classify_trace(&trace);
+        prop_assert_eq!(c.pc_category(0x100), Category::Lhf);
+        let total = c.lines_in(Category::Lhf).len()
+            + c.lines_in(Category::Mhf).len()
+            + c.lines_in(Category::Hhf).len();
+        prop_assert_eq!(total, c.classified_lines());
+    }
+}

@@ -1,0 +1,196 @@
+//! STARBENCH-like embedded workloads: media and clustering kernels.
+
+use crate::dsl::{counted, fill_random, forever, rng, Alloc};
+use crate::{Spec, Suite};
+use dol_isa::{AluOp, ProgramBuilder, Reg, Vm};
+
+use Reg::*;
+
+fn spec(name: &'static str, build: fn(u64) -> Vm) -> Spec {
+    Spec::new(name, Suite::Embedded, build)
+}
+
+/// All five embedded workloads.
+pub fn all() -> Vec<Spec> {
+    vec![
+        spec("rgb2yuv", rgb2yuv),
+        spec("kmeans_assign", kmeans_assign),
+        spec("rotate_img", rotate_img),
+        spec("mix_hash", mix_hash),
+        spec("streamcluster_dist", streamcluster_dist),
+    ]
+}
+
+const MB: u64 = 1 << 20;
+
+/// Color-space conversion: three input streams, one output stream, with
+/// per-pixel multiplies.
+fn rgb2yuv(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let n = (MB / 8) as i64;
+    let (rp, gp, bp, yp) = (
+        alloc.array(n as u64),
+        alloc.array(n as u64),
+        alloc.array(n as u64),
+        alloc.array(n as u64),
+    );
+    let mut b = ProgramBuilder::new();
+    forever(&mut b, |b| {
+        b.imm(R1, rp as i64);
+        b.imm(R2, gp as i64);
+        b.imm(R3, bp as i64);
+        b.imm(R9, yp as i64);
+        counted(b, R30, n, |b| {
+            b.load(R5, R1, 0);
+            b.load(R6, R2, 0);
+            b.load(R7, R3, 0);
+            b.alu_ri(AluOp::Mul, R5, R5, 66);
+            b.alu_ri(AluOp::Mul, R6, R6, 129);
+            b.alu_ri(AluOp::Mul, R7, R7, 25);
+            b.alu_rr(AluOp::Add, R5, R5, R6);
+            b.alu_rr(AluOp::Add, R5, R5, R7);
+            b.alu_ri(AluOp::Shr, R5, R5, 8);
+            b.store(R5, R9, 0);
+            for rreg in [R1, R2, R3, R9] {
+                b.alu_ri(AluOp::Add, rreg, rreg, 8);
+            }
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    for base in [rp, gp, bp] {
+        fill_random(&mut vm, base, n as u64, &mut r);
+    }
+    vm
+}
+
+/// K-means assignment: stream 4-word points; compare against 8 resident
+/// centroids (cache-hot table) with distance arithmetic.
+fn kmeans_assign(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let points = 64 * 1024i64;
+    let pts = alloc.array((points * 4) as u64);
+    let centroids = alloc.array(8 * 4);
+    let assign = alloc.array(points as u64);
+    let mut b = ProgramBuilder::new();
+    forever(&mut b, |b| {
+        b.imm(R1, pts as i64);
+        b.imm(R9, assign as i64);
+        counted(b, R29, points, |b| {
+            b.load(R5, R1, 0);
+            b.load(R6, R1, 8);
+            b.imm(R12, i64::MAX); // best distance
+            b.imm(R13, 0); // best index
+            b.imm(R2, centroids as i64);
+            counted(b, R30, 8, |b| {
+                b.load(R7, R2, 0);
+                b.load(R8, R2, 8);
+                b.alu_rr(AluOp::Sub, R7, R7, R5);
+                b.alu_rr(AluOp::Sub, R8, R8, R6);
+                b.alu_rr(AluOp::Mul, R7, R7, R7);
+                b.alu_rr(AluOp::Mul, R8, R8, R8);
+                b.alu_rr(AluOp::Add, R7, R7, R8);
+                // best = min(best, d), branchless: cond = d < best;
+                // best = (best & !mask(cond)) + d*cond.
+                b.alu_rr(AluOp::SltU, R10, R7, R12);
+                b.alu_ri(AluOp::Sub, R11, R10, 1); // cond=1 -> 0, cond=0 -> ..FF
+                b.alu_rr(AluOp::And, R14, R12, R11);
+                b.alu_rr(AluOp::Mul, R15, R7, R10);
+                b.alu_rr(AluOp::Add, R12, R14, R15);
+                b.alu_rr(AluOp::Add, R13, R13, R10);
+                b.alu_ri(AluOp::Add, R2, R2, 32);
+            });
+            b.store(R13, R9, 0);
+            b.alu_ri(AluOp::Add, R1, R1, 32);
+            b.alu_ri(AluOp::Add, R9, R9, 8);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, pts, (points * 4) as u64, &mut r);
+    fill_random(&mut vm, centroids, 8 * 4, &mut r);
+    vm
+}
+
+/// Image rotation: read row-major, write with a large column stride.
+fn rotate_img(seed: u64) -> Vm {
+    let dim = 512i64; // 512×512 words = 2 MiB
+    let mut alloc = Alloc::new();
+    let src = alloc.array((dim * dim) as u64);
+    let dst = alloc.array((dim * dim) as u64);
+    let mut b = ProgramBuilder::new();
+    forever(&mut b, |b| {
+        b.imm(R1, src as i64);
+        counted(b, R29, dim, |b| {
+            // dst column start for this source row.
+            b.imm(R2, dst as i64);
+            b.alu_ri(AluOp::Mul, R3, R29, 8);
+            b.alu_rr(AluOp::Add, R2, R2, R3);
+            counted(b, R30, dim, |b| {
+                b.load(R5, R1, 0);
+                b.store(R5, R2, 0);
+                b.alu_ri(AluOp::Add, R1, R1, 8);
+                b.alu_ri(AluOp::Add, R2, R2, dim * 8);
+            });
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, src, (dim * dim) as u64, &mut r);
+    vm
+}
+
+/// Hash-mixing over a stream (MD5-flavoured ALU pressure, one load per
+/// 8 ALU ops).
+fn mix_hash(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let n = (2 * MB / 8) as i64;
+    let a = alloc.array(n as u64);
+    let mut b = ProgramBuilder::new();
+    b.imm(R4, 0x6745_2301);
+    forever(&mut b, |b| {
+        b.imm(R1, a as i64);
+        counted(b, R30, n, |b| {
+            b.load(R2, R1, 0);
+            b.alu_rr(AluOp::Xor, R4, R4, R2);
+            b.alu_ri(AluOp::Mul, R4, R4, 0x5bd1e995);
+            b.alu_ri(AluOp::Shr, R3, R4, 24);
+            b.alu_rr(AluOp::Xor, R4, R4, R3);
+            b.alu_ri(AluOp::Mul, R4, R4, 0x5bd1e995);
+            b.alu_ri(AluOp::Shl, R3, R4, 13);
+            b.alu_rr(AluOp::Add, R4, R4, R3);
+            b.alu_ri(AluOp::Add, R1, R1, 8);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, a, n as u64, &mut r);
+    vm
+}
+
+/// Pairwise distance accumulation over two point streams.
+fn streamcluster_dist(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let n = (MB / 8) as i64;
+    let (x, y) = (alloc.array(n as u64), alloc.array(n as u64));
+    let mut b = ProgramBuilder::new();
+    b.imm(R4, 0);
+    forever(&mut b, |b| {
+        b.imm(R1, x as i64);
+        b.imm(R2, y as i64);
+        counted(b, R30, n, |b| {
+            b.load(R5, R1, 0);
+            b.load(R6, R2, 0);
+            b.alu_rr(AluOp::Sub, R5, R5, R6);
+            b.alu_rr(AluOp::Mul, R5, R5, R5);
+            b.alu_rr(AluOp::Add, R4, R4, R5);
+            b.alu_ri(AluOp::Add, R1, R1, 8);
+            b.alu_ri(AluOp::Add, R2, R2, 8);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, x, n as u64, &mut r);
+    fill_random(&mut vm, y, n as u64, &mut r);
+    vm
+}

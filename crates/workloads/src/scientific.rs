@@ -1,0 +1,192 @@
+//! NPB-like scientific workloads (CG, MG, FT, EP, IS analogues).
+
+use crate::dsl::{counted, fill_random, fill_with, forever, rng, Alloc};
+use crate::{Spec, Suite};
+use dol_isa::{AluOp, ProgramBuilder, Reg, Vm};
+use rand::Rng;
+
+use Reg::*;
+
+fn spec(name: &'static str, build: fn(u64) -> Vm) -> Spec {
+    Spec::new(name, Suite::Scientific, build)
+}
+
+/// All five scientific workloads.
+pub fn all() -> Vec<Spec> {
+    vec![
+        spec("cg_band_spmv", cg_band_spmv),
+        spec("mg_relax3d", mg_relax3d),
+        spec("ft_transpose", ft_transpose),
+        spec("ep_random", ep_random),
+        spec("is_bucket", is_bucket),
+    ]
+}
+
+const MB: u64 = 1 << 20;
+
+/// CG-like banded sparse matrix-vector product: gathers stay within a
+/// diagonal band, so the irregularity is *local*.
+fn cg_band_spmv(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let rows = 128 * 1024i64;
+    let nnz_per_row = 6i64;
+    let nnz = rows * nnz_per_row;
+    let offsets = alloc.array(nnz as u64); // byte offsets, band-limited
+    let vals = alloc.array(nnz as u64);
+    let x = alloc.array(rows as u64);
+    let y = alloc.array(rows as u64);
+    let mut b = ProgramBuilder::new();
+    forever(&mut b, |b| {
+        b.imm(R1, offsets as i64);
+        b.imm(R2, vals as i64);
+        b.imm(R3, y as i64);
+        b.imm(R9, x as i64);
+        counted(b, R29, rows, |b| {
+            b.imm(R8, 0);
+            counted(b, R30, nnz_per_row, |b| {
+                b.load(R5, R1, 0);
+                b.load(R6, R2, 0);
+                b.alu_rr(AluOp::Add, R7, R9, R5);
+                b.load(R7, R7, 0);
+                b.alu_rr(AluOp::Mul, R6, R6, R7);
+                b.alu_rr(AluOp::Add, R8, R8, R6);
+                b.alu_ri(AluOp::Add, R1, R1, 8);
+                b.alu_ri(AluOp::Add, R2, R2, 8);
+            });
+            b.store(R8, R3, 0);
+            b.alu_ri(AluOp::Add, R3, R3, 8);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    let band = 512u64; // elements within ±band of the diagonal
+    fill_with(&mut vm, offsets, nnz as u64, |i| {
+        let row = i / nnz_per_row as u64;
+        let lo = row.saturating_sub(band);
+        let hi = (row + band).min(rows as u64 - 1);
+        (lo + r.gen::<u64>() % (hi - lo + 1)) * 8
+    });
+    let mut r2 = rng(seed ^ 7);
+    fill_random(&mut vm, vals, nnz as u64, &mut r2);
+    let mut r3 = rng(seed ^ 8);
+    fill_random(&mut vm, x, rows as u64, &mut r3);
+    vm
+}
+
+/// MG-like 7-point 3D stencil over a 64³ grid (strides of 8 B, 512 B and
+/// 32 KiB).
+fn mg_relax3d(seed: u64) -> Vm {
+    let dim = 64i64;
+    let plane = dim * dim; // words
+    let total = dim * dim * dim;
+    let mut alloc = Alloc::new();
+    let src = alloc.array(total as u64);
+    let dst = alloc.array(total as u64);
+    let inner = (dim - 2) * (dim - 2) * (dim - 2);
+    let mut b = ProgramBuilder::new();
+    forever(&mut b, |b| {
+        // Walk the interior linearly; neighbor offsets are constants.
+        b.imm(R1, (src + ((plane + dim + 1) * 8) as u64) as i64);
+        b.imm(R2, (dst + ((plane + dim + 1) * 8) as u64) as i64);
+        counted(b, R30, inner, |b| {
+            b.load(R5, R1, 0);
+            b.load(R6, R1, 8);
+            b.load(R7, R1, -8);
+            b.load(R8, R1, dim * 8);
+            b.load(R9, R1, -dim * 8);
+            b.load(R10, R1, plane * 8);
+            b.load(R11, R1, -plane * 8);
+            for rr in [R6, R7, R8, R9, R10, R11] {
+                b.alu_rr(AluOp::Add, R5, R5, rr);
+            }
+            b.alu_ri(AluOp::Shr, R5, R5, 3);
+            b.store(R5, R2, 0);
+            b.alu_ri(AluOp::Add, R1, R1, 8);
+            b.alu_ri(AluOp::Add, R2, R2, 8);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, src, total as u64, &mut r);
+    vm
+}
+
+/// FT-like pass with large power-of-two strides that double per pass
+/// (classic butterfly access pattern).
+fn ft_transpose(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let n = (4 * MB / 8) as i64; // 512 K words
+    let a = alloc.array(n as u64);
+    let mut b = ProgramBuilder::new();
+    forever(&mut b, |b| {
+        // Passes with strides 8, 64, 512, 4096 words.
+        for stride_words in [8i64, 64, 512, 4096] {
+            let pairs = n / (2 * stride_words);
+            b.imm(R1, a as i64);
+            counted(b, R30, pairs, |b| {
+                b.load(R5, R1, 0);
+                b.load(R6, R1, stride_words * 8);
+                b.alu_rr(AluOp::Add, R7, R5, R6);
+                b.alu_rr(AluOp::Sub, R8, R5, R6);
+                b.store(R7, R1, 0);
+                b.store(R8, R1, stride_words * 8);
+                b.alu_ri(AluOp::Add, R1, R1, 2 * stride_words * 8);
+            });
+        }
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, a, n as u64, &mut r);
+    vm
+}
+
+/// EP-like: overwhelmingly ALU (LCG Monte-Carlo), sparse table updates.
+fn ep_random(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let table_words = 16 * 1024u64; // 128 KiB accumulation table
+    let t = alloc.array(table_words);
+    let mut b = ProgramBuilder::new();
+    b.imm(R1, 0x2545F491 ^ seed as i64);
+    b.imm(R9, t as i64);
+    forever(&mut b, |b| {
+        // 8 LCG steps, then one table update.
+        for _ in 0..4 {
+            b.alu_ri(AluOp::Mul, R1, R1, 6364136223846793005);
+            b.alu_ri(AluOp::Add, R1, R1, 1442695040888963407);
+        }
+        b.alu_ri(AluOp::Shr, R2, R1, 30);
+        b.alu_ri(AluOp::And, R2, R2, (table_words as i64 - 1) * 8);
+        b.alu_rr(AluOp::Add, R3, R9, R2);
+        b.load(R4, R3, 0);
+        b.alu_ri(AluOp::Add, R4, R4, 1);
+        b.store(R4, R3, 0);
+    });
+    Vm::new(b.build().expect("valid kernel"))
+}
+
+/// IS-like bucket counting pass: stream keys, bump one of 512 K bucket
+/// counters (4 MiB of counters — misses dominate).
+fn is_bucket(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let n = (2 * MB / 8) as i64;
+    let buckets_words = (4 * MB / 8) as i64;
+    let (keys, buckets) = (alloc.array(n as u64), alloc.array(buckets_words as u64));
+    let mut b = ProgramBuilder::new();
+    forever(&mut b, |b| {
+        b.imm(R1, keys as i64);
+        b.imm(R2, buckets as i64);
+        counted(b, R30, n, |b| {
+            b.load(R5, R1, 0);
+            b.alu_ri(AluOp::And, R5, R5, (buckets_words - 1) * 8);
+            b.alu_rr(AluOp::Add, R6, R2, R5);
+            b.load(R7, R6, 0);
+            b.alu_ri(AluOp::Add, R7, R7, 1);
+            b.store(R7, R6, 0);
+            b.alu_ri(AluOp::Add, R1, R1, 8);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_with(&mut vm, keys, n as u64, |_| r.gen::<u64>() & !7);
+    vm
+}

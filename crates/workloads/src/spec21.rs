@@ -1,0 +1,673 @@
+//! The 21-kernel SPEC-2006 stand-in suite.
+//!
+//! Kernels are grouped by the dominant pattern they exercise (the
+//! paper's LHF/MHF/HHF stratification):
+//!
+//! * canonical strides (LHF): `stream_sum`, `stream_triad`,
+//!   `stride8_walk`, `reverse_scan`, `unrolled_copy`, `matrix_row`,
+//!   `matrix_col`, `stencil3`, `rle_scan`, `strided_calls`;
+//! * dense-region irregular (MHF): `region_shuffle`, `gather_window`,
+//!   `histogram`, `spmv_csr`;
+//! * pointer and random (HHF): `listchase`, `listchase_payload`,
+//!   `aop_deref`, `hash_probe`, `btree_search`, `binsearch`,
+//!   `phase_mix`.
+
+use crate::dsl::{build_list, counted, fill_random, fill_with, forever, permutation, rng, Alloc};
+use crate::{Spec, Suite};
+use dol_isa::{AluOp, Cond, Operand, ProgramBuilder, Reg, Vm};
+use rand::Rng;
+
+use Reg::*;
+
+fn spec(name: &'static str, build: fn(u64) -> Vm) -> Spec {
+    Spec::new(name, Suite::Spec21, build)
+}
+
+/// All 21 kernels.
+pub fn all() -> Vec<Spec> {
+    vec![
+        spec("stream_sum", stream_sum),
+        spec("stream_triad", stream_triad),
+        spec("stride8_walk", stride8_walk),
+        spec("reverse_scan", reverse_scan),
+        spec("unrolled_copy", unrolled_copy),
+        spec("matrix_row", matrix_row),
+        spec("matrix_col", matrix_col),
+        spec("stencil3", stencil3),
+        spec("rle_scan", rle_scan),
+        spec("strided_calls", strided_calls),
+        spec("region_shuffle", region_shuffle),
+        spec("gather_window", gather_window),
+        spec("histogram", histogram),
+        spec("spmv_csr", spmv_csr),
+        spec("listchase", listchase),
+        spec("listchase_payload", listchase_payload),
+        spec("aop_deref", aop_deref),
+        spec("hash_probe", hash_probe),
+        spec("btree_search", btree_search),
+        spec("binsearch", binsearch),
+        spec("phase_mix", phase_mix),
+    ]
+}
+
+const MB: u64 = 1 << 20;
+
+/// Linear read-sum over a 4 MiB array.
+fn stream_sum(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let n = (4 * MB / 8) as i64;
+    let a = alloc.array(n as u64);
+    let mut b = ProgramBuilder::new();
+    b.imm(R4, 0); // sum
+    forever(&mut b, |b| {
+        b.imm(R1, a as i64);
+        counted(b, R30, n, |b| {
+            b.load(R2, R1, 0);
+            b.alu_rr(AluOp::Add, R4, R4, R2);
+            b.alu_ri(AluOp::Add, R1, R1, 8);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, a, n as u64, &mut r);
+    vm
+}
+
+/// `a[i] = b[i] + 3*c[i]` over three 1 MiB arrays.
+fn stream_triad(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let n = (MB / 8) as i64;
+    let (a, bb, c) = (alloc.array(n as u64), alloc.array(n as u64), alloc.array(n as u64));
+    let mut b = ProgramBuilder::new();
+    forever(&mut b, |b| {
+        b.imm(R1, a as i64);
+        b.imm(R2, bb as i64);
+        b.imm(R3, c as i64);
+        counted(b, R30, n, |b| {
+            b.load(R5, R2, 0);
+            b.load(R6, R3, 0);
+            b.alu_ri(AluOp::Mul, R6, R6, 3);
+            b.alu_rr(AluOp::Add, R5, R5, R6);
+            b.store(R5, R1, 0);
+            b.alu_ri(AluOp::Add, R1, R1, 8);
+            b.alu_ri(AluOp::Add, R2, R2, 8);
+            b.alu_ri(AluOp::Add, R3, R3, 8);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, bb, n as u64, &mut r);
+    fill_random(&mut vm, c, n as u64, &mut r);
+    vm
+}
+
+/// Reads every 8th cache line (512 B stride) of an 8 MiB array.
+fn stride8_walk(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let words = 8 * MB / 8;
+    let a = alloc.array(words);
+    let n = (words / 64) as i64; // one access per 512 B
+    let mut b = ProgramBuilder::new();
+    b.imm(R4, 0);
+    forever(&mut b, |b| {
+        b.imm(R1, a as i64);
+        counted(b, R30, n, |b| {
+            b.load(R2, R1, 0);
+            b.alu_rr(AluOp::Xor, R4, R4, R2);
+            b.alu_ri(AluOp::Add, R1, R1, 512);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, a, words, &mut r);
+    vm
+}
+
+/// Descending scan (negative stride) over a 4 MiB array.
+fn reverse_scan(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let n = (4 * MB / 8) as i64;
+    let a = alloc.array(n as u64);
+    let mut b = ProgramBuilder::new();
+    b.imm(R4, 0);
+    forever(&mut b, |b| {
+        b.imm(R1, (a + (n as u64 - 1) * 8) as i64);
+        counted(b, R30, n, |b| {
+            b.load(R2, R1, 0);
+            b.alu_rr(AluOp::Add, R4, R4, R2);
+            b.alu_ri(AluOp::Sub, R1, R1, 8);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, a, n as u64, &mut r);
+    vm
+}
+
+/// 4×-unrolled copy: four load PCs and four store PCs share each stream
+/// (T2's miss-activated tracking keeps only one of them).
+fn unrolled_copy(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let n = (MB / 8) as i64;
+    let (src, dst) = (alloc.array(n as u64), alloc.array(n as u64));
+    let mut b = ProgramBuilder::new();
+    forever(&mut b, |b| {
+        b.imm(R1, src as i64);
+        b.imm(R2, dst as i64);
+        counted(b, R30, n / 4, |b| {
+            for k in 0..4 {
+                b.load(R5, R1, k * 8);
+                b.store(R5, R2, k * 8);
+            }
+            b.alu_ri(AluOp::Add, R1, R1, 32);
+            b.alu_ri(AluOp::Add, R2, R2, 32);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, src, n as u64, &mut r);
+    vm
+}
+
+const MAT_DIM: i64 = 768; // 768×768 words ≈ 4.5 MiB (larger than L3)
+
+/// Row-major traversal of a 2 MiB matrix.
+fn matrix_row(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let a = alloc.array((MAT_DIM * MAT_DIM) as u64);
+    let mut b = ProgramBuilder::new();
+    b.imm(R4, 0);
+    forever(&mut b, |b| {
+        b.imm(R1, a as i64);
+        counted(b, R29, MAT_DIM, |b| {
+            counted(b, R30, MAT_DIM, |b| {
+                b.load(R2, R1, 0);
+                b.alu_rr(AluOp::Add, R4, R4, R2);
+                b.alu_ri(AluOp::Add, R1, R1, 8);
+            });
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, a, (MAT_DIM * MAT_DIM) as u64, &mut r);
+    vm
+}
+
+/// Column-major traversal: a constant 4 KiB stride in the inner loop.
+fn matrix_col(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let a = alloc.array((MAT_DIM * MAT_DIM) as u64);
+    let row_bytes = MAT_DIM * 8;
+    let mut b = ProgramBuilder::new();
+    b.imm(R4, 0);
+    forever(&mut b, |b| {
+        counted(b, R29, MAT_DIM, |b| {
+            // column start = a + col*8
+            b.imm(R1, a as i64);
+            b.alu_ri(AluOp::Mul, R2, R29, 8);
+            b.alu_rr(AluOp::Add, R1, R1, R2);
+            counted(b, R30, MAT_DIM, |b| {
+                b.load(R3, R1, 0);
+                b.alu_rr(AluOp::Add, R4, R4, R3);
+                b.alu_ri(AluOp::Add, R1, R1, row_bytes);
+            });
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, a, (MAT_DIM * MAT_DIM) as u64, &mut r);
+    vm
+}
+
+/// Three-point stencil: three strided load streams plus one store stream.
+fn stencil3(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let n = (4 * MB / 8) as i64;
+    let (a, out) = (alloc.array(n as u64), alloc.array(n as u64));
+    let mut b = ProgramBuilder::new();
+    forever(&mut b, |b| {
+        b.imm(R1, (a + 8) as i64);
+        b.imm(R2, (out + 8) as i64);
+        counted(b, R30, n - 2, |b| {
+            b.load(R5, R1, -8);
+            b.load(R6, R1, 0);
+            b.load(R7, R1, 8);
+            b.alu_rr(AluOp::Add, R5, R5, R6);
+            b.alu_rr(AluOp::Add, R5, R5, R7);
+            b.store(R5, R2, 0);
+            b.alu_ri(AluOp::Add, R1, R1, 8);
+            b.alu_ri(AluOp::Add, R2, R2, 8);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, a, n as u64, &mut r);
+    vm
+}
+
+/// Variable run-length strides: the per-iteration delta cycles through
+/// +64, +64, +128, +192 bytes (a delta *pattern*, VLDP/SPP territory).
+fn rle_scan(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let words = 8 * MB / 8;
+    let a = alloc.array(words);
+    let span: i64 = 64 + 64 + 128 + 192; // bytes per 4 accesses
+    let n = (8 * MB) as i64 / span - 1;
+    let mut b = ProgramBuilder::new();
+    b.imm(R4, 0);
+    forever(&mut b, |b| {
+        b.imm(R1, a as i64);
+        counted(b, R30, n, |b| {
+            b.load(R2, R1, 0);
+            b.alu_ri(AluOp::Add, R1, R1, 64);
+            b.load(R3, R1, 0);
+            b.alu_ri(AluOp::Add, R1, R1, 64);
+            b.load(R5, R1, 0);
+            b.alu_ri(AluOp::Add, R1, R1, 128);
+            b.load(R6, R1, 0);
+            b.alu_ri(AluOp::Add, R1, R1, 192);
+            b.alu_rr(AluOp::Add, R4, R4, R2);
+            b.alu_rr(AluOp::Add, R4, R4, R3);
+            b.alu_rr(AluOp::Add, R4, R4, R5);
+            b.alu_rr(AluOp::Add, R4, R4, R6);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, a, words, &mut r);
+    vm
+}
+
+/// Two strided streams accessed through the *same* called function from
+/// two call sites — only the `mPC = PC ^ RAS` disambiguation separates
+/// them (the paper's Sec. IV-A2 motivation).
+fn strided_calls(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let n = (MB / 8) as i64;
+    let (x, y) = (alloc.array(n as u64), alloc.array(n as u64));
+    let mut b = ProgramBuilder::new();
+    let func = b.label();
+    let main = b.label();
+    b.jump(main);
+    // fn f: R10 = base pointer; loads [R10], accumulates into R4.
+    b.bind(func);
+    b.load(R11, R10, 0);
+    b.alu_rr(AluOp::Add, R4, R4, R11);
+    b.ret();
+    b.bind(main);
+    b.imm(R4, 0);
+    forever(&mut b, |b| {
+        b.imm(R1, x as i64);
+        b.imm(R2, y as i64);
+        counted(b, R30, n, |b| {
+            b.alu_ri(AluOp::Add, R10, R1, 0);
+            b.call(func); // call site A: stream x
+            b.alu_ri(AluOp::Add, R10, R2, 0);
+            b.call(func); // call site B: stream y
+            b.alu_ri(AluOp::Add, R1, R1, 8);
+            b.alu_ri(AluOp::Add, R2, R2, 8);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, x, n as u64, &mut r);
+    fill_random(&mut vm, y, n as u64, &mut r);
+    vm
+}
+
+/// Dense-region irregular: inside each 1 KiB region, 12 of 16 lines are
+/// touched in a scrambled order; regions advance sequentially. This is
+/// C1's home turf (MHF).
+fn region_shuffle(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let regions = (4 * MB) / 1024;
+    let a = alloc.array(4 * MB / 8);
+    let offsets: [i64; 12] = [0, 5, 2, 11, 7, 3, 14, 9, 1, 12, 6, 10];
+    let mut b = ProgramBuilder::new();
+    b.imm(R4, 0);
+    forever(&mut b, |b| {
+        b.imm(R1, a as i64);
+        counted(b, R30, regions as i64, |b| {
+            for off in offsets {
+                b.load(R2, R1, off * 64);
+                b.alu_rr(AluOp::Add, R4, R4, R2);
+            }
+            b.alu_ri(AluOp::Add, R1, R1, 1024);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, a, 4 * MB / 8, &mut r);
+    vm
+}
+
+/// Gather with moderate locality: indices stream sequentially but point
+/// into a sliding 64 KiB window of a large table.
+fn gather_window(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let n = (MB / 8) as i64; // index count
+    let table_words = 8 * MB / 8;
+    let (idx, table) = (alloc.array(n as u64), alloc.array(table_words));
+    let mut b = ProgramBuilder::new();
+    b.imm(R4, 0);
+    forever(&mut b, |b| {
+        b.imm(R1, idx as i64);
+        b.imm(R2, table as i64);
+        counted(b, R30, n, |b| {
+            b.load(R5, R1, 0); // index (byte offset, precomputed)
+            b.alu_rr(AluOp::Add, R6, R2, R5);
+            b.load(R7, R6, 0);
+            b.alu_rr(AluOp::Add, R4, R4, R7);
+            b.alu_ri(AluOp::Add, R1, R1, 8);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    // Index i points into the 64 KiB window starting at (i*8) % table.
+    let window = 64 * 1024u64;
+    fill_with(&mut vm, idx, n as u64, |i| {
+        let base = (i * 8) % (table_words * 8 - window);
+        (base + (r.gen::<u64>() % window)) & !7
+    });
+    let mut r2 = rng(seed ^ 1);
+    fill_random(&mut vm, table, table_words, &mut r2);
+    vm
+}
+
+/// Random keys streamed from a 2 MiB array increment bins in a 64 KiB
+/// table (read-modify-write mix).
+fn histogram(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let n = (2 * MB / 8) as i64;
+    let bins_words = 8 * 1024u64; // 64 KiB
+    let (keys, bins) = (alloc.array(n as u64), alloc.array(bins_words));
+    let mut b = ProgramBuilder::new();
+    forever(&mut b, |b| {
+        b.imm(R1, keys as i64);
+        b.imm(R2, bins as i64);
+        counted(b, R30, n, |b| {
+            b.load(R5, R1, 0);
+            b.alu_ri(AluOp::And, R5, R5, (bins_words as i64 - 1) * 8);
+            b.alu_rr(AluOp::Add, R6, R2, R5);
+            b.load(R7, R6, 0);
+            b.alu_ri(AluOp::Add, R7, R7, 1);
+            b.store(R7, R6, 0);
+            b.alu_ri(AluOp::Add, R1, R1, 8);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_with(&mut vm, keys, n as u64, |_| r.gen::<u64>() & !7);
+    vm
+}
+
+/// CSR sparse matrix-vector product: streaming row/col structure with an
+/// irregular gather of `x[col]`.
+fn spmv_csr(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let rows = 64 * 1024i64;
+    let nnz_per_row = 8i64;
+    let nnz = rows * nnz_per_row;
+    let x_words = (MB / 8) as u64;
+    let col_idx = alloc.array(nnz as u64); // precomputed byte offsets
+    let vals = alloc.array(nnz as u64);
+    let x = alloc.array(x_words);
+    let y = alloc.array(rows as u64);
+    let mut b = ProgramBuilder::new();
+    forever(&mut b, |b| {
+        b.imm(R1, col_idx as i64);
+        b.imm(R2, vals as i64);
+        b.imm(R3, y as i64);
+        b.imm(R9, x as i64);
+        counted(b, R29, rows, |b| {
+            b.imm(R8, 0); // row accumulator
+            counted(b, R30, nnz_per_row, |b| {
+                b.load(R5, R1, 0); // byte offset of x[col]
+                b.load(R6, R2, 0); // value
+                b.alu_rr(AluOp::Add, R7, R9, R5);
+                b.load(R7, R7, 0); // x[col]
+                b.alu_rr(AluOp::Mul, R6, R6, R7);
+                b.alu_rr(AluOp::Add, R8, R8, R6);
+                b.alu_ri(AluOp::Add, R1, R1, 8);
+                b.alu_ri(AluOp::Add, R2, R2, 8);
+            });
+            b.store(R8, R3, 0);
+            b.alu_ri(AluOp::Add, R3, R3, 8);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_with(&mut vm, col_idx, nnz as u64, |_| (r.gen::<u64>() % x_words) * 8);
+    let mut r2 = rng(seed ^ 2);
+    fill_random(&mut vm, vals, nnz as u64, &mut r2);
+    let mut r3 = rng(seed ^ 3);
+    fill_random(&mut vm, x, x_words, &mut r3);
+    vm
+}
+
+/// Pure pointer chase over a scrambled cyclic list (2 MiB of nodes).
+fn listchase(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let mut b = ProgramBuilder::new();
+    // Head patched below; nodes: 8 words, next at +8.
+    let head_slot = alloc.array(1);
+    b.imm(R9, head_slot as i64);
+    b.load(R1, R9, 0); // R1 = head
+    forever(&mut b, |b| {
+        b.load(R1, R1, 8); // R1 = R1->next
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    let head = build_list(&mut vm, &mut alloc, 32 * 1024, 8, 8, &mut r);
+    vm.memory_mut().write_u64(head_slot, head);
+    vm
+}
+
+/// Pointer chase that also reads three payload words per node.
+fn listchase_payload(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let mut b = ProgramBuilder::new();
+    let head_slot = alloc.array(1);
+    b.imm(R9, head_slot as i64);
+    b.load(R1, R9, 0);
+    b.imm(R4, 0);
+    forever(&mut b, |b| {
+        b.load(R2, R1, 16);
+        b.load(R3, R1, 24);
+        b.load(R5, R1, 32);
+        b.alu_rr(AluOp::Add, R4, R4, R2);
+        b.alu_rr(AluOp::Add, R4, R4, R3);
+        b.alu_rr(AluOp::Add, R4, R4, R5);
+        b.load(R1, R1, 8);
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    let head = build_list(&mut vm, &mut alloc, 16 * 1024, 8, 8, &mut r);
+    vm.memory_mut().write_u64(head_slot, head);
+    vm
+}
+
+/// Array of pointers: a sequential walk of a pointer array, dereferencing
+/// each element at a constant payload offset (P1's first target).
+fn aop_deref(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let n = (MB / 8) as i64; // 128 K pointers
+    let pool_words = 8 * MB / 8;
+    let (ptrs, pool) = (alloc.array(n as u64), alloc.array(pool_words));
+    let mut b = ProgramBuilder::new();
+    b.imm(R4, 0);
+    forever(&mut b, |b| {
+        b.imm(R1, ptrs as i64);
+        counted(b, R30, n, |b| {
+            b.load(R2, R1, 0); // p = ptrs[i]
+            b.load(R3, R2, 16); // payload at p+16
+            b.alu_rr(AluOp::Add, R4, R4, R3);
+            b.alu_ri(AluOp::Add, R1, R1, 8);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    // Pointers into the pool, 64-byte aligned objects.
+    let objects = pool_words * 8 / 64;
+    fill_with(&mut vm, ptrs, n as u64, |_| pool + (r.gen::<u64>() % objects) * 64);
+    let mut r2 = rng(seed ^ 4);
+    fill_random(&mut vm, pool, pool_words, &mut r2);
+    vm
+}
+
+/// Random probes of an 8 MiB table (pure HHF).
+fn hash_probe(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let table_words = 8 * MB / 8;
+    let table = alloc.array(table_words);
+    let mut b = ProgramBuilder::new();
+    b.imm(R1, 0x243F_6A88); // LCG state
+    b.imm(R2, table as i64);
+    b.imm(R4, 0);
+    forever(&mut b, |b| {
+        b.alu_ri(AluOp::Mul, R1, R1, 6364136223846793005);
+        b.alu_ri(AluOp::Add, R1, R1, 1442695040888963407);
+        b.alu_ri(AluOp::Shr, R3, R1, 20);
+        b.alu_ri(AluOp::And, R3, R3, (table_words as i64 - 1) * 8);
+        b.alu_rr(AluOp::Add, R3, R2, R3);
+        b.load(R5, R3, 0);
+        b.alu_rr(AluOp::Add, R4, R4, R5);
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, table, table_words, &mut r);
+    vm
+}
+
+/// Random descents of a 64 K-node binary tree with scrambled placement.
+fn btree_search(seed: u64) -> Vm {
+    const DEPTH: i64 = 15;
+    let nodes: u64 = 1 << 16; // complete tree of depth 15
+    let node_words = 8u64; // 64 B nodes
+    let mut alloc = Alloc::new();
+    let pool = alloc.array(nodes * node_words);
+    let mut b = ProgramBuilder::new();
+    b.imm(R1, 0x1234_5678); // LCG key state
+    b.imm(R9, pool as i64); // root is perm[1]'s address, patched below via slot
+    let root_slot = alloc.array(1);
+    b.imm(R8, root_slot as i64);
+    b.imm(R4, 0);
+    forever(&mut b, |b| {
+        b.load(R2, R8, 0); // R2 = root
+        b.alu_ri(AluOp::Mul, R1, R1, 6364136223846793005);
+        b.alu_ri(AluOp::Add, R1, R1, 12345);
+        b.alu_ri(AluOp::Shr, R3, R1, 16); // key bits
+        counted(b, R30, DEPTH, |b| {
+            // bit = key & 1; child ptr at +8 (left) or +16 (right)
+            b.alu_ri(AluOp::And, R5, R3, 1);
+            b.alu_ri(AluOp::Mul, R5, R5, 8);
+            b.alu_ri(AluOp::Add, R5, R5, 8);
+            b.alu_rr(AluOp::Add, R6, R2, R5);
+            b.load(R2, R6, 0); // descend
+            b.alu_ri(AluOp::Shr, R3, R3, 1);
+        });
+        b.load(R7, R2, 24); // leaf payload
+        b.alu_rr(AluOp::Add, R4, R4, R7);
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    let perm = permutation(nodes, &mut r);
+    let addr_of = |k: u64| pool + perm[k as usize] * node_words * 8;
+    for k in 1..nodes {
+        let this = addr_of(k);
+        let (l, rch) = (2 * k, 2 * k + 1);
+        let left = if l < nodes { addr_of(l) } else { addr_of(1) };
+        let right = if rch < nodes { addr_of(rch) } else { addr_of(1) };
+        vm.memory_mut().write_u64(this + 8, left);
+        vm.memory_mut().write_u64(this + 16, right);
+        vm.memory_mut().write_u64(this + 24, k);
+    }
+    vm.memory_mut().write_u64(root_slot, addr_of(1));
+    vm
+}
+
+/// Repeated binary searches over an 8 MiB sorted array.
+fn binsearch(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let n_words = 8 * MB / 8; // 1 M elements
+    let a = alloc.array(n_words);
+    let mut b = ProgramBuilder::new();
+    b.imm(R1, 0xCAFE); // LCG
+    b.imm(R9, a as i64);
+    b.imm(R4, 0);
+    forever(&mut b, |b| {
+        b.alu_ri(AluOp::Mul, R1, R1, 6364136223846793005);
+        b.alu_ri(AluOp::Add, R1, R1, 999);
+        b.alu_ri(AluOp::Shr, R2, R1, 12);
+        b.alu_ri(AluOp::And, R2, R2, 0x3FFF_FFFF); // key
+        b.imm(R5, 0); // lo (index)
+        b.imm(R6, n_words as i64); // hi
+        counted(b, R30, 20, |b| {
+            // mid = (lo + hi) / 2
+            b.alu_rr(AluOp::Add, R7, R5, R6);
+            b.alu_ri(AluOp::Shr, R7, R7, 1);
+            b.alu_ri(AluOp::Mul, R8, R7, 8);
+            b.alu_rr(AluOp::Add, R8, R9, R8);
+            b.load(R10, R8, 0);
+            // if a[mid] < key { lo = mid } else { hi = mid }
+            let ge = b.label();
+            let done = b.label();
+            b.branch(Cond::GeU, R10, Operand::Reg(R2), ge);
+            b.alu_ri(AluOp::Add, R5, R7, 0);
+            b.jump(done);
+            b.bind(ge);
+            b.alu_ri(AluOp::Add, R6, R7, 0);
+            b.bind(done);
+        });
+        b.alu_rr(AluOp::Add, R4, R4, R5);
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    // Sorted values: i * 1024 + small noise keeps it monotone.
+    let mut r = rng(seed);
+    fill_with(&mut vm, a, n_words, |i| i * 1024 + (r.gen::<u64>() % 512));
+    vm
+}
+
+/// Alternating program phases: a strided sweep, then random probes.
+/// Phases are 4 K accesses each (~60 K instructions per pair), so a
+/// typical simulation window sees several transitions.
+fn phase_mix(seed: u64) -> Vm {
+    let mut alloc = Alloc::new();
+    let n = (MB / 8) as i64;
+    let phase = 4 * 1024i64;
+    let a = alloc.array(n as u64);
+    let table_words = 4 * MB / 8;
+    let table = alloc.array(table_words);
+    let mut b = ProgramBuilder::new();
+    b.imm(R4, 0);
+    b.imm(R7, 0); // sweep cursor (byte offset into `a`, wrapping)
+    b.imm(R8, 0x9E37); // LCG
+    forever(&mut b, |b| {
+        // Phase A: strided sweep, continuing where the last phase ended.
+        b.imm(R9, a as i64);
+        counted(b, R30, phase, |b| {
+            b.alu_ri(AluOp::And, R5, R7, (MB - 1) as i64 & !7);
+            b.alu_rr(AluOp::Add, R5, R9, R5);
+            b.load(R2, R5, 0);
+            b.alu_rr(AluOp::Add, R4, R4, R2);
+            b.alu_ri(AluOp::Add, R7, R7, 8);
+        });
+        // Phase B: random probes, same access count.
+        b.imm(R9, table as i64);
+        counted(b, R30, phase, |b| {
+            b.alu_ri(AluOp::Mul, R8, R8, 6364136223846793005);
+            b.alu_ri(AluOp::Add, R8, R8, 7);
+            b.alu_ri(AluOp::Shr, R5, R8, 18);
+            b.alu_ri(AluOp::And, R5, R5, (table_words as i64 - 1) * 8);
+            b.alu_rr(AluOp::Add, R5, R9, R5);
+            b.load(R6, R5, 0);
+            b.alu_rr(AluOp::Add, R4, R4, R6);
+        });
+    });
+    let mut vm = Vm::new(b.build().expect("valid kernel"));
+    let mut r = rng(seed);
+    fill_random(&mut vm, a, n as u64, &mut r);
+    let mut r2 = rng(seed ^ 5);
+    fill_random(&mut vm, table, table_words, &mut r2);
+    vm
+}

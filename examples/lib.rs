@@ -1,0 +1,1 @@
+//! Examples live at the package root; see `[[bin]]` entries in Cargo.toml.

@@ -1,0 +1,62 @@
+//! Quickstart: simulate one workload under the paper's TPC composite
+//! prefetcher and compare it with the no-prefetch baseline.
+//!
+//! Run with: `cargo run --release -p dol-examples --bin quickstart`
+
+use dol_core::{NoPrefetcher, Prefetcher, Tpc};
+use dol_cpu::{System, SystemConfig, Workload};
+use dol_mem::CacheLevel;
+use dol_metrics::{accuracy_at, footprint, prefetched_lines, scope};
+
+fn main() {
+    // 1. Pick a workload from the suite and capture its functional trace.
+    //    (Any `dol_isa::Vm` works; the suites are just convenient.)
+    let spec = dol_workloads::by_name("stream_sum").expect("known workload");
+    let workload =
+        Workload::capture(spec.build_vm(42), 500_000).expect("kernel runs forever");
+    println!(
+        "workload `{}`: {} instructions, {} memory accesses",
+        spec.name,
+        workload.trace.len(),
+        workload.trace.mem_count()
+    );
+
+    // 2. Build the simulated machine (the paper's Table I) and run the
+    //    no-prefetch baseline.
+    let sys = System::new(SystemConfig::isca2018(1));
+    let baseline = sys.run(&workload, &mut NoPrefetcher);
+    println!(
+        "baseline: {} cycles (IPC {:.2}), {} L1 misses",
+        baseline.cycles,
+        baseline.ipc(),
+        baseline.stats.cores[0].l1_misses
+    );
+
+    // 3. Run the same trace under TPC.
+    let mut tpc = Tpc::full();
+    let with_tpc = sys.run(&workload, &mut tpc);
+    println!(
+        "with TPC: {} cycles (IPC {:.2}), {} L1 misses, {} prefetches",
+        with_tpc.cycles,
+        with_tpc.ipc(),
+        with_tpc.stats.cores[0].l1_misses,
+        with_tpc.stats.cores[0].prefetches
+    );
+    println!(
+        "speedup: {:.2}x  |  storage budget: {:.2} KB",
+        baseline.cycles as f64 / with_tpc.cycles as f64,
+        tpc.storage_bits() as f64 / 8192.0
+    );
+
+    // 4. The paper's metrics: scope and effective accuracy.
+    let fp = footprint(&baseline.events, CacheLevel::L1);
+    let pfp = prefetched_lines(&with_tpc.events, None);
+    let acc = accuracy_at(&with_tpc.events, CacheLevel::L1, None);
+    println!(
+        "scope {:.2}, effective accuracy {:.2} ({} issued, {} useful)",
+        scope(&fp, &pfp),
+        acc.effective_accuracy(),
+        acc.issued,
+        acc.useful
+    );
+}

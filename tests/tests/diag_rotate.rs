@@ -1,0 +1,37 @@
+//! Ignored diagnostic for the rotate_img store-stream interaction.
+use dol_core::{NoPrefetcher, Prefetcher, TpcBuilder, TpcConfig};
+use dol_cpu::{System, SystemConfig, Workload};
+use dol_mem::CacheLevel;
+
+#[test]
+#[ignore]
+fn rotate_variants() {
+    let spec = dol_workloads::by_name("rotate_img").unwrap();
+    let w = Workload::capture(spec.build_vm(2018), 400_000).unwrap();
+    let sys = System::new(SystemConfig::isca2018(1));
+    let base = sys.run(&w, &mut NoPrefetcher);
+    println!("base {} l1m {}", base.cycles, base.stats.cores[0].l1_misses);
+    let variants: Vec<(&str, TpcConfig)> = vec![
+        ("default(m=128,L2route)", TpcConfig::default()),
+        ("margin=64", { let mut c = TpcConfig::default(); c.margin = 64; c }),
+        ("force accurate L2 for all", {
+            let mut c = TpcConfig::default();
+            c.accurate_dest = CacheLevel::L2;
+            c
+        }),
+    ];
+    for (name, cfg) in variants {
+        let mut p = TpcBuilder::new().config(cfg).name("v").build();
+        let r = sys.run(&w, &mut p);
+        println!(
+            "{name}: cycles {} speedup {:.3} l1m {} l2m {} pf {} dram d/p {} {}",
+            r.cycles,
+            base.cycles as f64 / r.cycles as f64,
+            r.stats.cores[0].l1_misses,
+            r.stats.cores[0].l2_misses,
+            r.stats.cores[0].prefetches,
+            r.stats.dram.demand_reads,
+            r.stats.dram.prefetch_reads
+        );
+    }
+}
