@@ -39,7 +39,12 @@ pub struct Ampm {
 impl Ampm {
     /// Builds the Table II configuration.
     pub fn new(origin: Origin, dest: CacheLevel) -> Self {
-        Ampm { origin, dest, zones: vec![Zone::default(); MAPS], clock: 0 }
+        Ampm {
+            origin,
+            dest,
+            zones: vec![Zone::default(); MAPS],
+            clock: 0,
+        }
     }
 
     fn zone_index(&mut self, zone: u64) -> usize {
@@ -55,8 +60,13 @@ impl Ampm {
             .min_by_key(|(_, z)| if z.valid { z.stamp } else { 0 })
             .map(|(i, _)| i)
             .expect("maps are non-empty");
-        self.zones[victim] =
-            Zone { zone, accessed: 0, prefetched: 0, valid: true, stamp: self.clock };
+        self.zones[victim] = Zone {
+            zone,
+            accessed: 0,
+            prefetched: 0,
+            valid: true,
+            stamp: self.clock,
+        };
         victim
     }
 
@@ -85,7 +95,9 @@ impl Prefetcher for Ampm {
         if ev.access.is_none() {
             return;
         }
-        let Some(addr) = ev.inst.mem_addr() else { return };
+        let Some(addr) = ev.inst.mem_addr() else {
+            return;
+        };
         let zone = addr / ZONE_BYTES;
         let t = ((addr % ZONE_BYTES) / LINE_BYTES) as i64;
         let idx = self.zone_index(zone);
@@ -139,8 +151,9 @@ mod tests {
     fn backward_stride_is_matched() {
         let mut p = Ampm::new(Origin(22), CacheLevel::L1);
         let base = 0x40_0000 + 32 * 64;
-        let accesses: Vec<_> =
-            (0..10u64).map(|i| (0x100u64, base - i * 64, false)).collect();
+        let accesses: Vec<_> = (0..10u64)
+            .map(|i| (0x100u64, base - i * 64, false))
+            .collect();
         let out = feed(&mut p, accesses);
         assert!(!out.is_empty());
         assert!(out[0].addr < base - 2 * 64);

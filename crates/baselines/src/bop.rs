@@ -14,8 +14,7 @@ use dol_mem::{line_base, line_of, CacheLevel, Origin};
 /// whose prime factorization uses only 2, 3, and 5 (a subset keeps the
 /// learning phase short).
 pub const OFFSET_LIST: [i64; 26] = [
-    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54,
-    60,
+    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54, 60,
 ];
 
 const RR_ENTRIES: usize = 256;
@@ -95,7 +94,9 @@ impl Prefetcher for Bop {
 
     fn on_retire(&mut self, ev: &RetireInfo<'_>, out: &mut Vec<PrefetchRequest>) {
         let Some(access) = ev.access else { return };
-        let Some(addr) = ev.inst.mem_addr() else { return };
+        let Some(addr) = ev.inst.mem_addr() else {
+            return;
+        };
         // BOP trains on the L2 access stream: L1 misses and prefetch hits.
         if access.secondary || (access.l1_hit && access.served_by_prefetch.is_none()) {
             return;
@@ -144,7 +145,9 @@ mod tests {
     use crate::testutil::feed;
 
     fn misses(stride_lines: u64, n: u64) -> Vec<(u64, u64, bool)> {
-        (0..n).map(|i| (0x100u64, 0x40_0000 + i * stride_lines * 64, false)).collect()
+        (0..n)
+            .map(|i| (0x100u64, 0x40_0000 + i * stride_lines * 64, false))
+            .collect()
     }
 
     #[test]
@@ -175,7 +178,10 @@ mod tests {
         use dol_isa::{InstKind, Reg, RetiredInst};
         let inst = RetiredInst {
             pc: 0x100,
-            kind: InstKind::Load { addr: 0x40_0000, value: 0 },
+            kind: InstKind::Load {
+                addr: 0x40_0000,
+                value: 0,
+            },
             dst: Some(Reg::R1),
             srcs: [Some(Reg::R2), None],
         };

@@ -97,7 +97,9 @@ impl Prefetcher for Fdp {
 
     fn on_retire(&mut self, ev: &RetireInfo<'_>, out: &mut Vec<PrefetchRequest>) {
         let Some(access) = ev.access else { return };
-        let Some(addr) = ev.inst.mem_addr() else { return };
+        let Some(addr) = ev.inst.mem_addr() else {
+            return;
+        };
         self.clock += 1;
 
         // Feedback: count hits served by our prefetches.
@@ -118,9 +120,10 @@ impl Prefetcher for Fdp {
         }
 
         // Find a stream this miss extends.
-        let hit = self.streams.iter().position(|s| {
-            s.valid && line.abs_diff(s.last_line) <= TRAIN_WINDOW
-        });
+        let hit = self
+            .streams
+            .iter()
+            .position(|s| s.valid && line.abs_diff(s.last_line) <= TRAIN_WINDOW);
         let (degree, distance) = LEVELS[self.level];
         match hit {
             Some(i) => {
@@ -150,8 +153,11 @@ impl Prefetcher for Fdp {
                     let mut issued = 0;
                     while issued < degree {
                         let next = frontier.wrapping_add(dir as u64);
-                        let beyond =
-                            if dir > 0 { next > target } else { next < target || next == 0 };
+                        let beyond = if dir > 0 {
+                            next > target
+                        } else {
+                            next < target || next == 0
+                        };
                         if beyond {
                             break;
                         }
@@ -207,8 +213,9 @@ mod tests {
     #[test]
     fn tracks_a_descending_stream() {
         let mut p = Fdp::new(Origin(20), CacheLevel::L1);
-        let accesses: Vec<_> =
-            (0..40u64).map(|i| (0x100u64, 0x40_0000 - i * 64, false)).collect();
+        let accesses: Vec<_> = (0..40u64)
+            .map(|i| (0x100u64, 0x40_0000 - i * 64, false))
+            .collect();
         let out = feed(&mut p, accesses);
         assert!(!out.is_empty());
         let addrs: Vec<u64> = out.iter().map(|r| r.addr).collect();
@@ -249,8 +256,16 @@ mod tests {
             };
             p.on_retire(&ev, &mut out);
         }
-        assert!(p.level() >= start, "level must not fall with perfect accuracy");
-        assert!(p.level() > start, "level should rise: {} -> {}", start, p.level());
+        assert!(
+            p.level() >= start,
+            "level must not fall with perfect accuracy"
+        );
+        assert!(
+            p.level() > start,
+            "level should rise: {} -> {}",
+            start,
+            p.level()
+        );
     }
 
     #[test]
@@ -259,7 +274,12 @@ mod tests {
         let start = p.level();
         // Plenty of issued prefetches, zero useful hits.
         feed(&mut p, strided(0x100, 0x40_0000, 64, 8000));
-        assert!(p.level() < start, "level must fall: {} -> {}", start, p.level());
+        assert!(
+            p.level() < start,
+            "level must fall: {} -> {}",
+            start,
+            p.level()
+        );
     }
 
     #[test]

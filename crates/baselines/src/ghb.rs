@@ -70,7 +70,11 @@ impl GhbPcDc {
             u64::MAX
         };
         self.ghb[(self.seq % GHB_ENTRIES as u64) as usize] = GhbEntry { addr, prev };
-        self.index[slot] = IndexEntry { pc, head: self.seq, valid: true };
+        self.index[slot] = IndexEntry {
+            pc,
+            head: self.seq,
+            valid: true,
+        };
         self.seq += 1;
     }
 
@@ -103,7 +107,9 @@ impl Prefetcher for GhbPcDc {
 
     fn on_retire(&mut self, ev: &RetireInfo<'_>, out: &mut Vec<PrefetchRequest>) {
         let Some(access) = ev.access else { return };
-        let Some(addr) = ev.inst.mem_addr() else { return };
+        let Some(addr) = ev.inst.mem_addr() else {
+            return;
+        };
         // GHB trains on the L2 access stream: misses plus prefetch-served
         // hits (the miss stream alone disappears once prefetching works).
         if access.secondary || (access.l1_hit && access.served_by_prefetch.is_none()) {
@@ -138,7 +144,12 @@ impl Prefetcher for GhbPcDc {
         for k in (i.saturating_sub(DEGREE)..i).rev() {
             target = target.wrapping_add(deltas[k] as u64);
             if target > 4096 {
-                out.push(PrefetchRequest::new(target, self.dest, self.origin, CONF_MONOLITHIC));
+                out.push(PrefetchRequest::new(
+                    target,
+                    self.dest,
+                    self.origin,
+                    CONF_MONOLITHIC,
+                ));
             }
         }
     }

@@ -56,7 +56,7 @@ pub use vldp::Vldp;
 
 #[cfg(test)]
 pub(crate) mod testutil {
-    use dol_core::{AccessInfo, Prefetcher, PrefetchRequest, RetireInfo};
+    use dol_core::{AccessInfo, PrefetchRequest, Prefetcher, RetireInfo};
     use dol_isa::{InstKind, Reg, RetiredInst};
 
     /// Feed a sequence of `(pc, addr, l1_hit)` loads to a prefetcher and

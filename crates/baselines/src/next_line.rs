@@ -15,13 +15,21 @@ pub struct NextLine {
 impl NextLine {
     /// Degree-1 next-line prefetcher.
     pub fn new(origin: Origin, dest: CacheLevel) -> Self {
-        NextLine { origin, dest, degree: 1 }
+        NextLine {
+            origin,
+            dest,
+            degree: 1,
+        }
     }
 
     /// Next-`degree`-lines prefetcher.
     pub fn with_degree(origin: Origin, dest: CacheLevel, degree: u32) -> Self {
         assert!(degree >= 1);
-        NextLine { origin, dest, degree }
+        NextLine {
+            origin,
+            dest,
+            degree,
+        }
     }
 }
 
@@ -36,7 +44,9 @@ impl Prefetcher for NextLine {
 
     fn on_retire(&mut self, ev: &RetireInfo<'_>, out: &mut Vec<PrefetchRequest>) {
         let Some(access) = ev.access else { return };
-        let Some(addr) = ev.inst.mem_addr() else { return };
+        let Some(addr) = ev.inst.mem_addr() else {
+            return;
+        };
         if access.l1_hit || access.secondary {
             return;
         }

@@ -6,8 +6,7 @@ use dol_mem::{CacheLevel, Origin};
 
 /// Names of the seven monolithic prefetchers of the paper's evaluation,
 /// in Table II order.
-pub const MONOLITHIC_NAMES: [&str; 7] =
-    ["GHB-PC/DC", "SPP", "VLDP", "BOP", "FDP", "SMS", "AMPM"];
+pub const MONOLITHIC_NAMES: [&str; 7] = ["GHB-PC/DC", "SPP", "VLDP", "BOP", "FDP", "SMS", "AMPM"];
 
 /// Builds one monolithic prefetcher by name with the given origin and
 /// destination. Returns `None` for unknown names.

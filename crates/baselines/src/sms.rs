@@ -79,7 +79,11 @@ impl Sms {
             return;
         }
         let slot = (key as usize) % PHT_ENTRIES;
-        self.pht[slot] = PhtEntry { key, pattern, valid: true };
+        self.pht[slot] = PhtEntry {
+            key,
+            pattern,
+            valid: true,
+        };
     }
 
     fn pht_lookup(&self, key: u64) -> Option<u16> {
@@ -109,7 +113,9 @@ impl Prefetcher for Sms {
         if ev.access.is_none() {
             return;
         }
-        let Some(addr) = ev.inst.mem_addr() else { return };
+        let Some(addr) = ev.inst.mem_addr() else {
+            return;
+        };
         self.clock += 1;
         let region = region_of(addr);
         let offset = line_of(addr) % REGION_LINES;
@@ -194,7 +200,11 @@ mod tests {
         let mut v = Vec::new();
         for r in regions {
             for off in [0u64, 3, 7, 9] {
-                v.push((pc, r * REGION_LINES * LINE_BYTES + off * LINE_BYTES, off != 0));
+                v.push((
+                    pc,
+                    r * REGION_LINES * LINE_BYTES + off * LINE_BYTES,
+                    off != 0,
+                ));
             }
         }
         v
@@ -206,7 +216,10 @@ mod tests {
         // Train over many regions (AT evictions store patterns in PHT).
         feed(&mut p, pattern_walk(0x100, 0..80));
         // Fresh region, same trigger (pc, offset 0): predict {3, 7, 9}.
-        let out = feed(&mut p, vec![(0x100, 500 * REGION_LINES * LINE_BYTES, false)]);
+        let out = feed(
+            &mut p,
+            vec![(0x100, 500 * REGION_LINES * LINE_BYTES, false)],
+        );
         let offsets: std::collections::BTreeSet<u64> =
             out.iter().map(|r| line_of(r.addr) % REGION_LINES).collect();
         assert_eq!(offsets, [3u64, 7, 9].into_iter().collect());
@@ -221,7 +234,11 @@ mod tests {
         // characterization).
         let out = feed(
             &mut p,
-            vec![(0x100, 600 * REGION_LINES * LINE_BYTES + 5 * LINE_BYTES, false)],
+            vec![(
+                0x100,
+                600 * REGION_LINES * LINE_BYTES + 5 * LINE_BYTES,
+                false,
+            )],
         );
         assert!(!out.is_empty());
     }
@@ -234,7 +251,10 @@ mod tests {
             .map(|r| (0x300u64, r * REGION_LINES * LINE_BYTES, false))
             .collect();
         feed(&mut p, singles);
-        let out = feed(&mut p, vec![(0x300, 999 * REGION_LINES * LINE_BYTES, false)]);
+        let out = feed(
+            &mut p,
+            vec![(0x300, 999 * REGION_LINES * LINE_BYTES, false)],
+        );
         assert!(out.is_empty(), "one-line patterns are not stored");
     }
 
@@ -242,7 +262,10 @@ mod tests {
     fn patterns_are_per_pc() {
         let mut p = Sms::new(Origin(21), CacheLevel::L1);
         feed(&mut p, pattern_walk(0x100, 0..80));
-        let out = feed(&mut p, vec![(0x500, 700 * REGION_LINES * LINE_BYTES, false)]);
+        let out = feed(
+            &mut p,
+            vec![(0x500, 700 * REGION_LINES * LINE_BYTES, false)],
+        );
         assert!(out.is_empty(), "another pc must not inherit the pattern");
     }
 }

@@ -90,7 +90,11 @@ impl Spp {
     fn train(&mut self, sig: u16, delta: i64) {
         let e = &mut self.pt[Self::pt_slot(sig)];
         e.c_sig = e.c_sig.saturating_add(1);
-        if let Some(d) = e.deltas.iter_mut().find(|d| d.delta == delta && d.c_delta > 0) {
+        if let Some(d) = e
+            .deltas
+            .iter_mut()
+            .find(|d| d.delta == delta && d.c_delta > 0)
+        {
             d.c_delta = d.c_delta.saturating_add(1);
         } else {
             // Replace the weakest way.
@@ -144,7 +148,9 @@ impl Prefetcher for Spp {
         if ev.access.is_none() {
             return;
         }
-        let Some(addr) = ev.inst.mem_addr() else { return };
+        let Some(addr) = ev.inst.mem_addr() else {
+            return;
+        };
         let page = addr / PAGE_BYTES;
         let offset = ((addr % PAGE_BYTES) / LINE_BYTES) as i64;
         let slot = (page as usize) % ST_ENTRIES;
@@ -163,10 +169,19 @@ impl Prefetcher for Spp {
             if delta != 0 {
                 self.train(sig, delta);
                 sig = advance_signature(sig, delta);
-                self.st[slot] = StEntry { page, last_offset: offset, signature: sig, valid: true };
+                self.st[slot] = StEntry {
+                    page,
+                    last_offset: offset,
+                    signature: sig,
+                    valid: true,
+                };
                 // Record in the GHR for future page bootstraps.
-                self.ghr[self.ghr_cursor] =
-                    GhrEntry { signature: sig, last_offset: offset, delta, valid: true };
+                self.ghr[self.ghr_cursor] = GhrEntry {
+                    signature: sig,
+                    last_offset: offset,
+                    delta,
+                    valid: true,
+                };
                 self.ghr_cursor = (self.ghr_cursor + 1) % GHR_ENTRIES;
             } else {
                 return; // same line again; nothing to learn
@@ -180,7 +195,12 @@ impl Prefetcher for Spp {
                 .find(|g| g.valid && (g.last_offset + g.delta).rem_euclid(LINES_PER_PAGE) == offset)
                 .map(|g| advance_signature(g.signature, g.delta));
             sig = boot.unwrap_or(0);
-            self.st[slot] = StEntry { page, last_offset: offset, signature: sig, valid: true };
+            self.st[slot] = StEntry {
+                page,
+                last_offset: offset,
+                signature: sig,
+                valid: true,
+            };
             if boot.is_none() {
                 return;
             }
@@ -191,7 +211,9 @@ impl Prefetcher for Spp {
         let mut look_sig = sig;
         let mut look_offset = offset;
         for _ in 0..MAX_DEPTH {
-            let Some((delta, conf)) = self.predict(look_sig) else { break };
+            let Some((delta, conf)) = self.predict(look_sig) else {
+                break;
+            };
             path_conf = path_conf * conf / 100;
             if path_conf < CONF_THRESHOLD {
                 break;
@@ -202,7 +224,12 @@ impl Prefetcher for Spp {
             }
             let target = page * PAGE_BYTES + look_offset as u64 * LINE_BYTES;
             if !self.filter_hit(target / LINE_BYTES) {
-                out.push(PrefetchRequest::new(target, self.dest, self.origin, CONF_MONOLITHIC));
+                out.push(PrefetchRequest::new(
+                    target,
+                    self.dest,
+                    self.origin,
+                    CONF_MONOLITHIC,
+                ));
             }
             look_sig = advance_signature(look_sig, delta);
         }
@@ -262,7 +289,10 @@ mod tests {
         let mut accesses = strided(0x100, 0x40_0000, 64, 64); // page A: offsets 0..63
         accesses.extend(strided(0x100, 0x40_1000, 64, 4)); // page B continues the walk
         let out = feed(&mut p, accesses);
-        let in_page_b = out.iter().filter(|r| r.addr >= 0x40_1000 && r.addr < 0x40_2000).count();
+        let in_page_b = out
+            .iter()
+            .filter(|r| r.addr >= 0x40_1000 && r.addr < 0x40_2000)
+            .count();
         assert!(in_page_b > 0, "bootstrap must carry the stream into page B");
     }
 

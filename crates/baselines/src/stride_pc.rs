@@ -25,7 +25,12 @@ pub struct StridePc {
 impl StridePc {
     /// 256-entry table, degree 2.
     pub fn new(origin: Origin, dest: CacheLevel) -> Self {
-        StridePc { origin, dest, table: vec![Entry::default(); 256], degree: 2 }
+        StridePc {
+            origin,
+            dest,
+            table: vec![Entry::default(); 256],
+            degree: 2,
+        }
     }
 
     /// Override the prefetch degree.
@@ -53,12 +58,20 @@ impl Prefetcher for StridePc {
         if ev.access.is_none() {
             return;
         }
-        let Some(addr) = ev.inst.mem_addr() else { return };
+        let Some(addr) = ev.inst.mem_addr() else {
+            return;
+        };
         let pc = ev.inst.pc;
         let slot = self.slot(pc);
         let e = &mut self.table[slot];
         if !e.valid || e.pc != pc {
-            *e = Entry { pc, last_addr: addr, stride: 0, confidence: 0, valid: true };
+            *e = Entry {
+                pc,
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
             return;
         }
         let stride = addr.wrapping_sub(e.last_addr) as i64;
@@ -76,7 +89,12 @@ impl Prefetcher for StridePc {
             for k in 1..=self.degree as i64 {
                 let target = addr.wrapping_add((stride * k) as u64);
                 if target > 4096 {
-                    out.push(PrefetchRequest::new(target, self.dest, self.origin, CONF_MONOLITHIC));
+                    out.push(PrefetchRequest::new(
+                        target,
+                        self.dest,
+                        self.origin,
+                        CONF_MONOLITHIC,
+                    ));
                 }
             }
         }
@@ -110,7 +128,11 @@ mod tests {
             })
             .collect();
         let out = feed(&mut p, accesses);
-        assert!(out.len() < 5, "nearly silent on random accesses: {}", out.len());
+        assert!(
+            out.len() < 5,
+            "nearly silent on random accesses: {}",
+            out.len()
+        );
     }
 
     #[test]

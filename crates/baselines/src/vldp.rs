@@ -95,7 +95,12 @@ impl Vldp {
                 }
             }
         } else {
-            *e = DptEntry { key, prediction: actual, accuracy: 1, valid: true };
+            *e = DptEntry {
+                key,
+                prediction: actual,
+                accuracy: 1,
+                valid: true,
+            };
         }
     }
 
@@ -128,7 +133,9 @@ impl Prefetcher for Vldp {
         if ev.access.is_none() {
             return;
         }
-        let Some(addr) = ev.inst.mem_addr() else { return };
+        let Some(addr) = ev.inst.mem_addr() else {
+            return;
+        };
         let page = addr / PAGE_BYTES;
         let offset = ((addr % PAGE_BYTES) / LINE_BYTES) as i64;
         self.clock += 1;
@@ -178,7 +185,11 @@ impl Prefetcher for Vldp {
         // Train the OPT on the page's first delta.
         if old.num_deltas == 0 {
             let slot = (old.last_offset as usize) % OPT_ENTRIES;
-            self.opt[slot] = OptEntry { offset: old.last_offset, prediction: delta, valid: true };
+            self.opt[slot] = OptEntry {
+                offset: old.last_offset,
+                prediction: delta,
+                valid: true,
+            };
         }
 
         // Train each DPT with the history that preceded this delta.
@@ -199,13 +210,20 @@ impl Prefetcher for Vldp {
         let mut num = e.num_deltas as usize;
         let mut look_offset = offset;
         for _ in 0..DEGREE {
-            let Some(d) = self.predict_dpt(&hist, num) else { break };
+            let Some(d) = self.predict_dpt(&hist, num) else {
+                break;
+            };
             look_offset += d;
             if !(0..LINES_PER_PAGE).contains(&look_offset) {
                 break;
             }
             let target = page * PAGE_BYTES + look_offset as u64 * LINE_BYTES;
-            out.push(PrefetchRequest::new(target, self.dest, self.origin, CONF_MONOLITHIC));
+            out.push(PrefetchRequest::new(
+                target,
+                self.dest,
+                self.origin,
+                CONF_MONOLITHIC,
+            ));
             hist = [d, hist[0], hist[1]];
             num = (num + 1).min(3);
         }

@@ -3,7 +3,7 @@
 //! its home pattern, stays quiet — or at least restrained — elsewhere).
 
 use dol_baselines::registry::{all_monolithic, monolithic_by_name, MONOLITHIC_NAMES};
-use dol_core::{AccessInfo, Prefetcher, PrefetchRequest, RetireInfo};
+use dol_core::{AccessInfo, PrefetchRequest, Prefetcher, RetireInfo};
 use dol_isa::{InstKind, Reg, RetiredInst};
 use dol_mem::{CacheLevel, Origin};
 
@@ -44,7 +44,7 @@ fn random_stream(n: u64) -> Vec<(u64, u64, bool)> {
     (0..n)
         .map(|_| {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (0x100, 0x100_0000 + (x % (1 << 26)) & !63, false)
+            (0x100, (0x100_0000 + (x % (1 << 26))) & !63, false)
         })
         .collect()
 }
@@ -114,14 +114,18 @@ fn prefetchers_survive_interleaved_independent_streams() {
         let covered = regions
             .iter()
             .filter(|base| {
-                out.iter().any(|r| r.addr >= **base && r.addr < *base + 0x10_0000)
+                out.iter()
+                    .any(|r| r.addr >= **base && r.addr < *base + 0x10_0000)
             })
             .count();
         if covered == 4 {
             cover_all += 1;
         }
     }
-    assert!(cover_all >= 4, "only {cover_all}/7 designs covered all four streams");
+    assert!(
+        cover_all >= 4,
+        "only {cover_all}/7 designs covered all four streams"
+    );
 }
 
 #[test]
@@ -133,7 +137,9 @@ fn stores_train_prefetchers_too() {
     for i in 0..100u64 {
         let inst = RetiredInst {
             pc: 0x100,
-            kind: InstKind::Store { addr: 0x40_0000 + i * 64 },
+            kind: InstKind::Store {
+                addr: 0x40_0000 + i * 64,
+            },
             dst: None,
             srcs: [Some(Reg::R2), Some(Reg::R3)],
         };
@@ -150,5 +156,8 @@ fn stores_train_prefetchers_too() {
         };
         ampm.on_retire(&ev, &mut out);
     }
-    assert!(!out.is_empty(), "AMPM must match the store stream's access map");
+    assert!(
+        !out.is_empty(),
+        "AMPM must match the store stream's access map"
+    );
 }

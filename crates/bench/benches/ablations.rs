@@ -12,7 +12,11 @@ use dol_harness::experiments::{ablations, Report};
 use dol_harness::RunPlan;
 
 fn bench_plan() -> RunPlan {
-    RunPlan { insts: 25_000, seed: 2018, mix_count: 2 }
+    RunPlan {
+        insts: 25_000,
+        mix_count: 2,
+        ..RunPlan::quick()
+    }
 }
 
 fn bench_ablation(c: &mut Criterion, id: &str, run: fn(&RunPlan) -> Report) {
@@ -44,7 +48,9 @@ fn simulator_throughput(c: &mut Criterion) {
     let sys = System::new(SystemConfig::isca2018(1));
 
     let mut group = c.benchmark_group("simulator");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     group.throughput(criterion::Throughput::Elements(workload.trace.len() as u64));
     group.bench_function("timing_core_no_prefetch", |b| {
         b.iter(|| sys.run(&workload, &mut NoPrefetcher).cycles)

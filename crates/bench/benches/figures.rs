@@ -11,13 +11,16 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dol_harness::experiments::{
-    fig01, fig08, fig09, fig10, fig11, fig12, fig13, fig14, fig15, fig16, table1, table2,
-    Report,
+    fig01, fig08, fig09, fig10, fig11, fig12, fig13, fig14, fig15, fig16, table1, table2, Report,
 };
 use dol_harness::RunPlan;
 
 fn bench_plan() -> RunPlan {
-    RunPlan { insts: 25_000, seed: 2018, mix_count: 2 }
+    RunPlan {
+        insts: 25_000,
+        mix_count: 2,
+        ..RunPlan::quick()
+    }
 }
 
 fn bench_figure(c: &mut Criterion, id: &str, run: fn(&RunPlan) -> Report) {

@@ -26,7 +26,13 @@ pub struct PrefetchRequest {
 impl PrefetchRequest {
     /// Convenience constructor for an ordinary (no value callback) request.
     pub fn new(addr: u64, dest: CacheLevel, origin: Origin, confidence: u8) -> Self {
-        PrefetchRequest { addr, dest, origin, confidence, want_value: false }
+        PrefetchRequest {
+            addr,
+            dest,
+            origin,
+            confidence,
+            want_value: false,
+        }
     }
 }
 
@@ -95,12 +101,7 @@ pub trait Prefetcher {
 
     /// Called when a `want_value` prefetch completes; pointer components
     /// continue chains from here.
-    fn on_prefetch_complete(
-        &mut self,
-        _pf: &CompletedPrefetch,
-        _out: &mut Vec<PrefetchRequest>,
-    ) {
-    }
+    fn on_prefetch_complete(&mut self, _pf: &CompletedPrefetch, _out: &mut Vec<PrefetchRequest>) {}
 
     /// Whether this prefetcher currently recognizes the (m)PC as one of
     /// its own targets. The composite coordinator filters claimed
@@ -158,7 +159,10 @@ mod tests {
         let mut p = NoPrefetcher;
         let inst = RetiredInst {
             pc: 0x100,
-            kind: InstKind::Load { addr: 0x8000, value: 0 },
+            kind: InstKind::Load {
+                addr: 0x8000,
+                value: 0,
+            },
             dst: Some(Reg::R1),
             srcs: [Some(Reg::R2), None],
         };

@@ -142,7 +142,13 @@ impl C1 {
                 self.decided.remove(&victim);
             }
         }
-        self.decided.insert(pc, Decision { dense, last_region: u64::MAX });
+        self.decided.insert(
+            pc,
+            Decision {
+                dense,
+                last_region: u64::MAX,
+            },
+        );
     }
 
     /// Observe one memory access; may emit a region prefetch.
@@ -213,7 +219,11 @@ impl C1 {
             && self.im_index_of(pc).is_none()
         {
             if let Some(slot) = self.im.iter().position(|e| e.is_none()) {
-                self.im[slot] = Some(ImEntry { pc, total: 0, dense: 0 });
+                self.im[slot] = Some(ImEntry {
+                    pc,
+                    total: 0,
+                    dense: 0,
+                });
                 // Tie the current region to the new candidate.
                 if let Some(e) = self.rm.iter_mut().find(|e| e.region == region) {
                     e.pc_vec |= 1 << slot;
@@ -263,7 +273,9 @@ impl Prefetcher for C1 {
 
     fn on_retire(&mut self, ev: &RetireInfo<'_>, out: &mut Vec<PrefetchRequest>) {
         let Some(access) = ev.access else { return };
-        let Some(addr) = ev.inst.mem_addr() else { return };
+        let Some(addr) = ev.inst.mem_addr() else {
+            return;
+        };
         self.observe(ev.inst.pc, addr, &access, out);
     }
 
@@ -279,16 +291,31 @@ mod tests {
     use super::*;
 
     fn miss_access() -> AccessInfo {
-        AccessInfo { l1_hit: false, secondary: false, latency: 200, served_by_prefetch: None }
+        AccessInfo {
+            l1_hit: false,
+            secondary: false,
+            latency: 200,
+            served_by_prefetch: None,
+        }
     }
 
     fn hit_access() -> AccessInfo {
-        AccessInfo { l1_hit: true, secondary: false, latency: 3, served_by_prefetch: None }
+        AccessInfo {
+            l1_hit: true,
+            secondary: false,
+            latency: 3,
+            served_by_prefetch: None,
+        }
     }
 
     /// Drive `pc` through `n` regions, touching `lines_per_region`
     /// distinct lines in each.
-    fn train(c1: &mut C1, pc: u64, regions: std::ops::Range<u64>, lines_per_region: u64) -> Vec<PrefetchRequest> {
+    fn train(
+        c1: &mut C1,
+        pc: u64,
+        regions: std::ops::Range<u64>,
+        lines_per_region: u64,
+    ) -> Vec<PrefetchRequest> {
         let mut out = Vec::new();
         for r in regions {
             for l in 0..lines_per_region {
@@ -310,7 +337,9 @@ mod tests {
         assert!(c1.is_dense_pc(0x100), "instruction must be decided dense");
         assert!(!out.is_empty(), "region prefetches must fire");
         // All requests go to L2 with C1's confidence.
-        assert!(out.iter().all(|r| r.dest == CacheLevel::L2 && r.confidence == CONF_C1));
+        assert!(out
+            .iter()
+            .all(|r| r.dest == CacheLevel::L2 && r.confidence == CONF_C1));
     }
 
     #[test]
@@ -328,10 +357,14 @@ mod tests {
         // Now touch a brand-new region once.
         let mut out = Vec::new();
         let region = 1000u64;
-        c1.observe(0x100, region * REGION_LINES * LINE_BYTES, &miss_access(), &mut out);
+        c1.observe(
+            0x100,
+            region * REGION_LINES * LINE_BYTES,
+            &miss_access(),
+            &mut out,
+        );
         assert_eq!(out.len(), (REGION_LINES - 1) as usize);
-        let lines: std::collections::BTreeSet<u64> =
-            out.iter().map(|r| line_of(r.addr)).collect();
+        let lines: std::collections::BTreeSet<u64> = out.iter().map(|r| line_of(r.addr)).collect();
         assert_eq!(lines.len(), 15, "15 distinct lines");
         assert!(lines.iter().all(|l| region_of(l * LINE_BYTES) == region));
     }
@@ -374,7 +407,12 @@ mod tests {
         // 40 instructions all miss once; only 16 can be monitored at a time.
         let mut out = Vec::new();
         for pc in 0..40u64 {
-            c1.observe(0x100 + pc * 4, pc * REGION_LINES * LINE_BYTES, &miss_access(), &mut out);
+            c1.observe(
+                0x100 + pc * 4,
+                pc * REGION_LINES * LINE_BYTES,
+                &miss_access(),
+                &mut out,
+            );
         }
         let monitored = c1.im.iter().filter(|e| e.is_some()).count();
         assert!(monitored <= 16);
@@ -385,6 +423,9 @@ mod tests {
     fn storage_is_about_1_2_kb() {
         let c1 = C1::with_origin(Origin(3));
         let kb = c1.storage_bits() as f64 / 8.0 / 1024.0;
-        assert!((1.0..1.5).contains(&kb), "Table II says 1.2 KB, got {kb:.2}");
+        assert!(
+            (1.0..1.5).contains(&kb),
+            "Table II says 1.2 KB, got {kb:.2}"
+        );
     }
 }

@@ -151,7 +151,11 @@ impl Prefetcher for Composite {
 
     fn storage_bits(&self) -> u64 {
         self.base.storage_bits()
-            + self.extras.iter().map(|(_, e)| e.storage_bits()).sum::<u64>()
+            + self
+                .extras
+                .iter()
+                .map(|(_, e)| e.storage_bits())
+                .sum::<u64>()
     }
 
     fn on_retire(&mut self, ev: &RetireInfo<'_>, out: &mut Vec<PrefetchRequest>) {
@@ -234,7 +238,12 @@ mod tests {
         fn on_retire(&mut self, ev: &RetireInfo<'_>, out: &mut Vec<PrefetchRequest>) {
             if let Some(addr) = ev.inst.mem_addr() {
                 self.seen.push(ev.inst.pc);
-                out.push(PrefetchRequest::new(addr + 64, CacheLevel::L1, self.origin, 100));
+                out.push(PrefetchRequest::new(
+                    addr + 64,
+                    CacheLevel::L1,
+                    self.origin,
+                    100,
+                ));
             }
         }
     }
@@ -275,9 +284,19 @@ mod tests {
         )
     }
 
-    fn drive(c: &mut Composite, pc: u64, addr: u64, served: Option<Origin>) -> Vec<PrefetchRequest> {
+    fn drive(
+        c: &mut Composite,
+        pc: u64,
+        addr: u64,
+        served: Option<Origin>,
+    ) -> Vec<PrefetchRequest> {
         let (inst, access) = mem_event(pc, addr, served);
-        let ev = RetireInfo { now: 0, inst: &inst, mpc: pc, access: Some(access) };
+        let ev = RetireInfo {
+            now: 0,
+            inst: &inst,
+            mpc: pc,
+            access: Some(access),
+        };
         let mut out = Vec::new();
         c.on_retire(&ev, &mut out);
         out
@@ -288,7 +307,10 @@ mod tests {
         let mut c = Composite::with_extra(
             Box::new(ClaimingBase(0x100)),
             Origin(40),
-            Box::new(Probe { origin: Origin(40), seen: Vec::new() }),
+            Box::new(Probe {
+                origin: Origin(40),
+                seen: Vec::new(),
+            }),
         );
         let out = drive(&mut c, 0x100, 0x8000, None);
         assert!(out.is_empty(), "claimed pc filtered from the extra");
@@ -301,8 +323,20 @@ mod tests {
         let mut c = Composite::new(
             Box::new(ClaimingBase(0)),
             vec![
-                (Origin(40), Box::new(Probe { origin: Origin(40), seen: Vec::new() }) as _),
-                (Origin(41), Box::new(Probe { origin: Origin(41), seen: Vec::new() }) as _),
+                (
+                    Origin(40),
+                    Box::new(Probe {
+                        origin: Origin(40),
+                        seen: Vec::new(),
+                    }) as _,
+                ),
+                (
+                    Origin(41),
+                    Box::new(Probe {
+                        origin: Origin(41),
+                        seen: Vec::new(),
+                    }) as _,
+                ),
             ],
         );
         for pc in 1..=8u64 {
@@ -323,8 +357,20 @@ mod tests {
         let mut c = Composite::new(
             Box::new(ClaimingBase(0)),
             vec![
-                (Origin(40), Box::new(Probe { origin: Origin(40), seen: Vec::new() }) as _),
-                (Origin(41), Box::new(Probe { origin: Origin(41), seen: Vec::new() }) as _),
+                (
+                    Origin(40),
+                    Box::new(Probe {
+                        origin: Origin(40),
+                        seen: Vec::new(),
+                    }) as _,
+                ),
+                (
+                    Origin(41),
+                    Box::new(Probe {
+                        origin: Origin(41),
+                        seen: Vec::new(),
+                    }) as _,
+                ),
             ],
         );
         // pc 0x300 initially assigned round-robin (extra 0).
@@ -345,7 +391,10 @@ mod tests {
         let mut c = Composite::with_extra(
             Box::new(ClaimingBase(0)),
             Origin(40),
-            Box::new(Probe { origin: Origin(40), seen: Vec::new() }),
+            Box::new(Probe {
+                origin: Origin(40),
+                seen: Vec::new(),
+            }),
         );
         let mut total = 0usize;
         for i in 0..4000u64 {
@@ -366,7 +415,10 @@ mod tests {
         let mut c = Composite::with_extra(
             Box::new(ClaimingBase(0)),
             Origin(40),
-            Box::new(Probe { origin: Origin(40), seen: Vec::new() }),
+            Box::new(Probe {
+                origin: Origin(40),
+                seen: Vec::new(),
+            }),
         );
         let mut total = 0usize;
         for i in 0..4000u64 {
@@ -382,7 +434,10 @@ mod tests {
         let mut c = Composite::with_extra(
             Box::new(ClaimingBase(0)),
             Origin(40),
-            Box::new(Probe { origin: Origin(40), seen: Vec::new() }),
+            Box::new(Probe {
+                origin: Origin(40),
+                seen: Vec::new(),
+            }),
         );
         // Get it suppressed.
         for i in 0..2000u64 {
@@ -405,7 +460,10 @@ mod tests {
         let c = Composite::with_extra(
             Box::new(ClaimingBase(0)),
             Origin(40),
-            Box::new(Probe { origin: Origin(40), seen: Vec::new() }),
+            Box::new(Probe {
+                origin: Origin(40),
+                seen: Vec::new(),
+            }),
         );
         assert_eq!(c.name(), "base+probe");
         assert_eq!(c.storage_bits(), 1100);
@@ -442,15 +500,28 @@ mod tests {
         let mut c = Composite::with_extra(
             Box::new(ClaimingBase(0)),
             Origin(40),
-            Box::new(Completer { origin: Origin(40), completions: 0 }),
+            Box::new(Completer {
+                origin: Origin(40),
+                completions: 0,
+            }),
         );
         let mut out = Vec::new();
         c.on_prefetch_complete(
-            &CompletedPrefetch { now: 0, addr: 0x40, origin: Origin(40), value: 0 },
+            &CompletedPrefetch {
+                now: 0,
+                addr: 0x40,
+                origin: Origin(40),
+                value: 0,
+            },
             &mut out,
         );
         c.on_prefetch_complete(
-            &CompletedPrefetch { now: 0, addr: 0x40, origin: Origin(99), value: 0 },
+            &CompletedPrefetch {
+                now: 0,
+                addr: 0x40,
+                origin: Origin(99),
+                value: 0,
+            },
             &mut out,
         );
         assert!(out.is_empty());

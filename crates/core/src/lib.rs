@@ -26,6 +26,7 @@
 //!     by a serialized FSM with catch-up and steady states;
 //!   - **C1** (Sec. IV-C): high-spatial-locality region prefetching with
 //!     a Region Monitor and Instruction Monitor.
+//!
 //!   The coordinator tries T2, then P1, then C1, and routes T2/P1
 //!   prefetches to L1 but C1's lower-confidence ones to L2.
 //! * [`Composite`] (Sec. IV-E) — extends a TPC with existing monolithic
@@ -78,7 +79,9 @@ mod shunt;
 mod sit;
 mod tpc;
 
-pub use api::{AccessInfo, CompletedPrefetch, NoPrefetcher, Prefetcher, PrefetchRequest, RetireInfo};
+pub use api::{
+    AccessInfo, CompletedPrefetch, NoPrefetcher, PrefetchRequest, Prefetcher, RetireInfo,
+};
 pub use c1::{C1Config, C1};
 pub use composite::Composite;
 pub use loop_hw::{LoopHardware, LoopHardwareConfig};

@@ -194,8 +194,11 @@ impl P1 {
         };
 
         // --- Investigation bookkeeping ---
-        let is_investigated =
-            self.investigating.as_ref().map(|inv| inv.mpc == ev.mpc).unwrap_or(false);
+        let is_investigated = self
+            .investigating
+            .as_ref()
+            .map(|inv| inv.mpc == ev.mpc)
+            .unwrap_or(false);
         if is_investigated {
             self.step_investigation(ev.mpc, addr, value, addr_base_tainted, sit_update, sit);
         } else if let Some(inv) = &mut self.investigating {
@@ -211,7 +214,11 @@ impl P1 {
                     }
                     None => {
                         if inv.candidates.len() < 4 {
-                            inv.candidates.push(Candidate { pc: inst.pc, delta, count: 1 });
+                            inv.candidates.push(Candidate {
+                                pc: inst.pc,
+                                delta,
+                                count: 1,
+                            });
                         }
                     }
                 }
@@ -244,7 +251,12 @@ impl P1 {
                 // Every observed pointer value yields a target prefetch.
                 let target = value.wrapping_add(delta as u64);
                 if target > 4096 {
-                    out.push(PrefetchRequest::new(target, CacheLevel::L1, self.origin, CONF_P1));
+                    out.push(PrefetchRequest::new(
+                        target,
+                        CacheLevel::L1,
+                        self.origin,
+                        CONF_P1,
+                    ));
                 }
             }
             if let Some(delta) = e.chain_delta {
@@ -253,13 +265,7 @@ impl P1 {
         }
     }
 
-    fn maybe_start_investigation(
-        &mut self,
-        mpc: u64,
-        dst: Option<u8>,
-        value: u64,
-        sit: &Sit,
-    ) {
+    fn maybe_start_investigation(&mut self, mpc: u64, dst: Option<u8>, value: u64, sit: &Sit) {
         let Some(dst) = dst else { return };
         let Some(e) = sit.entry(mpc) else { return };
         if e.aop_delta.is_some() || e.chain_delta.is_some() {
@@ -294,7 +300,9 @@ impl P1 {
         sit_update: Option<SitUpdate>,
         sit: &mut Sit,
     ) {
-        let Some(inv) = &mut self.investigating else { return };
+        let Some(inv) = &mut self.investigating else {
+            return;
+        };
         inv.iters += 1;
         inv.self_dep = addr_base_tainted;
 
@@ -352,7 +360,13 @@ impl P1 {
         let Some(fsm) = self.chains.get_mut(&mpc) else {
             self.chains.insert(
                 mpc,
-                ChainFsm { delta, frontier: 0, ahead: 0, waiting: false, misses_in_a_row: 0 },
+                ChainFsm {
+                    delta,
+                    frontier: 0,
+                    ahead: 0,
+                    waiting: false,
+                    misses_in_a_row: 0,
+                },
             );
             return;
         };
@@ -438,7 +452,12 @@ impl P1 {
             if let Some(delta) = e.aop_delta {
                 let target = value.wrapping_add(delta as u64);
                 if target > 4096 {
-                    out.push(PrefetchRequest::new(target, CacheLevel::L1, self.origin, CONF_P1));
+                    out.push(PrefetchRequest::new(
+                        target,
+                        CacheLevel::L1,
+                        self.origin,
+                        CONF_P1,
+                    ));
                 }
             }
         }
@@ -518,10 +537,15 @@ mod tests {
             reqs.extend(drive(&mut p1, &mut sit, &j, n * 20 + 2));
         }
         let e = sit.entry(0x100).expect("producer tracked");
-        assert_eq!(e.aop_delta, Some(16), "offset between value and j's address");
+        assert_eq!(
+            e.aop_delta,
+            Some(16),
+            "offset between value and j's address"
+        );
         // Steady state: prefetches of value+16 are being issued.
         assert!(
-            reqs.iter().any(|r| r.addr % 0x400 == 16 && r.addr >= 0x10_0000),
+            reqs.iter()
+                .any(|r| r.addr % 0x400 == 16 && r.addr >= 0x10_0000),
             "AoP target prefetches must fire: {reqs:?}"
         );
         assert!(p1.claims(&sit, 0x100));
@@ -540,7 +564,10 @@ mod tests {
             // load r1 = [r1 + 8]: address = node(n)+8, value = node(n+1)
             let i = RetiredInst {
                 pc: 0x200,
-                kind: InstKind::Load { addr: node(n) + 8, value: node(n + 1) },
+                kind: InstKind::Load {
+                    addr: node(n) + 8,
+                    value: node(n + 1),
+                },
                 dst: Some(Reg::R1),
                 srcs: [Some(Reg::R1), None],
             };
@@ -565,13 +592,19 @@ mod tests {
         for n in 0..20u64 {
             let i = RetiredInst {
                 pc: 0x200,
-                kind: InstKind::Load { addr: node(n) + 8, value: node(n + 1) },
+                kind: InstKind::Load {
+                    addr: node(n) + 8,
+                    value: node(n + 1),
+                },
                 dst: Some(Reg::R1),
                 srcs: [Some(Reg::R1), None],
             };
             reqs.extend(drive(&mut p1, &mut sit, &i, n * 50));
         }
-        let first = *reqs.iter().rfind(|r| r.want_value).expect("a chained prefetch");
+        let first = *reqs
+            .iter()
+            .rfind(|r| r.want_value)
+            .expect("a chained prefetch");
         // Complete it: the memory at node(k)+8 holds node(k+1).
         let k = (first.addr - 8 - 0x20_0000) / 0x1000;
         let mut out = Vec::new();
@@ -590,7 +623,10 @@ mod tests {
         for n in 0..10u64 {
             let i = RetiredInst {
                 pc: 0x200,
-                kind: InstKind::Load { addr: node(n) + 8, value: node(n + 1) },
+                kind: InstKind::Load {
+                    addr: node(n) + 8,
+                    value: node(n + 1),
+                },
                 dst: Some(Reg::R1),
                 srcs: [Some(Reg::R1), None],
             };
@@ -603,7 +639,10 @@ mod tests {
         for n in 0..20u64 {
             let i = RetiredInst {
                 pc: 0x200,
-                kind: InstKind::Load { addr: 0x90_0000 + n * 0x2000 + 8, value: 0x90_0000 + (n + 1) * 0x2000 },
+                kind: InstKind::Load {
+                    addr: 0x90_0000 + n * 0x2000 + 8,
+                    value: 0x90_0000 + (n + 1) * 0x2000,
+                },
                 dst: Some(Reg::R1),
                 srcs: [Some(Reg::R1), None],
             };

@@ -98,7 +98,10 @@ mod tests {
         ]);
         let inst = RetiredInst {
             pc: 0x100,
-            kind: InstKind::Load { addr: 0x8000, value: 0 },
+            kind: InstKind::Load {
+                addr: 0x8000,
+                value: 0,
+            },
             dst: Some(Reg::R1),
             srcs: [Some(Reg::R2), None],
         };

@@ -199,7 +199,8 @@ impl Sit {
             return &mut self.entries[i];
         }
         if self.entries.len() < self.cfg.entries {
-            self.entries.push(SitEntry::new(mpc, pc, addr, value, stamp));
+            self.entries
+                .push(SitEntry::new(mpc, pc, addr, value, stamp));
             let i = self.entries.len() - 1;
             return &mut self.entries[i];
         }
@@ -242,12 +243,15 @@ impl Sit {
             let _ = cfg;
             e.last_addr = addr;
             e.last_value = value;
-            if e.frontier < addr && e.delta > 0 {
-                e.frontier = addr;
-            } else if e.frontier > addr && e.delta < 0 {
+            if (e.frontier < addr && e.delta > 0) || (e.frontier > addr && e.delta < 0) {
                 e.frontier = addr;
             }
-            Some(SitUpdate { new_delta, same: e.same, diff: e.diff, value_to_addr })
+            Some(SitUpdate {
+                new_delta,
+                same: e.same,
+                diff: e.diff,
+                value_to_addr,
+            })
         } else {
             self.find_or_alloc(mpc, pc, addr, value);
             None
@@ -340,7 +344,10 @@ mod tests {
 
     #[test]
     fn lru_replacement_evicts_oldest() {
-        let mut s = Sit::new(SitConfig { entries: 2, ..SitConfig::default() });
+        let mut s = Sit::new(SitConfig {
+            entries: 2,
+            ..SitConfig::default()
+        });
         s.update(0x100, 0x100, 1, 0);
         s.update(0x200, 0x200, 2, 0);
         s.update(0x100, 0x100, 3, 0); // refresh 0x100
@@ -362,11 +369,16 @@ mod tests {
 
     #[test]
     fn label_store_is_bounded() {
-        let mut s = Sit::new(SitConfig { label_entries: 4, ..SitConfig::default() });
+        let mut s = Sit::new(SitConfig {
+            label_entries: 4,
+            ..SitConfig::default()
+        });
         for pc in 0..8u64 {
             s.set_label(pc, InstLabel::Strided);
         }
-        let tracked = (0..8u64).filter(|pc| s.label(*pc) != InstLabel::Unknown).count();
+        let tracked = (0..8u64)
+            .filter(|pc| s.label(*pc) != InstLabel::Unknown)
+            .count();
         assert!(tracked <= 4);
     }
 

@@ -1,6 +1,6 @@
 //! Property-based tests on the prefetcher components' invariants.
 
-use dol_core::{AccessInfo, Prefetcher, PrefetchRequest, RetireInfo, Sit, SitConfig, Tpc};
+use dol_core::{AccessInfo, PrefetchRequest, Prefetcher, RetireInfo, Sit, SitConfig, Tpc};
 use dol_isa::{InstKind, Reg, RetiredInst};
 use proptest::prelude::*;
 
@@ -12,7 +12,10 @@ fn feed_loads(
     for (i, (pc, addr)) in accesses.iter().enumerate() {
         let inst = RetiredInst {
             pc: *pc,
-            kind: InstKind::Load { addr: *addr, value: 0 },
+            kind: InstKind::Load {
+                addr: *addr,
+                value: 0,
+            },
             dst: Some(Reg::R1),
             srcs: [Some(Reg::R2), None],
         };
@@ -87,7 +90,7 @@ proptest! {
         let accesses: Vec<(u64, u64)> = (0..200)
             .map(|_| {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                (0x100u64, 0x10_0000 + (x % (1 << 24)) & !7)
+                (0x100u64, (0x10_0000 + (x % (1 << 24))) & !7)
             })
             .collect();
         let mut t2 = Tpc::t2_only();

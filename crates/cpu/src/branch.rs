@@ -69,7 +69,13 @@ impl BranchPredictor {
         let slot = self.loop_slot(pc);
         let le = &mut self.loop_table[slot];
         if !le.valid || le.pc != pc {
-            *le = LoopEntry { pc, trip: 0, current: 0, confident: false, valid: true };
+            *le = LoopEntry {
+                pc,
+                trip: 0,
+                current: 0,
+                confident: false,
+                valid: true,
+            };
         }
         if taken {
             le.current += 1;
@@ -138,6 +144,9 @@ mod tests {
             }
         }
         // gshare with history learns alternation eventually.
-        assert!(correct > 120, "history should capture alternation, got {correct}");
+        assert!(
+            correct > 120,
+            "history should capture alternation, got {correct}"
+        );
     }
 }

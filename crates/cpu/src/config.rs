@@ -26,7 +26,14 @@ impl CoreConfig {
     /// The paper's Table I core: 4-wide, 192 ROB, 96 LSQ, 15-cycle
     /// branch-miss penalty, 32-entry RAS.
     pub fn isca2018() -> Self {
-        CoreConfig { width: 4, rob: 192, lsq: 96, branch_penalty: 15, ras: 32, gshare_bits: 12 }
+        CoreConfig {
+            width: 4,
+            rob: 192,
+            lsq: 96,
+            branch_penalty: 15,
+            ras: 32,
+            gshare_bits: 12,
+        }
     }
 }
 
@@ -103,6 +110,9 @@ mod tests {
 
     #[test]
     fn default_policy_is_as_requested() {
-        assert!(matches!(DestinationPolicy::default(), DestinationPolicy::AsRequested));
+        assert!(matches!(
+            DestinationPolicy::default(),
+            DestinationPolicy::AsRequested
+        ));
     }
 }

@@ -3,7 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use dol_core::{AccessInfo, CompletedPrefetch, Prefetcher, PrefetchRequest, RetireInfo};
+use dol_core::{AccessInfo, CompletedPrefetch, PrefetchRequest, Prefetcher, RetireInfo};
 use dol_isa::{InstKind, SparseMemory, Trace, Vm, VmError};
 use dol_mem::{line_of, CacheLevel, DropReason, MemEvent, MemorySystem, SystemStats};
 
@@ -32,7 +32,10 @@ impl Workload {
     /// trace and memory image.
     pub fn capture(mut vm: Vm, max_insts: u64) -> Result<Workload, VmError> {
         let trace = vm.run(max_insts)?;
-        Ok(Workload { trace, memory: vm.memory().clone() })
+        Ok(Workload {
+            trace,
+            memory: vm.memory().clone(),
+        })
     }
 }
 
@@ -196,7 +199,11 @@ impl System {
         workloads: &[Workload],
         prefetchers: &mut [&mut dyn Prefetcher],
     ) -> MultiRunResult {
-        assert_eq!(workloads.len(), prefetchers.len(), "one prefetcher per core");
+        assert_eq!(
+            workloads.len(),
+            prefetchers.len(),
+            "one prefetcher per core"
+        );
         assert!(
             workloads.len() <= self.cfg.hierarchy.cores as usize,
             "more workloads than configured cores"
@@ -226,7 +233,13 @@ impl System {
         let stats = mem.stats();
         let mut events = mem.drain_events();
         events.shrink_to_fit();
-        MultiRunResult { cores: per_core, stalls, mispredicts, stats, events }
+        MultiRunResult {
+            cores: per_core,
+            stalls,
+            mispredicts,
+            stats,
+            events,
+        }
     }
 
     #[inline]
@@ -304,7 +317,8 @@ impl System {
                 now,
             );
             if outcome.accepted && req.want_value {
-                c.pending.push(Reverse((outcome.completes_at, req.addr, req.origin.0)));
+                c.pending
+                    .push(Reverse((outcome.completes_at, req.addr, req.origin.0)));
             }
             // Transient rejections back off and retry (twice at most).
             if !outcome.accepted
@@ -320,12 +334,7 @@ impl System {
         }
     }
 
-    fn drain_retries(
-        &self,
-        core_idx: usize,
-        c: &mut CoreRt<'_>,
-        mem: &mut MemorySystem,
-    ) {
+    fn drain_retries(&self, core_idx: usize, c: &mut CoreRt<'_>, mem: &mut MemorySystem) {
         if c.retries.is_empty() {
             return;
         }
@@ -396,8 +405,13 @@ impl System {
             InstKind::Alu { latency } => issue + latency as u64,
             InstKind::Load { addr, .. } | InstKind::Store { addr } => {
                 let is_write = matches!(inst.kind, InstKind::Store { .. });
-                let outcome =
-                    mem.demand_access(core_idx, Self::xlate(core_idx, addr), is_write, issue, inst.pc);
+                let outcome = mem.demand_access(
+                    core_idx,
+                    Self::xlate(core_idx, addr),
+                    is_write,
+                    issue,
+                    inst.pc,
+                );
                 access = Some(AccessInfo {
                     l1_hit: outcome.l1_hit,
                     secondary: outcome.l1_secondary,
@@ -449,8 +463,17 @@ impl System {
         c.dispatched += 1;
 
         // Prefetcher training and issue.
-        let mpc = if inst.is_mem() { inst.pc ^ ras_top } else { inst.pc };
-        let ev = RetireInfo { now: issue, inst: &inst, mpc, access };
+        let mpc = if inst.is_mem() {
+            inst.pc ^ ras_top
+        } else {
+            inst.pc
+        };
+        let ev = RetireInfo {
+            now: issue,
+            inst: &inst,
+            mpc,
+            access,
+        };
         out.clear();
         prefetcher.on_retire(&ev, out);
         if !out.is_empty() {
@@ -577,7 +600,10 @@ mod tests {
         let mut p2 = Tpc::full();
         let r = sys.run_multi(
             &[w1.clone(), w2.clone()],
-            &mut [&mut p1 as &mut dyn Prefetcher, &mut p2 as &mut dyn Prefetcher],
+            &mut [
+                &mut p1 as &mut dyn Prefetcher,
+                &mut p2 as &mut dyn Prefetcher,
+            ],
         );
         assert_eq!(r.cores.len(), 2);
         assert_eq!(r.cores[0].1 as usize, w1.trace.len());
@@ -601,7 +627,11 @@ mod tests {
         // Shared DRAM bandwidth: at least one core should be no faster
         // than running alone.
         let worst = r.cores.iter().map(|&(c, _)| c).max().unwrap();
-        assert!(worst >= solo.cycles, "contention: worst {worst} vs solo {}", solo.cycles);
+        assert!(
+            worst >= solo.cycles,
+            "contention: worst {worst} vs solo {}",
+            solo.cycles
+        );
     }
 
     #[test]
@@ -620,7 +650,10 @@ mod tests {
         assert!(!issued.is_empty());
         assert!(issued.iter().all(|e| matches!(
             e,
-            MemEvent::PrefetchIssued { dest: CacheLevel::L2, .. }
+            MemEvent::PrefetchIssued {
+                dest: CacheLevel::L2,
+                ..
+            }
         )));
     }
 

@@ -56,7 +56,10 @@ fn stratified_policy_splits_by_line_set() {
             }
         }
     }
-    assert!(both[0] > 0 && both[1] > 0, "both destinations used: {both:?}");
+    assert!(
+        both[0] > 0 && both[1] > 0,
+        "both destinations used: {both:?}"
+    );
     assert!(l1_ok, "an L1 prefetch escaped the LHF set");
     assert!(l2_ok, "an L2 prefetch was in the LHF set");
 }
@@ -140,13 +143,20 @@ fn per_core_address_spaces_do_not_alias() {
     assert!(m0 > 0 && m1 > 0);
     // If the address spaces aliased, the second core would hit in the
     // shared L3 everywhere; both cores must instead fetch from DRAM.
-    assert!(r.stats.dram.demand_reads >= m0.min(m1), "no cross-core aliasing");
+    assert!(
+        r.stats.dram.demand_reads >= m0.min(m1),
+        "no cross-core aliasing"
+    );
 }
 
 #[test]
 fn budget_truncates_trace_not_semantics() {
     let full = Workload::capture(stream_vm(100_000), 30_000).unwrap();
-    assert_eq!(full.trace.len(), 30_000, "budget cuts the infinite-ish loop");
+    assert_eq!(
+        full.trace.len(),
+        30_000,
+        "budget cuts the infinite-ish loop"
+    );
     let sys = System::new(SystemConfig::tiny(1));
     let r = sys.run(&full, &mut NoPrefetcher);
     assert_eq!(r.instructions, 30_000);

@@ -3,8 +3,8 @@
 
 use std::collections::HashSet;
 
-use dol_metrics::{Category, Classifier, EffectiveAccuracy};
 use dol_mem::{CacheLevel, MemEvent, Origin};
+use dol_metrics::{Category, Classifier, EffectiveAccuracy};
 
 fn origin_ok(origin: Origin, filter: Option<&[Origin]>) -> bool {
     match filter {
@@ -32,27 +32,41 @@ pub fn accuracy_within(
     let mut acc = EffectiveAccuracy::default();
     for e in events {
         match e {
-            MemEvent::PrefetchIssued { origin, dest, line, .. } => {
-                if origin_ok(*origin, origins) && *dest <= level && line_ok(*line, lines) {
-                    acc.issued += 1;
-                }
+            MemEvent::PrefetchIssued {
+                origin, dest, line, ..
+            } if origin_ok(*origin, origins) && *dest <= level && line_ok(*line, lines) => {
+                acc.issued += 1;
             }
-            MemEvent::PrefetchUseful { level: l, origin, line, .. } => {
-                if *l == level && origin_ok(*origin, origins) && line_ok(*line, lines) {
-                    acc.useful += 1;
-                }
+            MemEvent::PrefetchUseful {
+                level: l,
+                origin,
+                line,
+                ..
+            } if *l == level && origin_ok(*origin, origins) && line_ok(*line, lines) => {
+                acc.useful += 1;
             }
-            MemEvent::PrefetchUnused { level: l, origin, line, .. } => {
-                if *l == level && origin_ok(*origin, origins) && line_ok(*line, lines) {
-                    acc.unused += 1;
-                }
+            MemEvent::PrefetchUnused {
+                level: l,
+                origin,
+                line,
+                ..
+            } if *l == level && origin_ok(*origin, origins) && line_ok(*line, lines) => {
+                acc.unused += 1;
             }
-            MemEvent::AvoidedMiss { level: l, origin, line, .. } => {
-                if *l == level && origin_ok(*origin, origins) && line_ok(*line, lines) {
-                    acc.avoided += 1;
-                }
+            MemEvent::AvoidedMiss {
+                level: l,
+                origin,
+                line,
+                ..
+            } if *l == level && origin_ok(*origin, origins) && line_ok(*line, lines) => {
+                acc.avoided += 1;
             }
-            MemEvent::InducedMiss { level: l, blamed, line, .. } => {
+            MemEvent::InducedMiss {
+                level: l,
+                blamed,
+                line,
+                ..
+            } => {
                 if *l != level || !line_ok(*line, lines) {
                     continue;
                 }
@@ -95,30 +109,25 @@ pub fn accuracy_by_category(
     };
     for e in events {
         match e {
-            MemEvent::PrefetchIssued { dest, line, .. } => {
-                if *dest <= level {
-                    out[idx(*line)].issued += 1;
-                }
+            MemEvent::PrefetchIssued { dest, line, .. } if *dest <= level => {
+                out[idx(*line)].issued += 1;
             }
-            MemEvent::PrefetchUseful { level: l, line, .. } => {
-                if *l == level {
-                    out[idx(*line)].useful += 1;
-                }
+            MemEvent::PrefetchUseful { level: l, line, .. } if *l == level => {
+                out[idx(*line)].useful += 1;
             }
-            MemEvent::PrefetchUnused { level: l, line, .. } => {
-                if *l == level {
-                    out[idx(*line)].unused += 1;
-                }
+            MemEvent::PrefetchUnused { level: l, line, .. } if *l == level => {
+                out[idx(*line)].unused += 1;
             }
-            MemEvent::AvoidedMiss { level: l, line, .. } => {
-                if *l == level {
-                    out[idx(*line)].avoided += 1;
-                }
+            MemEvent::AvoidedMiss { level: l, line, .. } if *l == level => {
+                out[idx(*line)].avoided += 1;
             }
-            MemEvent::InducedMiss { level: l, line, blamed, .. } => {
-                if *l == level && !blamed.is_empty() {
-                    out[idx(*line)].induced += 1.0;
-                }
+            MemEvent::InducedMiss {
+                level: l,
+                line,
+                blamed,
+                ..
+            } if *l == level && !blamed.is_empty() => {
+                out[idx(*line)].induced += 1.0;
             }
             _ => {}
         }
@@ -164,9 +173,24 @@ mod tests {
     #[test]
     fn line_filter_restricts_accuracy() {
         let events = vec![
-            MemEvent::PrefetchIssued { core: 0, line: 1, origin: Origin(5), dest: CacheLevel::L1 },
-            MemEvent::PrefetchIssued { core: 0, line: 2, origin: Origin(5), dest: CacheLevel::L1 },
-            MemEvent::AvoidedMiss { core: 0, level: CacheLevel::L1, line: 1, origin: Origin(5) },
+            MemEvent::PrefetchIssued {
+                core: 0,
+                line: 1,
+                origin: Origin(5),
+                dest: CacheLevel::L1,
+            },
+            MemEvent::PrefetchIssued {
+                core: 0,
+                line: 2,
+                origin: Origin(5),
+                dest: CacheLevel::L1,
+            },
+            MemEvent::AvoidedMiss {
+                core: 0,
+                level: CacheLevel::L1,
+                line: 1,
+                origin: Origin(5),
+            },
         ];
         let only1: HashSet<u64> = [1u64].into_iter().collect();
         let a = accuracy_within(&events, CacheLevel::L1, None, Some(&only1));
@@ -184,7 +208,10 @@ mod tests {
         let trace: Trace = (0..32u64)
             .map(|i| RetiredInst {
                 pc: 0x100,
-                kind: InstKind::Load { addr: 0x4_0000 + i * 64, value: 0 },
+                kind: InstKind::Load {
+                    addr: 0x4_0000 + i * 64,
+                    value: 0,
+                },
                 dst: Some(Reg::R1),
                 srcs: [Some(Reg::R2), None],
             })

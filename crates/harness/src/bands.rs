@@ -14,7 +14,11 @@ pub struct Expectation {
 impl Expectation {
     /// Builds a check.
     pub fn new(claim: impl Into<String>, measured: impl Into<String>, holds: bool) -> Self {
-        Expectation { claim: claim.into(), measured: measured.into(), holds }
+        Expectation {
+            claim: claim.into(),
+            measured: measured.into(),
+            holds,
+        }
     }
 
     /// `ok`/`DEVIATES` line for reports.
@@ -26,7 +30,11 @@ impl Expectation {
 
 /// Renders a block of expectations.
 pub fn render_all(expectations: &[Expectation]) -> String {
-    expectations.iter().map(|e| e.render()).collect::<Vec<_>>().join("\n")
+    expectations
+        .iter()
+        .map(|e| e.render())
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[cfg(test)]

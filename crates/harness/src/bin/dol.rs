@@ -30,7 +30,12 @@ struct Args {
 }
 
 fn parse(args: &[String]) -> Args {
-    let mut out = Args { workload: None, prefetcher: None, insts: 1_000_000, seed: 2018 };
+    let mut out = Args {
+        workload: None,
+        prefetcher: None,
+        insts: 1_000_000,
+        seed: 2018,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -81,8 +86,7 @@ fn cmd_list() {
 }
 
 fn cmd_run(a: Args) {
-    let (Some(workload), Some(config)) = (a.workload.as_deref(), a.prefetcher.as_deref())
-    else {
+    let (Some(workload), Some(config)) = (a.workload.as_deref(), a.prefetcher.as_deref()) else {
         usage()
     };
     let w = capture(workload, a.insts, a.seed);
@@ -96,7 +100,10 @@ fn cmd_run(a: Args) {
     let fp = footprint(&base.events, CacheLevel::L1);
     let pfp = prefetched_lines(&r.events, None);
     let acc = accuracy_at(&r.events, CacheLevel::L1, None);
-    println!("workload {workload}: {} insts, seed {}", r.instructions, a.seed);
+    println!(
+        "workload {workload}: {} insts, seed {}",
+        r.instructions, a.seed
+    );
     println!(
         "baseline: {} cycles (IPC {:.2}), {} L1 misses, {} DRAM lines",
         base.cycles,
@@ -126,7 +133,9 @@ fn cmd_run(a: Args) {
 }
 
 fn cmd_compare(a: Args) {
-    let Some(workload) = a.workload.as_deref() else { usage() };
+    let Some(workload) = a.workload.as_deref() else {
+        usage()
+    };
     let w = capture(workload, a.insts, a.seed);
     let sys = System::new(SystemConfig::isca2018(1));
     let base = sys.run(&w, &mut NoPrefetcher);
@@ -151,7 +160,12 @@ fn cmd_compare(a: Args) {
             format!("{:.2}", acc.effective_accuracy()),
         ]);
     }
-    println!("{workload} ({} insts, seed {}):\n{}", a.insts, a.seed, t.render());
+    println!(
+        "{workload} ({} insts, seed {}):\n{}",
+        a.insts,
+        a.seed,
+        t.render()
+    );
 }
 
 fn main() {

@@ -1,12 +1,64 @@
 //! Regenerates every table and figure of the paper in one run.
+//!
+//! ```text
+//! run_all [--smoke] [--jobs N]
+//! ```
+//!
+//! `--smoke` switches to [`RunPlan::smoke`] (tiny budget, first few
+//! workloads per suite, one mix) — the offline CI gate runs this.
+//! `--jobs N` shards workloads across N worker threads (`0` = one per
+//! core); output is byte-identical for any job count.
 
 use dol_harness::{experiments, RunPlan};
 
+const USAGE: &str = "usage: run_all [--smoke] [--jobs N]";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
 fn main() {
-    let plan = RunPlan::from_env();
+    let mut smoke = false;
+    let mut jobs: Option<usize> = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--jobs" | "-j" => {
+                jobs = argv.get(i + 1).and_then(|v| v.parse().ok());
+                if jobs.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            _ => usage(),
+        }
+    }
+
+    let mut plan = if smoke {
+        RunPlan::smoke()
+    } else {
+        RunPlan::from_env()
+    };
+    if let Some(j) = jobs {
+        plan.jobs = j;
+    }
     eprintln!(
-        "running all experiments: {} insts/workload, {} mixes (override with DOL_INSTS / DOL_MIXES)",
-        plan.insts, plan.mix_count
+        "running all experiments: {} insts/workload, {} mixes, {} jobs{} \
+         (override with DOL_INSTS / DOL_MIXES / DOL_JOBS)",
+        plan.insts,
+        plan.mix_count,
+        dol_harness::sweep::effective_jobs(plan.jobs),
+        if smoke { ", smoke mode" } else { "" },
     );
     let mut deviations = 0;
     for report in experiments::run_all(&plan) {

@@ -2,11 +2,11 @@
 //! drop policy, and DESIGN.md's design-choice sweeps (T2 thresholds, C1
 //! density, mPC keying).
 
-use dol_core::{Composite, NoPrefetcher, Prefetcher, Shunt, Tpc, TpcBuilder, TpcConfig};
 use dol_baselines::registry::monolithic_by_name;
+use dol_core::{Composite, NoPrefetcher, Prefetcher, Shunt, Tpc, TpcBuilder, TpcConfig};
 use dol_cpu::{System, SystemConfig, Workload};
-use dol_metrics::{geomean, weighted_speedup, TextTable};
 use dol_mem::DropPolicy;
+use dol_metrics::{geomean, weighted_speedup, TextTable};
 use dol_workloads::mixes;
 
 use crate::bands::Expectation;
@@ -19,15 +19,17 @@ use crate::RunPlan;
 /// indiscriminately is worth ~6% on average in a multicore environment.
 pub fn drop_policy(plan: &RunPlan) -> Report {
     let sys1 = single_core();
-    let mut ratios = Vec::new();
-    for mix in mixes(plan.mix_count, plan.seed) {
+    let mixes = mixes(plan.mix_count, plan.seed);
+    let ratios: Vec<f64> = crate::sweep::map(plan.jobs, &mixes, |mix| {
         let members: Vec<Workload> = mix
             .members
             .iter()
             .map(|m| Workload::capture(m.build_vm(plan.seed), plan.insts).expect("runs"))
             .collect();
-        let alone: Vec<f64> =
-            members.iter().map(|w| sys1.run(w, &mut NoPrefetcher).ipc()).collect();
+        let alone: Vec<f64> = members
+            .iter()
+            .map(|w| sys1.run(w, &mut NoPrefetcher).ipc())
+            .collect();
         let ws_with = |policy: DropPolicy| -> f64 {
             let mut cfg = SystemConfig::isca2018(4);
             cfg.hierarchy.dram.drop_policy = policy;
@@ -42,8 +44,8 @@ pub fn drop_policy(plan: &RunPlan) -> Report {
         };
         let random = ws_with(DropPolicy::Random);
         let low_first = ws_with(DropPolicy::LowConfidenceFirst);
-        ratios.push(low_first / random);
-    }
+        low_first / random
+    });
     let avg = geomean(&ratios);
     let mut t = TextTable::new(vec!["mix".into(), "low-conf-first / random".into()]);
     for (i, r) in ratios.iter().enumerate() {
@@ -70,22 +72,26 @@ fn tpc_variant(cfg: TpcConfig, name: &str) -> Box<dyn Prefetcher> {
 fn geomean_speedup_with(
     plan: &RunPlan,
     apps: &[&str],
-    build: impl Fn() -> Box<dyn Prefetcher>,
+    build: impl Fn() -> Box<dyn Prefetcher> + Sync,
 ) -> f64 {
     let sys = single_core();
-    let mut v = Vec::new();
-    for name in apps {
+    let v = crate::sweep::map(plan.jobs, apps, |name| {
         let spec = dol_workloads::by_name(name).expect("known workload");
         let base = BaselineRun::capture(&spec, plan, &sys);
         let mut p = build();
         let r = crate::runner::run_with(&base, p.as_mut(), &sys);
-        v.push(base.cycles() as f64 / r.cycles as f64);
-    }
+        base.cycles() as f64 / r.cycles as f64
+    });
     geomean(&v)
 }
 
-const STRIDED_APPS: [&str; 5] =
-    ["stream_sum", "stride8_walk", "matrix_row", "rle_scan", "unrolled_copy"];
+const STRIDED_APPS: [&str; 5] = [
+    "stream_sum",
+    "stride8_walk",
+    "matrix_row",
+    "rle_scan",
+    "unrolled_copy",
+];
 
 /// T2's stride-confirmation thresholds (paper defaults 16/4 with early
 /// issue at 4; the paper notes the system is not sensitive).
@@ -122,8 +128,7 @@ pub fn t2_thresholds(plan: &RunPlan) -> Report {
     }
 }
 
-const REGION_APPS: [&str; 4] =
-    ["region_shuffle", "gather_window", "histogram", "spmv_csr"];
+const REGION_APPS: [&str; 4] = ["region_shuffle", "gather_window", "histogram", "spmv_csr"];
 
 /// C1's density threshold and decision probability.
 pub fn c1_density(plan: &RunPlan) -> Report {
@@ -190,8 +195,10 @@ pub fn p1_doubling(plan: &RunPlan) -> Report {
     let apps = ["aop_deref", "spmv_csr", "listchase_payload"];
     let with = geomean_speedup_with(plan, &apps, || Box::new(Tpc::full()));
     let without = geomean_speedup_with(plan, &apps, || {
-        let mut cfg = TpcConfig::default();
-        cfg.p1_double_distance = false;
+        let cfg = TpcConfig {
+            p1_double_distance: false,
+            ..TpcConfig::default()
+        };
         tpc_variant(cfg, "TPC-nodouble")
     });
     let mut t = TextTable::new(vec!["variant".into(), "pointer-suite geomean".into()]);
@@ -218,11 +225,9 @@ pub fn multi_extra(plan: &RunPlan) -> Report {
     use dol_mem::CacheLevel;
 
     let sys = single_core();
-    let mut tpc_ratio = Vec::new();
-    let mut comp_ratio = Vec::new();
-    let mut shunt_ratio = Vec::new();
-    for spec in dol_workloads::spec21() {
-        let base = BaselineRun::capture(&spec, plan, &sys);
+    let specs = plan.cap_suite(dol_workloads::spec21());
+    let per_app: Vec<(f64, f64, f64)> = crate::sweep::map(plan.jobs, &specs, |spec| {
+        let base = BaselineRun::capture(spec, plan, &sys);
         let tpc = {
             let mut p = Tpc::full();
             crate::runner::run_with(&base, &mut p, &sys).cycles
@@ -233,8 +238,7 @@ pub fn multi_extra(plan: &RunPlan) -> Report {
                 .enumerate()
                 .map(|(i, name)| {
                     let origin = extra_origin(i);
-                    let p = monolithic_by_name(name, origin, CacheLevel::L1)
-                        .expect("known extra");
+                    let p = monolithic_by_name(name, origin, CacheLevel::L1).expect("known extra");
                     (origin, p)
                 })
                 .collect();
@@ -245,22 +249,28 @@ pub fn multi_extra(plan: &RunPlan) -> Report {
             let mut members: Vec<Box<dyn Prefetcher>> = vec![Box::new(Tpc::full())];
             for (i, name) in EXTRA_SET.iter().enumerate() {
                 members.push(
-                    monolithic_by_name(name, extra_origin(i), CacheLevel::L1)
-                        .expect("known extra"),
+                    monolithic_by_name(name, extra_origin(i), CacheLevel::L1).expect("known extra"),
                 );
             }
             let mut s = Shunt::new(members);
             crate::runner::run_with(&base, &mut s, &sys).cycles
         };
         let b = base.cycles() as f64;
-        tpc_ratio.push(b / tpc as f64);
-        comp_ratio.push(b / comp as f64);
-        shunt_ratio.push(b / sh as f64);
-    }
-    let (g_tpc, g_comp, g_shunt) =
-        (geomean(&tpc_ratio), geomean(&comp_ratio), geomean(&shunt_ratio));
+        (b / tpc as f64, b / comp as f64, b / sh as f64)
+    });
+    let tpc_ratio: Vec<f64> = per_app.iter().map(|r| r.0).collect();
+    let comp_ratio: Vec<f64> = per_app.iter().map(|r| r.1).collect();
+    let shunt_ratio: Vec<f64> = per_app.iter().map(|r| r.2).collect();
+    let (g_tpc, g_comp, g_shunt) = (
+        geomean(&tpc_ratio),
+        geomean(&comp_ratio),
+        geomean(&shunt_ratio),
+    );
     let worst = |v: &[f64], r: &[f64]| {
-        v.iter().zip(r).map(|(x, t)| x / t).fold(f64::INFINITY, f64::min)
+        v.iter()
+            .zip(r)
+            .map(|(x, t)| x / t)
+            .fold(f64::INFINITY, f64::min)
     };
     let comp_worst = worst(&comp_ratio, &tpc_ratio);
     let shunt_worst = worst(&shunt_ratio, &tpc_ratio);
@@ -272,9 +282,7 @@ pub fn multi_extra(plan: &RunPlan) -> Report {
         Expectation::new(
             "the four-extra composite stays close to TPC and is robust, while the \
              five-way shunt's worst case is far worse",
-            format!(
-                "composite worst-vs-TPC {comp_worst:.3}, shunt worst-vs-TPC {shunt_worst:.3}"
-            ),
+            format!("composite worst-vs-TPC {comp_worst:.3}, shunt worst-vs-TPC {shunt_worst:.3}"),
             comp_worst > shunt_worst && comp_worst > 0.8,
         ),
         Expectation::new(

@@ -33,8 +33,10 @@ pub fn run(plan: &RunPlan) -> Report {
         }
         t.row(cells);
     }
-    let avg: Vec<(f64, f64)> =
-        TRIO.iter().map(|p| weighted_scope_accuracy(&apps, p)).collect();
+    let avg: Vec<(f64, f64)> = TRIO
+        .iter()
+        .map(|p| weighted_scope_accuracy(&apps, p))
+        .collect();
     let mut cells = vec!["AVG(weighted)".to_string()];
     for (s, acc) in &avg {
         cells.push(format!("{s:.2}"));
@@ -79,8 +81,12 @@ pub fn run(plan: &RunPlan) -> Report {
     Report {
         id: "fig01",
         title: "Accuracy vs scope for AMPM/BOP/SMS (paper Figure 1)".into(),
-        table: format!("{}
-{}", t.render(), plot),
+        table: format!(
+            "{}
+{}",
+            t.render(),
+            plot
+        ),
         expectations,
     }
 }

@@ -31,7 +31,10 @@ pub fn run_matrix(plan: &RunPlan) -> (Vec<AppSummary>, Report) {
     t.row_f64("GEOMEAN", &geos);
 
     let tpc = geos[configs.len() - 1];
-    let best_mono = geos[..configs.len() - 1].iter().cloned().fold(0.0f64, f64::max);
+    let best_mono = geos[..configs.len() - 1]
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max);
     let tpc_best_count = apps
         .iter()
         .filter(|a| {

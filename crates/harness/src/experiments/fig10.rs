@@ -54,15 +54,18 @@ pub fn run(plan: &RunPlan) -> Report {
     let glyphs: Vec<(char, f64, f64)> = avg
         .iter()
         .map(|(n, s, a, _)| {
-            let g = if n == "TPC" { '@' } else { n.chars().next().unwrap_or('?') };
+            let g = if n == "TPC" {
+                '@'
+            } else {
+                n.chars().next().unwrap_or('?')
+            };
             (g, *s, *a)
         })
         .collect();
     let plot = dol_metrics::accuracy_scope_plot(&dots, &glyphs, -0.25);
 
     let tpc = avg.iter().find(|(n, ..)| n == "TPC").expect("TPC present");
-    let monos: Vec<&(String, f64, f64, f64)> =
-        avg.iter().filter(|(n, ..)| n != "TPC").collect();
+    let monos: Vec<&(String, f64, f64, f64)> = avg.iter().filter(|(n, ..)| n != "TPC").collect();
     let best_mono_acc = monos.iter().map(|(_, _, a, _)| *a).fold(0.0f64, f64::max);
     // The paper's "limited scope" claim concerns the HHF category (its
     // recap: "TPC currently lacks in HHF scope") — in our suite the
@@ -84,7 +87,8 @@ pub fn run(plan: &RunPlan) -> Report {
         .filter(|c| **c != "TPC")
         .map(|c| hhf_scope(c))
         .fold(0.0f64, f64::max);
-    let expectations = vec![
+    let expectations =
+        vec![
         Expectation::new(
             "TPC's average accuracy beats every monolithic (paper: 82% vs 45-69%)",
             format!("TPC {:.2} vs best monolithic {:.2}", tpc.2, best_mono_acc),
@@ -109,8 +113,12 @@ pub fn run(plan: &RunPlan) -> Report {
     Report {
         id: "fig10",
         title: "Effective accuracy vs scope, weighted averages (paper Figure 10)".into(),
-        table: format!("{}
-{}", t.render(), plot),
+        table: format!(
+            "{}
+{}",
+            t.render(),
+            plot
+        ),
         expectations,
     }
 }

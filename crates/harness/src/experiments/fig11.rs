@@ -13,70 +13,75 @@ use crate::prefetchers::{self, COMPARISON_SET};
 use crate::runner::{single_core, AppRun, BaselineRun};
 use crate::RunPlan;
 
-fn suite_geomeans(plan: &RunPlan, specs: &[Spec]) -> Vec<f64> {
+fn suite_geomeans(plan: &RunPlan, specs: Vec<Spec>) -> Vec<f64> {
     let sys = single_core();
-    let mut per_config: Vec<Vec<f64>> = COMPARISON_SET.iter().map(|_| Vec::new()).collect();
-    for spec in specs {
+    let specs = plan.cap_suite(specs);
+    let per_app: Vec<Vec<f64>> = crate::sweep::map(plan.jobs, &specs, |spec| {
         let base = BaselineRun::capture(spec, plan, &sys);
-        for (i, cfg) in COMPARISON_SET.iter().enumerate() {
-            let run = AppRun::run(&base, cfg, &sys);
-            per_config[i].push(run.speedup(&base));
-        }
-    }
-    per_config.iter().map(|v| geomean(v)).collect()
+        COMPARISON_SET
+            .iter()
+            .map(|cfg| AppRun::run(&base, cfg, &sys).speedup(&base))
+            .collect()
+    });
+    (0..COMPARISON_SET.len())
+        .map(|i| geomean(&per_app.iter().map(|v| v[i]).collect::<Vec<_>>()))
+        .collect()
 }
 
 /// Normalized weighted speedups of the mixes: for each config, the
 /// average over mixes of `WS(config) / WS(none)`, where the weighted
 /// speedup uses solo no-prefetch IPCs as the reference.
+///
+/// Two sweep stages: unique mix members are captured (and their solo
+/// baselines run) in parallel once, then the mixes themselves run in
+/// parallel against that shared cache.
 fn mix_speedups(plan: &RunPlan) -> Vec<f64> {
     let sys4 = System::new(SystemConfig::isca2018(4));
     let sys1 = single_core();
-    let mut solo_ipc: HashMap<String, f64> = HashMap::new();
-    let mut workload_cache: HashMap<String, Workload> = HashMap::new();
-    let mut per_config: Vec<Vec<f64>> = COMPARISON_SET.iter().map(|_| Vec::new()).collect();
+    let mixes = mixes(plan.mix_count, plan.seed);
 
-    for mix in mixes(plan.mix_count, plan.seed) {
-        // Capture members (cached) and their solo baseline IPCs.
+    // Unique members, in first-appearance order.
+    let mut uniq: Vec<&Spec> = Vec::new();
+    for m in mixes.iter().flat_map(|m| m.members.iter()) {
+        if !uniq.iter().any(|u| u.name == m.name) {
+            uniq.push(m);
+        }
+    }
+    let captured: HashMap<String, (Workload, f64)> = crate::sweep::map(plan.jobs, &uniq, |m| {
+        let w = Workload::capture(m.build_vm(plan.seed), plan.insts).expect("workload runs");
+        let ipc = sys1.run(&w, &mut NoPrefetcher).ipc();
+        (m.name.to_string(), (w, ipc))
+    })
+    .into_iter()
+    .collect();
+
+    let per_mix: Vec<Vec<f64>> = crate::sweep::map(plan.jobs, &mixes, |mix| {
         let members: Vec<Workload> = mix
             .members
             .iter()
-            .map(|m| {
-                workload_cache
-                    .entry(m.name.to_string())
-                    .or_insert_with(|| {
-                        Workload::capture(m.build_vm(plan.seed), plan.insts)
-                            .expect("workload runs")
-                    })
-                    .clone()
-            })
+            .map(|m| captured[m.name].0.clone())
             .collect();
-        let alone: Vec<f64> = mix
-            .members
-            .iter()
-            .zip(&members)
-            .map(|(m, w)| {
-                *solo_ipc.entry(m.name.to_string()).or_insert_with(|| {
-                    sys1.run(w, &mut NoPrefetcher).ipc()
-                })
-            })
-            .collect();
-
+        let alone: Vec<f64> = mix.members.iter().map(|m| captured[m.name].1).collect();
         let ws_of = |cfg: &str| -> f64 {
             let mut ps: Vec<Box<dyn Prefetcher>> = (0..4)
                 .map(|_| prefetchers::build(cfg).expect("known config"))
                 .collect();
-            let mut refs: Vec<&mut dyn Prefetcher> =
-                ps.iter_mut().map(|p| p.as_mut() as &mut dyn Prefetcher).collect();
+            let mut refs: Vec<&mut dyn Prefetcher> = ps
+                .iter_mut()
+                .map(|p| p.as_mut() as &mut dyn Prefetcher)
+                .collect();
             let r = sys4.run_multi(&members, &mut refs);
             weighted_speedup(&r.ipcs(), &alone)
         };
         let ws_none = ws_of("none");
-        for (i, cfg) in COMPARISON_SET.iter().enumerate() {
-            per_config[i].push(ws_of(cfg) / ws_none);
-        }
-    }
-    per_config.iter().map(|v| geomean(v)).collect()
+        COMPARISON_SET
+            .iter()
+            .map(|cfg| ws_of(cfg) / ws_none)
+            .collect()
+    });
+    (0..COMPARISON_SET.len())
+        .map(|i| geomean(&per_mix.iter().map(|v| v[i]).collect::<Vec<_>>()))
+        .collect()
 }
 
 /// Reproduces Figure 11: geomean speedups per suite (graph, embedded,
@@ -84,9 +89,12 @@ fn mix_speedups(plan: &RunPlan) -> Vec<f64> {
 /// paper's overall geomean across 68 workloads: TPC 1.39 vs 1.22–1.31.
 pub fn run(plan: &RunPlan) -> Report {
     let rows: Vec<(&str, Vec<f64>)> = vec![
-        ("graph", suite_geomeans(plan, &dol_workloads::graphs())),
-        ("embedded", suite_geomeans(plan, &dol_workloads::embedded())),
-        ("scientific", suite_geomeans(plan, &dol_workloads::scientific())),
+        ("graph", suite_geomeans(plan, dol_workloads::graphs())),
+        ("embedded", suite_geomeans(plan, dol_workloads::embedded())),
+        (
+            "scientific",
+            suite_geomeans(plan, dol_workloads::scientific()),
+        ),
         ("4-core mixes", mix_speedups(plan)),
     ];
     let mut headers = vec!["suite".to_string()];

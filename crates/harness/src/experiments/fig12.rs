@@ -46,8 +46,16 @@ fn suite_row(apps: &[AppSummary], cfg: &str) -> (f64, f64, f64, f64, f64) {
         cov2 += c.cov_l2 * a.mpki;
         w_total += a.mpki;
     }
-    let acc1 = if issued1 > 0 { net1 / issued1 as f64 } else { 0.0 };
-    let acc2 = if issued2 > 0 { net2 / issued2 as f64 } else { 0.0 };
+    let acc1 = if issued1 > 0 {
+        net1 / issued1 as f64
+    } else {
+        0.0
+    };
+    let acc2 = if issued2 > 0 {
+        net2 / issued2 as f64
+    } else {
+        0.0
+    };
     (
         scope_num / scope_den.max(1e-12),
         acc1,
@@ -114,14 +122,16 @@ pub fn run(plan: &RunPlan) -> Report {
         ),
         Expectation::new(
             "T2 alone is the most accurate point (narrower scope, higher accuracy than TPC)",
-            format!("T2 acc {:.2} / scope {:.2}, TPC acc {:.2} / scope {:.2}", t2.1, t2.0, tpc.1, tpc.0),
+            format!(
+                "T2 acc {:.2} / scope {:.2}, TPC acc {:.2} / scope {:.2}",
+                t2.1, t2.0, tpc.1, tpc.0
+            ),
             t2.1 >= tpc.1 - 0.02 && t2.0 <= tpc.0 + 0.02,
         ),
     ];
     Report {
         id: "fig12",
-        title: "Accuracy & coverage vs scope at L1/L2; TPC incremental (paper Figure 12)"
-            .into(),
+        title: "Accuracy & coverage vs scope at L1/L2; TPC incremental (paper Figure 12)".into(),
         table: t.render(),
         expectations,
     }

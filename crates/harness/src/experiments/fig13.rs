@@ -91,7 +91,11 @@ pub fn run(plan: &RunPlan) -> Report {
     }
     let _ = CATS;
 
-    let tpc = &per_config.iter().find(|(n, _)| n == "TPC").expect("TPC present").1;
+    let tpc = &per_config
+        .iter()
+        .find(|(n, _)| n == "TPC")
+        .expect("TPC present")
+        .1;
     let monos: Vec<&[f64; 3]> = per_config
         .iter()
         .filter(|(n, _)| n != "TPC")
@@ -110,7 +114,10 @@ pub fn run(plan: &RunPlan) -> Report {
         ),
         Expectation::new(
             "HHF is hard for monolithics (paper: best average only 38%, some near -1)",
-            format!("monolithic HHF accuracy range {:.2}..{:.2}", worst_mono_hhf, best_mono_hhf),
+            format!(
+                "monolithic HHF accuracy range {:.2}..{:.2}",
+                worst_mono_hhf, best_mono_hhf
+            ),
             best_mono_hhf < 0.75,
         ),
         Expectation::new(

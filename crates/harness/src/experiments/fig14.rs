@@ -3,8 +3,8 @@
 
 use std::collections::HashSet;
 
-use dol_metrics::{prefetched_lines, EffectiveAccuracy, TextTable};
 use dol_mem::CacheLevel;
+use dol_metrics::{prefetched_lines, EffectiveAccuracy, TextTable};
 
 use crate::analysis::accuracy_within;
 use crate::bands::Expectation;
@@ -46,8 +46,13 @@ pub fn run(plan: &RunPlan) -> Report {
     let mut alone: Vec<Agg> = EXTRA_SET.iter().map(|_| Agg::default()).collect();
     let mut composed: Vec<Agg> = EXTRA_SET.iter().map(|_| Agg::default()).collect();
 
-    for spec in dol_workloads::spec21() {
-        let base = BaselineRun::capture(&spec, plan, &sys);
+    // Per app (parallel): region weight plus, per extra, the
+    // (alone acc, alone scope, composed acc, composed scope) tuple.
+    // Apps whose uncovered region is empty contribute nothing.
+    type PerExtra = (EffectiveAccuracy, f64, EffectiveAccuracy, f64);
+    let specs = plan.cap_suite(dol_workloads::spec21());
+    let per_app: Vec<Option<(u64, Vec<PerExtra>)>> = crate::sweep::map(plan.jobs, &specs, |spec| {
+        let base = BaselineRun::capture(spec, plan, &sys);
         // TPC's own attempt set defines the uncovered region.
         let tpc_run = AppRun::run(&base, "TPC", &sys);
         let tpc_pfp = prefetched_lines(&tpc_run.result.events, None);
@@ -58,31 +63,45 @@ pub fn run(plan: &RunPlan) -> Report {
             .filter(|l| !tpc_pfp.contains(l))
             .collect();
         if region.is_empty() {
-            continue;
+            return None;
         }
-        let region_weight: u64 =
-            base.fp_l1.iter().filter(|(l, _)| region.contains(l)).map(|(_, w)| w).sum();
+        let region_weight: u64 = base
+            .fp_l1
+            .iter()
+            .filter(|(l, _)| region.contains(l))
+            .map(|(_, w)| w)
+            .sum();
 
-        for (i, extra) in EXTRA_SET.iter().enumerate() {
-            // Standalone.
-            let solo = AppRun::run(&base, extra, &sys);
-            let a = accuracy_within(&solo.result.events, CacheLevel::L1, None, Some(&region));
-            let pfp = prefetched_lines(&solo.result.events, None);
-            let s = dol_metrics::scope::scope_within(&base.fp_l1, &pfp, &region);
-            alone[i].add(a, s, region_weight as f64);
+        let rows = EXTRA_SET
+            .iter()
+            .map(|extra| {
+                // Standalone.
+                let solo = AppRun::run(&base, extra, &sys);
+                let aa = accuracy_within(&solo.result.events, CacheLevel::L1, None, Some(&region));
+                let pfp = prefetched_lines(&solo.result.events, None);
+                let sa = dol_metrics::scope::scope_within(&base.fp_l1, &pfp, &region);
 
-            // As an extra component behind TPC.
-            let comp = AppRun::run(&base, &format!("TPC+{extra}"), &sys);
-            let origin = prefetchers::extra_origin(0);
-            let a = accuracy_within(
-                &comp.result.events,
-                CacheLevel::L1,
-                Some(&[origin]),
-                Some(&region),
-            );
-            let pfp = prefetched_lines(&comp.result.events, Some(&[origin]));
-            let s = dol_metrics::scope::scope_within(&base.fp_l1, &pfp, &region);
-            composed[i].add(a, s, region_weight as f64);
+                // As an extra component behind TPC.
+                let comp = AppRun::run(&base, &format!("TPC+{extra}"), &sys);
+                let origin = prefetchers::extra_origin(0);
+                let ac = accuracy_within(
+                    &comp.result.events,
+                    CacheLevel::L1,
+                    Some(&[origin]),
+                    Some(&region),
+                );
+                let pfp = prefetched_lines(&comp.result.events, Some(&[origin]));
+                let sc = dol_metrics::scope::scope_within(&base.fp_l1, &pfp, &region);
+                (aa, sa, ac, sc)
+            })
+            .collect();
+        Some((region_weight, rows))
+    });
+
+    for (region_weight, rows) in per_app.into_iter().flatten() {
+        for (i, (aa, sa, ac, sc)) in rows.into_iter().enumerate() {
+            alone[i].add(aa, sa, region_weight as f64);
+            composed[i].add(ac, sc, region_weight as f64);
         }
     }
 
@@ -95,7 +114,10 @@ pub fn run(plan: &RunPlan) -> Report {
     ]);
     let mut improvements = Vec::new();
     for (i, extra) in EXTRA_SET.iter().enumerate() {
-        let (aa, ca) = (alone[i].acc.effective_accuracy(), composed[i].acc.effective_accuracy());
+        let (aa, ca) = (
+            alone[i].acc.effective_accuracy(),
+            composed[i].acc.effective_accuracy(),
+        );
         improvements.push((extra.to_string(), aa, ca));
         t.row(vec![
             extra.to_string(),
@@ -105,8 +127,14 @@ pub fn run(plan: &RunPlan) -> Report {
             format!("{:.2}", composed[i].scope()),
         ]);
     }
-    let not_degraded = improvements.iter().filter(|(_, a, c)| *c >= a - 0.05).count();
-    let improved = improvements.iter().filter(|(_, a, c)| *c > a + 0.02).count();
+    let not_degraded = improvements
+        .iter()
+        .filter(|(_, a, c)| *c >= a - 0.05)
+        .count();
+    let improved = improvements
+        .iter()
+        .filter(|(_, a, c)| *c > a + 0.02)
+        .count();
     let detail = improvements
         .iter()
         .map(|(n, a, c)| format!("{n}: {a:.2}->{c:.2}"))

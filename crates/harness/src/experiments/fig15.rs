@@ -18,14 +18,27 @@ pub fn run(plan: &RunPlan) -> Report {
     let mut comp: Vec<Vec<f64>> = EXTRA_SET.iter().map(|_| Vec::new()).collect();
     let mut shunt: Vec<Vec<f64>> = EXTRA_SET.iter().map(|_| Vec::new()).collect();
 
-    for spec in dol_workloads::spec21() {
-        let base = BaselineRun::capture(&spec, plan, &sys);
+    let specs = plan.cap_suite(dol_workloads::spec21());
+    let per_app: Vec<Vec<(f64, f64)>> = crate::sweep::map(plan.jobs, &specs, |spec| {
+        let base = BaselineRun::capture(spec, plan, &sys);
         let tpc_cycles = AppRun::run(&base, "TPC", &sys).result.cycles;
-        for (i, extra) in EXTRA_SET.iter().enumerate() {
-            let c = AppRun::run(&base, &format!("TPC+{extra}"), &sys).result.cycles;
-            let s = AppRun::run(&base, &format!("TPC|{extra}"), &sys).result.cycles;
-            comp[i].push(tpc_cycles as f64 / c as f64);
-            shunt[i].push(tpc_cycles as f64 / s as f64);
+        EXTRA_SET
+            .iter()
+            .map(|extra| {
+                let c = AppRun::run(&base, &format!("TPC+{extra}"), &sys)
+                    .result
+                    .cycles;
+                let s = AppRun::run(&base, &format!("TPC|{extra}"), &sys)
+                    .result
+                    .cycles;
+                (tpc_cycles as f64 / c as f64, tpc_cycles as f64 / s as f64)
+            })
+            .collect()
+    });
+    for rows in per_app {
+        for (i, (c, s)) in rows.into_iter().enumerate() {
+            comp[i].push(c);
+            shunt[i].push(s);
         }
     }
 
@@ -64,7 +77,10 @@ pub fn run(plan: &RunPlan) -> Report {
 
     let avg_comp = geomean(&summary.iter().map(|(_, c, _, _)| *c).collect::<Vec<_>>());
     let avg_shunt = geomean(&summary.iter().map(|(_, _, s, _)| *s).collect::<Vec<_>>());
-    let worst_comp = summary.iter().map(|(_, _, _, cmin)| *cmin).fold(f64::INFINITY, f64::min);
+    let worst_comp = summary
+        .iter()
+        .map(|(_, _, _, cmin)| *cmin)
+        .fold(f64::INFINITY, f64::min);
     let worst_shunt = shunt
         .iter()
         .flat_map(|v| v.iter().cloned())

@@ -25,26 +25,39 @@ pub fn run(plan: &RunPlan) -> Report {
         vec![vec![Vec::new(); COMPARISON_SET.len()]; policies.len()];
 
     let base_sys = System::new(SystemConfig::isca2018(1));
-    for spec in dol_workloads::spec21() {
-        let base = BaselineRun::capture(&spec, plan, &base_sys);
+    let specs = plan.cap_suite(dol_workloads::spec21());
+    let per_app: Vec<Vec<Vec<f64>>> = crate::sweep::map(plan.jobs, &specs, |spec| {
+        let base = BaselineRun::capture(spec, plan, &base_sys);
         let lhf_lines = Arc::new(base.classifier.lines_in(Category::Lhf));
-        for (pi, policy_name) in policies.iter().enumerate() {
-            for (ci, cfg) in COMPARISON_SET.iter().enumerate() {
-                let policy = match (*policy_name, *cfg) {
-                    ("to L2", _) => DestinationPolicy::ForceL2,
-                    ("to L1", _) => DestinationPolicy::ForceL1,
-                    // TPC's own component-based stratification.
-                    ("stratified", "TPC") => DestinationPolicy::AsRequested,
-                    ("stratified", _) => {
-                        DestinationPolicy::StratifiedByLine(Arc::clone(&lhf_lines))
-                    }
-                    _ => unreachable!(),
-                };
-                let mut sys_cfg = SystemConfig::isca2018(1);
-                sys_cfg.dest_policy = policy;
-                let sys = System::new(sys_cfg);
-                let run = AppRun::run(&base, cfg, &sys);
-                results[pi][ci].push(run.speedup(&base));
+        policies
+            .iter()
+            .map(|policy_name| {
+                COMPARISON_SET
+                    .iter()
+                    .map(|cfg| {
+                        let policy = match (*policy_name, *cfg) {
+                            ("to L2", _) => DestinationPolicy::ForceL2,
+                            ("to L1", _) => DestinationPolicy::ForceL1,
+                            // TPC's own component-based stratification.
+                            ("stratified", "TPC") => DestinationPolicy::AsRequested,
+                            ("stratified", _) => {
+                                DestinationPolicy::StratifiedByLine(Arc::clone(&lhf_lines))
+                            }
+                            _ => unreachable!(),
+                        };
+                        let mut sys_cfg = SystemConfig::isca2018(1);
+                        sys_cfg.dest_policy = policy;
+                        let sys = System::new(sys_cfg);
+                        AppRun::run(&base, cfg, &sys).speedup(&base)
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+    for app in per_app {
+        for (pi, row) in app.into_iter().enumerate() {
+            for (ci, v) in row.into_iter().enumerate() {
+                results[pi][ci].push(v);
             }
         }
     }
@@ -54,8 +67,9 @@ pub fn run(plan: &RunPlan) -> Report {
     let mut t = TextTable::new(headers);
     let mut geo = vec![vec![0.0; COMPARISON_SET.len()]; policies.len()];
     for (pi, policy_name) in policies.iter().enumerate() {
-        let vals: Vec<f64> =
-            (0..COMPARISON_SET.len()).map(|ci| geomean(&results[pi][ci])).collect();
+        let vals: Vec<f64> = (0..COMPARISON_SET.len())
+            .map(|ci| geomean(&results[pi][ci]))
+            .collect();
         geo[pi] = vals.clone();
         t.row_f64(policy_name, &vals);
     }
@@ -65,7 +79,9 @@ pub fn run(plan: &RunPlan) -> Report {
     // wins per prefetcher rather than averaging across designs.
     let n = COMPARISON_SET.len();
     let l1_wins = (0..n).filter(|&ci| geo[1][ci] >= geo[0][ci] * 0.99).count();
-    let strat_beats_l1 = (0..n).filter(|&ci| geo[2][ci] >= geo[1][ci] - 0.005).count();
+    let strat_beats_l1 = (0..n)
+        .filter(|&ci| geo[2][ci] >= geo[1][ci] - 0.005)
+        .count();
     let avg = |pi: usize| geomean(&geo[pi]);
     let (l2, l1, strat) = (avg(0), avg(1), avg(2));
     let expectations = vec![
@@ -77,7 +93,9 @@ pub fn run(plan: &RunPlan) -> Report {
         Expectation::new(
             "stratified placement is never worse than all-L1 (it only demotes \
              low-accuracy categories to L2)",
-            format!("{strat_beats_l1}/{n} prefetchers (averages: stratified {strat:.3}, L1 {l1:.3})"),
+            format!(
+                "{strat_beats_l1}/{n} prefetchers (averages: stratified {strat:.3}, L1 {l1:.3})"
+            ),
             strat_beats_l1 * 4 >= n * 3,
         ),
     ];

@@ -4,8 +4,8 @@
 //! workloads are simulated one at a time and reduced to summaries so
 //! full traces/events never accumulate.
 
-use dol_metrics::{accuracy_at, coverage, prefetched_lines, scope, EffectiveAccuracy};
 use dol_mem::CacheLevel;
+use dol_metrics::{accuracy_at, coverage, prefetched_lines, scope, EffectiveAccuracy};
 
 use crate::analysis::{accuracy_by_category, scope_by_category};
 use crate::prefetchers;
@@ -62,30 +62,31 @@ impl AppSummary {
     }
 }
 
-/// Scans the spec21 suite under the given configurations.
+/// Scans the spec21 suite under the given configurations, sharding
+/// workloads across `plan.jobs` workers (each worker captures, runs
+/// every config, and reduces one app at a time, so traces never
+/// accumulate regardless of parallelism).
 pub fn scan_spec21(plan: &RunPlan, configs: &[&str]) -> Vec<AppSummary> {
     let sys = single_core();
-    dol_workloads::spec21()
-        .iter()
-        .map(|spec| {
-            let base = BaselineRun::capture(spec, plan, &sys);
-            let base_l1 = base.result.stats.cores[0].l1_misses;
-            let base_l2 = base.result.stats.cores[0].l2_misses;
-            let configs = configs
-                .iter()
-                .map(|cfg| {
-                    let run = AppRun::run(&base, cfg, &sys);
-                    summarize(cfg, &base, &run, base_l1, base_l2)
-                })
-                .collect();
-            AppSummary {
-                app: base.name.clone(),
-                mpki: base.mpki,
-                base_cycles: base.cycles(),
-                configs,
-            }
-        })
-        .collect()
+    let specs = plan.cap_suite(dol_workloads::spec21());
+    crate::sweep::map(plan.jobs, &specs, |spec| {
+        let base = BaselineRun::capture(spec, plan, &sys);
+        let base_l1 = base.result.stats.cores[0].l1_misses;
+        let base_l2 = base.result.stats.cores[0].l2_misses;
+        let configs = configs
+            .iter()
+            .map(|cfg| {
+                let run = AppRun::run(&base, cfg, &sys);
+                summarize(cfg, &base, &run, base_l1, base_l2)
+            })
+            .collect();
+        AppSummary {
+            app: base.name.clone(),
+            mpki: base.mpki,
+            base_cycles: base.cycles(),
+            configs,
+        }
+    })
 }
 
 fn summarize(
@@ -149,7 +150,10 @@ pub fn geomean_speedup(apps: &[AppSummary], config: &str) -> f64 {
 
 /// Geomean and range of the traffic ratio of one config.
 pub fn traffic_summary(apps: &[AppSummary], config: &str) -> (f64, f64, f64) {
-    let v: Vec<f64> = apps.iter().map(|a| a.config(config).traffic_ratio).collect();
+    let v: Vec<f64> = apps
+        .iter()
+        .map(|a| a.config(config).traffic_ratio)
+        .collect();
     let g = dol_metrics::geomean(&v);
     let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);

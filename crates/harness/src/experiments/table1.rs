@@ -15,8 +15,14 @@ pub fn run(_plan: &RunPlan) -> Report {
         ("width", cfg.core.width.to_string()),
         ("ROB", cfg.core.rob.to_string()),
         ("LSQ", cfg.core.lsq.to_string()),
-        ("branch miss penalty", format!("{} cycles", cfg.core.branch_penalty)),
-        ("branch predictor", format!("gshare 2^{} + 256-entry loop", cfg.core.gshare_bits)),
+        (
+            "branch miss penalty",
+            format!("{} cycles", cfg.core.branch_penalty),
+        ),
+        (
+            "branch predictor",
+            format!("gshare 2^{} + 256-entry loop", cfg.core.gshare_bits),
+        ),
         ("RAS", cfg.core.ras.to_string()),
         (
             "L1D",

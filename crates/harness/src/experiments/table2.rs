@@ -34,7 +34,11 @@ pub fn run(_plan: &RunPlan) -> Report {
     for (name, paper_kb) in PAPER_KB {
         let p = prefetchers::build(name).expect("table names are known");
         let kb = p.storage_bits() as f64 / 8192.0;
-        t.row(vec![name.to_string(), format!("{kb:.2}"), format!("{paper_kb:.2}")]);
+        t.row(vec![
+            name.to_string(),
+            format!("{kb:.2}"),
+            format!("{paper_kb:.2}"),
+        ]);
         let holds = (kb - paper_kb).abs() / paper_kb < 0.25;
         expectations.push(Expectation::new(
             format!("{name} storage ≈ {paper_kb} KB (±25%)"),

@@ -27,6 +27,7 @@ pub mod experiments;
 pub mod plan;
 pub mod prefetchers;
 pub mod runner;
+pub mod sweep;
 
 pub use bands::Expectation;
 pub use plan::RunPlan;

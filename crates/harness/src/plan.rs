@@ -1,6 +1,6 @@
-//! Run plans: instruction budgets and seeds.
+//! Run plans: instruction budgets, seeds and parallelism.
 
-/// How much to simulate.
+/// How much to simulate, and with how many workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunPlan {
     /// Instructions simulated per workload (per core in multicore runs).
@@ -9,21 +9,52 @@ pub struct RunPlan {
     pub seed: u64,
     /// Number of 4-core mixes for the multicore experiments.
     pub mix_count: usize,
+    /// Worker threads for the per-workload sweep (`0` = one per
+    /// available core, `1` = serial). Results are identical for any
+    /// value — see [`crate::sweep`].
+    pub jobs: usize,
+    /// Cap on workloads taken from each suite (smoke mode); `None`
+    /// runs every workload.
+    pub max_workloads: Option<usize>,
 }
 
 impl RunPlan {
     /// The full plan: 1 M instructions per workload, 8 mixes.
     pub fn full() -> Self {
-        RunPlan { insts: 1_000_000, seed: 2018, mix_count: 8 }
+        RunPlan {
+            insts: 1_000_000,
+            seed: 2018,
+            mix_count: 8,
+            jobs: 1,
+            max_workloads: None,
+        }
     }
 
     /// A reduced plan for Criterion benches and smoke tests.
     pub fn quick() -> Self {
-        RunPlan { insts: 120_000, seed: 2018, mix_count: 2 }
+        RunPlan {
+            insts: 120_000,
+            seed: 2018,
+            mix_count: 2,
+            ..RunPlan::full()
+        }
     }
 
-    /// The full plan with `DOL_INSTS` / `DOL_MIXES` environment
-    /// overrides.
+    /// The CI smoke plan: a tiny budget over the first few workloads of
+    /// each suite, one mix. Finishes in seconds; exercises every
+    /// experiment end to end.
+    pub fn smoke() -> Self {
+        RunPlan {
+            insts: 40_000,
+            seed: 2018,
+            mix_count: 1,
+            jobs: 1,
+            max_workloads: Some(3),
+        }
+    }
+
+    /// The full plan with `DOL_INSTS` / `DOL_MIXES` / `DOL_JOBS`
+    /// environment overrides.
     pub fn from_env() -> Self {
         let mut plan = RunPlan::full();
         if let Ok(v) = std::env::var("DOL_INSTS") {
@@ -36,7 +67,20 @@ impl RunPlan {
                 plan.mix_count = n.clamp(1, 64);
             }
         }
+        if let Ok(v) = std::env::var("DOL_JOBS") {
+            if let Ok(n) = v.parse::<usize>() {
+                plan.jobs = n.min(256);
+            }
+        }
         plan
+    }
+
+    /// Applies the plan's workload cap (smoke mode) to a suite.
+    pub fn cap_suite<T>(&self, mut suite: Vec<T>) -> Vec<T> {
+        if let Some(n) = self.max_workloads {
+            suite.truncate(n);
+        }
+        suite
     }
 }
 
@@ -54,5 +98,22 @@ mod tests {
     fn quick_is_smaller_than_full() {
         assert!(RunPlan::quick().insts < RunPlan::full().insts);
         assert!(RunPlan::quick().mix_count <= RunPlan::full().mix_count);
+    }
+
+    #[test]
+    fn smoke_is_smallest_and_capped() {
+        let s = RunPlan::smoke();
+        assert!(s.insts <= RunPlan::quick().insts);
+        assert_eq!(s.mix_count, 1);
+        assert!(s.max_workloads.unwrap() <= 3);
+    }
+
+    #[test]
+    fn cap_suite_truncates_only_when_capped() {
+        let full = RunPlan::full();
+        assert_eq!(full.cap_suite(vec![1, 2, 3, 4]), vec![1, 2, 3, 4]);
+        let smoke = RunPlan::smoke();
+        assert_eq!(smoke.cap_suite(vec![1, 2, 3, 4]).len(), 3);
+        assert_eq!(smoke.cap_suite(vec![1]), vec![1]);
     }
 }

@@ -7,8 +7,16 @@ use dol_mem::{CacheLevel, Origin};
 /// The comparison set of the paper's Figure 8: seven monolithic designs
 /// plus TPC (all monolithics prefetch into L1, per the paper's
 /// footnote 5).
-pub const COMPARISON_SET: [&str; 8] =
-    ["GHB-PC/DC", "FDP", "VLDP", "SPP", "BOP", "AMPM", "SMS", "TPC"];
+pub const COMPARISON_SET: [&str; 8] = [
+    "GHB-PC/DC",
+    "FDP",
+    "VLDP",
+    "SPP",
+    "BOP",
+    "AMPM",
+    "SMS",
+    "TPC",
+];
 
 /// The four existing prefetchers the paper composites/shunts with TPC
 /// (Sec. V-C2/3).
@@ -36,11 +44,13 @@ pub fn build(name: &str) -> Option<Box<dyn Prefetcher>> {
         "TPC" => Some(Box::new(Tpc::full())),
         "T2" => Some(Box::new(Tpc::t2_only())),
         "P1" => Some(Box::new(Tpc::p1_only())),
-        "C1" => Some(Box::new(TpcBuilder::new().t2(false).p1(false).name("C1").build())),
+        "C1" => Some(Box::new(
+            TpcBuilder::new().t2(false).p1(false).name("C1").build(),
+        )),
         "T2+P1" => Some(Box::new(TpcBuilder::new().c1(false).build())),
-        "TPC-plainPC" => {
-            Some(Box::new(TpcBuilder::new().plain_pc().name("TPC-plainPC").build()))
-        }
+        "TPC-plainPC" => Some(Box::new(
+            TpcBuilder::new().plain_pc().name("TPC-plainPC").build(),
+        )),
         _ => {
             if let Some(rest) = name.strip_prefix("TPC+") {
                 let extra = monolithic_by_name(rest, extra_origin(0), CacheLevel::L1)?;
@@ -55,7 +65,9 @@ pub fn build(name: &str) -> Option<Box<dyn Prefetcher>> {
                 return Some(Box::new(Shunt::new(vec![Box::new(Tpc::full()), extra])));
             }
             let idx = MONOLITHIC_NAMES.iter().position(|n| *n == name);
-            let origin = idx.map(monolithic_origin).unwrap_or(Origin(origins::MONOLITHIC_BASE));
+            let origin = idx
+                .map(monolithic_origin)
+                .unwrap_or(Origin(origins::MONOLITHIC_BASE));
             monolithic_by_name(name, origin, CacheLevel::L1)
         }
     }

@@ -2,8 +2,8 @@
 
 use dol_core::Prefetcher;
 use dol_cpu::{RunResult, System, SystemConfig, Workload};
-use dol_metrics::{classify_trace, footprint, Classifier, Footprint};
 use dol_mem::CacheLevel;
+use dol_metrics::{classify_trace, footprint, Classifier, Footprint};
 use dol_workloads::Spec;
 
 use crate::plan::RunPlan;
@@ -81,7 +81,10 @@ impl AppRun {
         let mut p = prefetchers::build(config)
             .unwrap_or_else(|| panic!("unknown prefetcher config {config}"));
         let result = sys.run(&base.workload, p.as_mut());
-        AppRun { config: config.to_string(), result }
+        AppRun {
+            config: config.to_string(),
+            result,
+        }
     }
 
     /// Speedup over the baseline.
@@ -102,12 +105,10 @@ pub fn single_core() -> System {
 }
 
 /// Captures the whole spec21 suite with baselines (the common prologue
-/// of most figures).
+/// of most figures), sharded across `plan.jobs` workers.
 pub fn capture_spec21(plan: &RunPlan, sys: &System) -> Vec<BaselineRun> {
-    dol_workloads::spec21()
-        .iter()
-        .map(|s| BaselineRun::capture(s, plan, sys))
-        .collect()
+    let specs = plan.cap_suite(dol_workloads::spec21());
+    crate::sweep::map(plan.jobs, &specs, |s| BaselineRun::capture(s, plan, sys))
 }
 
 /// Convenience: run a set of prefetchers over one prepared app.

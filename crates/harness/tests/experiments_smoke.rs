@@ -8,7 +8,11 @@ use dol_harness::experiments::{self, Report};
 use dol_harness::RunPlan;
 
 fn tiny_plan() -> RunPlan {
-    RunPlan { insts: 15_000, seed: 2018, mix_count: 1 }
+    RunPlan {
+        insts: 15_000,
+        mix_count: 1,
+        ..RunPlan::quick()
+    }
 }
 
 fn check(report: Report, min_lines: usize) {

@@ -295,16 +295,29 @@ mod tests {
 
     #[test]
     fn src_and_dst_extraction() {
-        let ld = Inst::Load { dst: Reg::R1, base: Reg::R2, offset: 8 };
+        let ld = Inst::Load {
+            dst: Reg::R1,
+            base: Reg::R2,
+            offset: 8,
+        };
         assert_eq!(ld.dst(), Some(Reg::R1));
         assert_eq!(ld.srcs(), [Some(Reg::R2), None]);
         assert!(ld.is_mem());
 
-        let st = Inst::Store { src: Reg::R3, base: Reg::R4, offset: 0 };
+        let st = Inst::Store {
+            src: Reg::R3,
+            base: Reg::R4,
+            offset: 0,
+        };
         assert_eq!(st.dst(), None);
         assert_eq!(st.srcs(), [Some(Reg::R4), Some(Reg::R3)]);
 
-        let alu = Inst::Alu { op: AluOp::Add, dst: Reg::R5, a: Reg::R6, b: Operand::Imm(1) };
+        let alu = Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::R5,
+            a: Reg::R6,
+            b: Operand::Imm(1),
+        };
         assert_eq!(alu.srcs(), [Some(Reg::R6), None]);
         assert!(!alu.is_mem());
     }
@@ -317,9 +330,29 @@ mod tests {
     #[test]
     fn disassembly_round_trips_key_shapes() {
         let cases: Vec<(Inst, &str)> = vec![
-            (Inst::Imm { dst: Reg::R1, value: -5 }, "imm r1, -5"),
-            (Inst::Load { dst: Reg::R2, base: Reg::R3, offset: 8 }, "ld r2, [r3+8]"),
-            (Inst::Store { src: Reg::R4, base: Reg::R5, offset: -16 }, "st r4, [r5-16]"),
+            (
+                Inst::Imm {
+                    dst: Reg::R1,
+                    value: -5,
+                },
+                "imm r1, -5",
+            ),
+            (
+                Inst::Load {
+                    dst: Reg::R2,
+                    base: Reg::R3,
+                    offset: 8,
+                },
+                "ld r2, [r3+8]",
+            ),
+            (
+                Inst::Store {
+                    src: Reg::R4,
+                    base: Reg::R5,
+                    offset: -16,
+                },
+                "st r4, [r5-16]",
+            ),
             (
                 Inst::Branch {
                     cond: Cond::Ne,

@@ -90,9 +90,18 @@ enum PendingTarget {
 #[derive(Debug, Clone, Copy)]
 enum Pending {
     Done(Inst),
-    Branch { cond: Cond, a: Reg, b: Operand, target: PendingTarget },
-    Jump { target: PendingTarget },
-    Call { target: PendingTarget },
+    Branch {
+        cond: Cond,
+        a: Reg,
+        b: Operand,
+        target: PendingTarget,
+    },
+    Jump {
+        target: PendingTarget,
+    },
+    Call {
+        target: PendingTarget,
+    },
 }
 
 /// Builds [`Program`]s, resolving forward label references.
@@ -114,7 +123,11 @@ impl ProgramBuilder {
 
     /// Creates a builder with an explicit base PC.
     pub fn with_base_pc(base_pc: u64) -> Self {
-        ProgramBuilder { base_pc, pending: Vec::new(), labels: Vec::new() }
+        ProgramBuilder {
+            base_pc,
+            pending: Vec::new(),
+            labels: Vec::new(),
+        }
     }
 
     /// PC of the *next* instruction to be emitted.
@@ -151,12 +164,22 @@ impl ProgramBuilder {
 
     /// `dst = op(a, b)` with a register second operand.
     pub fn alu_rr(&mut self, op: AluOp, dst: Reg, a: Reg, b: Reg) {
-        self.push(Inst::Alu { op, dst, a, b: Operand::Reg(b) });
+        self.push(Inst::Alu {
+            op,
+            dst,
+            a,
+            b: Operand::Reg(b),
+        });
     }
 
     /// `dst = op(a, imm)` with an immediate second operand.
     pub fn alu_ri(&mut self, op: AluOp, dst: Reg, a: Reg, imm: i64) {
-        self.push(Inst::Alu { op, dst, a, b: Operand::Imm(imm) });
+        self.push(Inst::Alu {
+            op,
+            dst,
+            a,
+            b: Operand::Imm(imm),
+        });
     }
 
     /// `dst = mem[base + offset]`.
@@ -171,17 +194,26 @@ impl ProgramBuilder {
 
     /// `if cond(a, b) goto label`.
     pub fn branch(&mut self, cond: Cond, a: Reg, b: Operand, target: Label) {
-        self.pending.push(Pending::Branch { cond, a, b, target: PendingTarget::Label(target) });
+        self.pending.push(Pending::Branch {
+            cond,
+            a,
+            b,
+            target: PendingTarget::Label(target),
+        });
     }
 
     /// `goto label`.
     pub fn jump(&mut self, target: Label) {
-        self.pending.push(Pending::Jump { target: PendingTarget::Label(target) });
+        self.pending.push(Pending::Jump {
+            target: PendingTarget::Label(target),
+        });
     }
 
     /// Call the subroutine at `label`.
     pub fn call(&mut self, target: Label) {
-        self.pending.push(Pending::Call { target: PendingTarget::Label(target) });
+        self.pending.push(Pending::Call {
+            target: PendingTarget::Label(target),
+        });
     }
 
     /// Return from the current subroutine.
@@ -206,9 +238,7 @@ impl ProgramBuilder {
         }
         let resolve = |t: PendingTarget| -> Result<u64, ProgramError> {
             match t {
-                PendingTarget::Label(l) => {
-                    self.labels[l.0].ok_or(ProgramError::UnboundLabel(l))
-                }
+                PendingTarget::Label(l) => self.labels[l.0].ok_or(ProgramError::UnboundLabel(l)),
             }
         };
         let insts = self
@@ -217,15 +247,25 @@ impl ProgramBuilder {
             .map(|p| -> Result<Inst, ProgramError> {
                 Ok(match *p {
                     Pending::Done(i) => i,
-                    Pending::Branch { cond, a, b, target } => {
-                        Inst::Branch { cond, a, b, target: resolve(target)? }
-                    }
-                    Pending::Jump { target } => Inst::Jump { target: resolve(target)? },
-                    Pending::Call { target } => Inst::Call { target: resolve(target)? },
+                    Pending::Branch { cond, a, b, target } => Inst::Branch {
+                        cond,
+                        a,
+                        b,
+                        target: resolve(target)?,
+                    },
+                    Pending::Jump { target } => Inst::Jump {
+                        target: resolve(target)?,
+                    },
+                    Pending::Call { target } => Inst::Call {
+                        target: resolve(target)?,
+                    },
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Program { base_pc: self.base_pc, insts })
+        Ok(Program {
+            base_pc: self.base_pc,
+            insts,
+        })
     }
 }
 
@@ -235,7 +275,10 @@ mod tests {
 
     #[test]
     fn empty_program_is_an_error() {
-        assert_eq!(ProgramBuilder::new().build().unwrap_err(), ProgramError::Empty);
+        assert_eq!(
+            ProgramBuilder::new().build().unwrap_err(),
+            ProgramError::Empty
+        );
     }
 
     #[test]
@@ -243,7 +286,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let l = b.label();
         b.jump(l);
-        assert!(matches!(b.build().unwrap_err(), ProgramError::UnboundLabel(_)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ProgramError::UnboundLabel(_)
+        ));
     }
 
     #[test]

@@ -102,10 +102,13 @@ impl RetiredInst {
     #[inline]
     pub fn control_target(&self) -> Option<u64> {
         match self.kind {
-            InstKind::Branch { taken: true, target } => Some(target),
-            InstKind::Jump { target } | InstKind::Call { target, .. } | InstKind::Ret { target } => {
-                Some(target)
-            }
+            InstKind::Branch {
+                taken: true,
+                target,
+            } => Some(target),
+            InstKind::Jump { target }
+            | InstKind::Call { target, .. }
+            | InstKind::Ret { target } => Some(target),
             _ => None,
         }
     }
@@ -177,7 +180,9 @@ impl<'a> IntoIterator for &'a Trace {
 
 impl FromIterator<RetiredInst> for Trace {
     fn from_iter<T: IntoIterator<Item = RetiredInst>>(iter: T) -> Self {
-        Trace { insts: iter.into_iter().collect() }
+        Trace {
+            insts: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -203,7 +208,10 @@ mod tests {
 
         let b = RetiredInst {
             pc: 0x200,
-            kind: InstKind::Branch { taken: true, target: 0x100 },
+            kind: InstKind::Branch {
+                taken: true,
+                target: 0x100,
+            },
             dst: None,
             srcs: [None, None],
         };
@@ -212,7 +220,10 @@ mod tests {
 
         let fwd = RetiredInst {
             pc: 0x200,
-            kind: InstKind::Branch { taken: true, target: 0x300 },
+            kind: InstKind::Branch {
+                taken: true,
+                target: 0x300,
+            },
             dst: None,
             srcs: [None, None],
         };
@@ -220,7 +231,10 @@ mod tests {
 
         let not_taken = RetiredInst {
             pc: 0x200,
-            kind: InstKind::Branch { taken: false, target: 0x100 },
+            kind: InstKind::Branch {
+                taken: false,
+                target: 0x100,
+            },
             dst: None,
             srcs: [None, None],
         };
@@ -230,7 +244,9 @@ mod tests {
 
     #[test]
     fn trace_collects_and_counts() {
-        let t: Trace = (0..10u64).map(|i| load(0x100 + 4 * i, 0x8000 + 64 * i)).collect();
+        let t: Trace = (0..10u64)
+            .map(|i| load(0x100 + 4 * i, 0x8000 + 64 * i))
+            .collect();
         assert_eq!(t.len(), 10);
         assert_eq!(t.mem_count(), 10);
         assert_eq!(t.iter().count(), 10);

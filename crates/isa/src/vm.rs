@@ -131,7 +131,9 @@ impl Vm {
             Inst::Alu { op, dst, a, b } => {
                 let result = op.apply(self.reg(a), self.operand(b));
                 self.regs[dst.index()] = result;
-                InstKind::Alu { latency: op.latency() }
+                InstKind::Alu {
+                    latency: op.latency(),
+                }
             }
             Inst::Load { dst, base, offset } => {
                 let addr = self.reg(base).wrapping_add(offset as u64) & !7;
@@ -165,8 +167,10 @@ impl Vm {
                 InstKind::Call { target, return_to }
             }
             Inst::Ret => {
-                let target =
-                    self.call_stack.pop().ok_or(VmError::ReturnUnderflow { pc })?;
+                let target = self
+                    .call_stack
+                    .pop()
+                    .ok_or(VmError::ReturnUnderflow { pc })?;
                 next_pc = target;
                 InstKind::Ret { target }
             }
@@ -179,7 +183,12 @@ impl Vm {
 
         self.pc = next_pc;
         self.retired += 1;
-        Ok(Some(RetiredInst { pc, kind, dst, srcs }))
+        Ok(Some(RetiredInst {
+            pc,
+            kind,
+            dst,
+            srcs,
+        }))
     }
 
     /// Runs until `Halt` or until `max_insts` instructions have retired,
@@ -285,7 +294,12 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.ret();
         let mut vm = Vm::new(b.build().unwrap());
-        assert_eq!(vm.step(), Err(VmError::ReturnUnderflow { pc: vm.program.base_pc() }));
+        assert_eq!(
+            vm.step(),
+            Err(VmError::ReturnUnderflow {
+                pc: vm.program.base_pc()
+            })
+        );
     }
 
     #[test]
@@ -321,7 +335,10 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(loads, vec![(0x9000, 0xA000), (0xA000, 0xB000), (0xB000, 0xC000)]);
+        assert_eq!(
+            loads,
+            vec![(0x9000, 0xA000), (0xA000, 0xB000), (0xB000, 0xC000)]
+        );
         assert_eq!(vm.reg(Reg::R1), 0xC000);
     }
 

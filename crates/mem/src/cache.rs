@@ -98,7 +98,9 @@ impl Cache {
 
     /// Whether the line is present, without disturbing replacement state.
     pub fn probe(&self, line: u64) -> bool {
-        self.lines[self.set_range(line)].iter().any(|l| l.valid && l.tag == line)
+        self.lines[self.set_range(line)]
+            .iter()
+            .any(|l| l.valid && l.tag == line)
     }
 
     /// Whether the line is present but its fill is still in flight.
@@ -279,7 +281,11 @@ mod tests {
         assert_eq!(c.demand_access(10, 0, false), LookupOutcome::Miss);
         assert!(c.fill(10, 5, None, false).is_none());
         match c.demand_access(10, 6, false) {
-            LookupOutcome::Hit { prefetched_by, first_use, ready_at } => {
+            LookupOutcome::Hit {
+                prefetched_by,
+                first_use,
+                ready_at,
+            } => {
                 assert_eq!(prefetched_by, None);
                 assert!(first_use);
                 assert_eq!(ready_at, 6);
@@ -337,7 +343,11 @@ mod tests {
         let mut c = tiny(ReplacementPolicy::Lru);
         c.fill(0, 0, Some(Origin(7)), false);
         match c.demand_access(0, 1, false) {
-            LookupOutcome::Hit { prefetched_by, first_use, .. } => {
+            LookupOutcome::Hit {
+                prefetched_by,
+                first_use,
+                ..
+            } => {
                 assert_eq!(prefetched_by, Some(Origin(7)));
                 assert!(first_use);
             }
@@ -345,7 +355,11 @@ mod tests {
         }
         // Second touch is not a first use, but the origin persists.
         match c.demand_access(0, 2, false) {
-            LookupOutcome::Hit { prefetched_by, first_use, .. } => {
+            LookupOutcome::Hit {
+                prefetched_by,
+                first_use,
+                ..
+            } => {
                 assert_eq!(prefetched_by, Some(Origin(7)));
                 assert!(!first_use);
             }

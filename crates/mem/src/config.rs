@@ -44,7 +44,10 @@ impl CacheConfig {
             per_way * self.ways as u64 * LINE_BYTES == self.size_bytes,
             "capacity must be ways * sets * 64B"
         );
-        assert!(per_way.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            per_way.is_power_of_two(),
+            "set count must be a power of two"
+        );
         per_way
     }
 

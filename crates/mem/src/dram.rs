@@ -112,8 +112,14 @@ const BURST_CYCLES: u64 = 4;
 impl Dram {
     /// Creates the model from its configuration.
     pub fn new(cfg: DramConfig) -> Self {
-        assert!(cfg.channels.is_power_of_two(), "channel count must be a power of two");
-        assert!(cfg.banks_per_channel.is_power_of_two(), "bank count must be a power of two");
+        assert!(
+            cfg.channels.is_power_of_two(),
+            "channel count must be a power of two"
+        );
+        assert!(
+            cfg.banks_per_channel.is_power_of_two(),
+            "bank count must be a power of two"
+        );
         Dram {
             cfg,
             banks: vec![Bank::default(); (cfg.channels * cfg.banks_per_channel) as usize],
@@ -175,8 +181,12 @@ impl Dram {
             }
         } else if occupancy >= capacity {
             // Demands and writebacks wait for a queue slot.
-            let earliest =
-                self.channels[ch_idx].inflight.iter().copied().min().expect("queue is full");
+            let earliest = self.channels[ch_idx]
+                .inflight
+                .iter()
+                .copied()
+                .min()
+                .expect("queue is full");
             start = start.max(earliest);
             self.channels[ch_idx].inflight.retain(|&t| t > start);
         }
@@ -258,19 +268,32 @@ mod tests {
         assert_eq!(lines.len(), 3, "bank-0 lines in distinct rows exist");
         d.request(lines[0], DramRequest::DemandRead, 0).unwrap();
         // Second distinct row opens the second row buffer (activate only).
-        let t = d.request(lines[1], DramRequest::DemandRead, 10_000).unwrap();
+        let t = d
+            .request(lines[1], DramRequest::DemandRead, 10_000)
+            .unwrap();
         assert_eq!(t, 10_000 + 41 + 60, "second row buffer: activation only");
         // Both buffers stay open: re-touching the first row is a hit.
-        let t = d.request(lines[0], DramRequest::DemandRead, 20_000).unwrap();
+        let t = d
+            .request(lines[0], DramRequest::DemandRead, 20_000)
+            .unwrap();
         assert_eq!(t, 20_000 + 60, "first row still open");
         // A third distinct row evicts the LRU open row: full conflict.
-        let t = d.request(lines[2], DramRequest::DemandRead, 30_000).unwrap();
-        assert_eq!(t, 30_000 + 41 + 41 + 60, "conflict pays precharge + activate");
+        let t = d
+            .request(lines[2], DramRequest::DemandRead, 30_000)
+            .unwrap();
+        assert_eq!(
+            t,
+            30_000 + 41 + 41 + 60,
+            "conflict pays precharge + activate"
+        );
     }
 
     /// Lines that all route to channel 0 (any bank), distinct.
     fn channel0_lines(d: &Dram, n: usize) -> Vec<u64> {
-        (0..100_000u64).filter(|&l| d.route(l).0 == 0).take(n).collect()
+        (0..100_000u64)
+            .filter(|&l| d.route(l).0 == 0)
+            .take(n)
+            .collect()
     }
 
     #[test]
@@ -287,7 +310,9 @@ mod tests {
     fn bus_serializes_same_channel_different_banks() {
         let mut d = dram(DropPolicy::Random);
         let a = (0..1000u64).find(|&l| d.route(l) == (0, 0)).unwrap();
-        let b = (0..1000u64).find(|&l| d.route(l).0 == 0 && d.route(l).1 == 1).unwrap();
+        let b = (0..1000u64)
+            .find(|&l| d.route(l).0 == 0 && d.route(l).1 == 1)
+            .unwrap();
         let t1 = d.request(a, DramRequest::DemandRead, 0).unwrap();
         let t2 = d.request(b, DramRequest::DemandRead, 0).unwrap();
         assert_eq!(t2, t1 + BURST_CYCLES, "burst-separated on the shared bus");
@@ -308,7 +333,9 @@ mod tests {
             .is_none());
         assert_eq!(d.stats().dropped_prefetches, 1);
         // Demands still get in (by waiting).
-        assert!(d.request(lines[cap + 1], DramRequest::DemandRead, 0).is_some());
+        assert!(d
+            .request(lines[cap + 1], DramRequest::DemandRead, 0)
+            .is_some());
     }
 
     #[test]
@@ -324,10 +351,18 @@ mod tests {
         }
         // Low-confidence prefetch is shed, high-confidence accepted.
         assert!(d
-            .request(lines[cap - 1], DramRequest::PrefetchRead { confidence: 10 }, 0)
+            .request(
+                lines[cap - 1],
+                DramRequest::PrefetchRead { confidence: 10 },
+                0
+            )
             .is_none());
         assert!(d
-            .request(lines[cap - 2], DramRequest::PrefetchRead { confidence: 200 }, 0)
+            .request(
+                lines[cap - 2],
+                DramRequest::PrefetchRead { confidence: 200 },
+                0
+            )
             .is_some());
     }
 
@@ -337,10 +372,15 @@ mod tests {
         let cap = d.config().queue_capacity as usize;
         let lines = channel0_lines(&d, cap);
         for &l in &lines[..cap * 3 / 4] {
-            d.request(l, DramRequest::PrefetchRead { confidence: 255 }, 0).unwrap();
+            d.request(l, DramRequest::PrefetchRead { confidence: 255 }, 0)
+                .unwrap();
         }
         assert!(d
-            .request(lines[cap - 1], DramRequest::PrefetchRead { confidence: 10 }, 0)
+            .request(
+                lines[cap - 1],
+                DramRequest::PrefetchRead { confidence: 10 },
+                0
+            )
             .is_some());
     }
 
@@ -351,10 +391,7 @@ mod tests {
         d.request(2, DramRequest::PrefetchRead { confidence: 200 }, 0);
         d.request(4, DramRequest::Writeback, 0);
         let s = d.stats();
-        assert_eq!(
-            (s.demand_reads, s.prefetch_reads, s.writebacks),
-            (1, 1, 1)
-        );
+        assert_eq!((s.demand_reads, s.prefetch_reads, s.writebacks), (1, 1, 1));
         assert_eq!(s.total_traffic_lines(), 3);
         assert_eq!(s.total_traffic_bytes(), 3 * LINE_BYTES);
     }

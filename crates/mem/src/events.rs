@@ -137,7 +137,12 @@ mod tests {
 
     #[test]
     fn event_line_extraction() {
-        let e = MemEvent::DemandMiss { core: 0, level: CacheLevel::L1, line: 42, pc: 0x100 };
+        let e = MemEvent::DemandMiss {
+            core: 0,
+            level: CacheLevel::L1,
+            line: 42,
+            pc: 0x100,
+        };
         assert_eq!(e.line(), 42);
         let e = MemEvent::InducedMiss {
             core: 1,

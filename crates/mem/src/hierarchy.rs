@@ -3,8 +3,8 @@
 use crate::cache::LookupOutcome;
 use crate::dram::DramRequest;
 use crate::{
-    line_of, Cache, CacheLevel, DramStats, DropReason, HierarchyConfig, MemEvent, MshrFile,
-    Origin, ShadowTags, Dram,
+    line_of, Cache, CacheLevel, Dram, DramStats, DropReason, HierarchyConfig, MemEvent, MshrFile,
+    Origin, ShadowTags,
 };
 
 /// Outcome of a demand access.
@@ -142,7 +142,10 @@ impl MemorySystem {
 
     /// Current statistics snapshot.
     pub fn stats(&self) -> SystemStats {
-        SystemStats { cores: self.stats.clone(), dram: *self.dram.stats() }
+        SystemStats {
+            cores: self.stats.clone(),
+            dram: *self.dram.stats(),
+        }
     }
 
     /// A demand load or store from `core` to byte address `addr` at cycle
@@ -175,12 +178,19 @@ impl MemorySystem {
         // accesses that miss in the shadow L1 (the no-prefetch reality's
         // L2 stream).
         let shadow_l1_hit = self.l1_shadow[core].demand_access(line);
-        let shadow_l2_hit =
-            if shadow_l1_hit { None } else { Some(self.l2_shadow[core].demand_access(line)) };
+        let shadow_l2_hit = if shadow_l1_hit {
+            None
+        } else {
+            Some(self.l2_shadow[core].demand_access(line))
+        };
 
         // --- L1 ---
         match self.l1[core].demand_access(line, now, is_write) {
-            LookupOutcome::Hit { prefetched_by, first_use, ready_at } => {
+            LookupOutcome::Hit {
+                prefetched_by,
+                first_use,
+                ready_at,
+            } => {
                 self.stats[core].l1_hits += 1;
                 if first_use {
                     if let Some(origin) = prefetched_by {
@@ -256,7 +266,11 @@ impl MemorySystem {
         let mut served_by = None;
         let data_ready;
         match self.l2[core].demand_access(line, t, false) {
-            LookupOutcome::Hit { prefetched_by, first_use, ready_at } => {
+            LookupOutcome::Hit {
+                prefetched_by,
+                first_use,
+                ready_at,
+            } => {
                 l2_hit = true;
                 served_by = if first_use { prefetched_by } else { None };
                 self.stats[core].l2_hits += 1;
@@ -339,7 +353,11 @@ impl MemorySystem {
     ) -> u64 {
         let t = t + self.cfg.l3.latency;
         match self.l3.demand_access(line, t, false) {
-            LookupOutcome::Hit { prefetched_by, first_use, ready_at } => {
+            LookupOutcome::Hit {
+                prefetched_by,
+                first_use,
+                ready_at,
+            } => {
                 if !is_prefetch {
                     self.stats[core].l3_hits += 1;
                     if first_use {
@@ -366,14 +384,15 @@ impl MemorySystem {
                     if !self.pf_l3.has_free(t) {
                         return u64::MAX;
                     }
-                    let done = match self
-                        .dram
-                        .request(line, DramRequest::PrefetchRead { confidence }, t)
-                    {
-                        Some(done) => done,
-                        // Shed by the DRAM drop policy.
-                        None => return u64::MAX,
-                    };
+                    let done =
+                        match self
+                            .dram
+                            .request(line, DramRequest::PrefetchRead { confidence }, t)
+                        {
+                            Some(done) => done,
+                            // Shed by the DRAM drop policy.
+                            None => return u64::MAX,
+                        };
                     self.pf_l3.allocate(line, t, done);
                     self.fill_level(core, CacheLevel::L3, line, done, None);
                     return done;
@@ -495,7 +514,11 @@ impl MemorySystem {
                 origin,
                 reason,
             });
-            PrefetchOutcome { accepted: false, drop_reason: Some(reason), completes_at: 0 }
+            PrefetchOutcome {
+                accepted: false,
+                drop_reason: Some(reason),
+                completes_at: 0,
+            }
         };
 
         let present = match dest {
@@ -570,7 +593,11 @@ impl MemorySystem {
             origin,
             dest,
         });
-        PrefetchOutcome { accepted: true, drop_reason: None, completes_at: data_ready }
+        PrefetchOutcome {
+            accepted: true,
+            drop_reason: None,
+            completes_at: data_ready,
+        }
     }
 
     /// Whether the line containing `addr` is present in `core`'s L1.
@@ -643,8 +670,13 @@ mod tests {
         let p = m.prefetch(0, 0x20000, CacheLevel::L1, Origin(1), 255, out.latency + 1);
         assert!(!p.accepted);
         let events = m.drain_events();
-        assert!(events.iter().any(|e| matches!(e,
-            MemEvent::PrefetchDropped { reason: DropReason::Redundant, .. })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            MemEvent::PrefetchDropped {
+                reason: DropReason::Redundant,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -670,8 +702,13 @@ mod tests {
         assert!(!out.l1_hit);
         assert!(out.l2_hit);
         let events = m.drain_events();
-        assert!(events.iter().any(|e| matches!(e,
-            MemEvent::AvoidedMiss { level: CacheLevel::L2, .. })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            MemEvent::AvoidedMiss {
+                level: CacheLevel::L2,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -697,7 +734,11 @@ mod tests {
         assert!(!out.l1_hit);
         let events = m.drain_events();
         let induced = events.iter().find_map(|e| match e {
-            MemEvent::InducedMiss { level: CacheLevel::L1, blamed, .. } => Some(blamed.clone()),
+            MemEvent::InducedMiss {
+                level: CacheLevel::L1,
+                blamed,
+                ..
+            } => Some(blamed.clone()),
             _ => None,
         });
         let blamed = induced.expect("induced miss must be charged");
@@ -718,8 +759,14 @@ mod tests {
             t += out.latency + 1;
         }
         let events = m.drain_events();
-        assert!(events.iter().any(|e| matches!(e,
-            MemEvent::PrefetchUnused { level: CacheLevel::L1, origin: Origin(5), .. })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            MemEvent::PrefetchUnused {
+                level: CacheLevel::L1,
+                origin: Origin(5),
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -18,7 +18,10 @@ impl MshrFile {
     /// Creates a file with `capacity` registers.
     pub fn new(capacity: u32) -> Self {
         assert!(capacity > 0, "need at least one MSHR");
-        MshrFile { capacity: capacity as usize, inflight: Vec::with_capacity(capacity as usize) }
+        MshrFile {
+            capacity: capacity as usize,
+            inflight: Vec::with_capacity(capacity as usize),
+        }
     }
 
     /// Drops entries that have completed by `now`.
@@ -30,7 +33,10 @@ impl MshrFile {
     /// cycle (a secondary miss).
     pub fn pending(&mut self, line: u64, now: u64) -> Option<u64> {
         self.expire(now);
-        self.inflight.iter().find(|&&(l, _)| l == line).map(|&(_, t)| t)
+        self.inflight
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, t)| t)
     }
 
     /// Whether a register is free at `now` without waiting.
@@ -45,7 +51,11 @@ impl MshrFile {
         if self.inflight.len() < self.capacity {
             now
         } else {
-            self.inflight.iter().map(|&(_, t)| t).min().expect("file is full")
+            self.inflight
+                .iter()
+                .map(|&(_, t)| t)
+                .min()
+                .expect("file is full")
         }
     }
 

@@ -70,13 +70,19 @@ impl ShadowTags {
             .min_by_key(|(_, l)| if l.valid { l.stamp } else { 0 })
             .map(|(i, _)| range.start + i)
             .expect("non-empty set");
-        self.lines[victim] = ShadowLine { tag: line, valid: true, stamp };
+        self.lines[victim] = ShadowLine {
+            tag: line,
+            valid: true,
+            stamp,
+        };
         false
     }
 
     /// Whether the line is resident in the no-prefetch reality (no update).
     pub fn probe(&self, line: u64) -> bool {
-        self.lines[self.set_range(line)].iter().any(|l| l.valid && l.tag == line)
+        self.lines[self.set_range(line)]
+            .iter()
+            .any(|l| l.valid && l.tag == line)
     }
 }
 
@@ -123,12 +129,13 @@ mod tests {
         use crate::{Cache, LookupOutcome};
         let mut shadow = ShadowTags::new(&cfg());
         let mut real = Cache::new(cfg());
-        let stream: Vec<u64> =
-            (0..200u64).map(|i| (i * 7 + i / 3) % 16).collect();
+        let stream: Vec<u64> = (0..200u64).map(|i| (i * 7 + i / 3) % 16).collect();
         for (t, &line) in stream.iter().enumerate() {
             let shadow_hit = shadow.demand_access(line);
-            let real_hit =
-                matches!(real.demand_access(line, t as u64, false), LookupOutcome::Hit { .. });
+            let real_hit = matches!(
+                real.demand_access(line, t as u64, false),
+                LookupOutcome::Hit { .. }
+            );
             if !real_hit {
                 real.fill(line, t as u64, None, false);
             }

@@ -1,8 +1,8 @@
 //! Property-based tests for the memory hierarchy invariants.
 
 use dol_mem::{
-    Cache, CacheConfig, HierarchyConfig, LookupOutcome, MemorySystem, Origin,
-    ReplacementPolicy, ShadowTags,
+    Cache, CacheConfig, HierarchyConfig, LookupOutcome, MemorySystem, Origin, ReplacementPolicy,
+    ShadowTags,
 };
 use proptest::prelude::*;
 

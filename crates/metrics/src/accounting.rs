@@ -78,22 +78,30 @@ pub fn accuracy_at(
                     acc.issued += 1;
                 }
             }
-            MemEvent::PrefetchUseful { level: l, origin, .. } => {
+            MemEvent::PrefetchUseful {
+                level: l, origin, ..
+            } => {
                 if *l == level && origin_matches(*origin, origins) {
                     acc.useful += 1;
                 }
             }
-            MemEvent::PrefetchUnused { level: l, origin, .. } => {
+            MemEvent::PrefetchUnused {
+                level: l, origin, ..
+            } => {
                 if *l == level && origin_matches(*origin, origins) {
                     acc.unused += 1;
                 }
             }
-            MemEvent::AvoidedMiss { level: l, origin, .. } => {
+            MemEvent::AvoidedMiss {
+                level: l, origin, ..
+            } => {
                 if *l == level && origin_matches(*origin, origins) {
                     acc.avoided += 1;
                 }
             }
-            MemEvent::InducedMiss { level: l, blamed, .. } => {
+            MemEvent::InducedMiss {
+                level: l, blamed, ..
+            } => {
                 if *l != level {
                     continue;
                 }
@@ -132,11 +140,21 @@ mod tests {
     use super::*;
 
     fn ev_issued(origin: u16, dest: CacheLevel) -> MemEvent {
-        MemEvent::PrefetchIssued { core: 0, line: 1, origin: Origin(origin), dest }
+        MemEvent::PrefetchIssued {
+            core: 0,
+            line: 1,
+            origin: Origin(origin),
+            dest,
+        }
     }
 
     fn ev_avoided(origin: u16, level: CacheLevel) -> MemEvent {
-        MemEvent::AvoidedMiss { core: 0, level, line: 1, origin: Origin(origin) }
+        MemEvent::AvoidedMiss {
+            core: 0,
+            level,
+            line: 1,
+            origin: Origin(origin),
+        }
     }
 
     #[test]
@@ -169,14 +187,22 @@ mod tests {
         assert_eq!(a5.effective_accuracy(), -0.5);
         let all = accuracy_at(&events, CacheLevel::L1, None);
         assert_eq!(all.induced, 1.0);
-        assert!(all.effective_accuracy() < 0.0, "effective accuracy can be negative");
+        assert!(
+            all.effective_accuracy() < 0.0,
+            "effective accuracy can be negative"
+        );
     }
 
     #[test]
     fn unattributed_induced_charges_only_the_whole() {
         let events = vec![
             ev_issued(5, CacheLevel::L1),
-            MemEvent::InducedMiss { core: 0, level: CacheLevel::L1, line: 9, blamed: vec![] },
+            MemEvent::InducedMiss {
+                core: 0,
+                level: CacheLevel::L1,
+                line: 9,
+                blamed: vec![],
+            },
         ];
         let all = accuracy_at(&events, CacheLevel::L1, None);
         assert_eq!(all.induced, 1.0);
@@ -213,6 +239,9 @@ mod tests {
     fn coverage_is_percent_reduction() {
         assert_eq!(coverage(100, 40), 0.6);
         assert_eq!(coverage(0, 0), 0.0);
-        assert!(coverage(100, 120) < 0.0, "pollution can make coverage negative");
+        assert!(
+            coverage(100, 120) < 0.0,
+            "pollution can make coverage negative"
+        );
     }
 }

@@ -109,7 +109,9 @@ pub fn classify_trace(trace: &Trace) -> Classifier {
             }
             _ => {}
         }
-        let Some(addr) = inst.mem_addr() else { continue };
+        let Some(addr) = inst.mem_addr() else {
+            continue;
+        };
         let key = inst.pc ^ ras.last().copied().unwrap_or(0);
         let s = pcs.entry(key).or_default();
         if s.seen > 0 {
@@ -152,7 +154,9 @@ pub fn classify_trace(trace: &Trace) -> Classifier {
             }
             _ => {}
         }
-        let Some(addr) = inst.mem_addr() else { continue };
+        let Some(addr) = inst.mem_addr() else {
+            continue;
+        };
         let line = line_of(addr);
         let key = inst.pc ^ ras.last().copied().unwrap_or(0);
         let from_strided = pc_cat.get(&key) == Some(&Category::Lhf);
@@ -196,7 +200,9 @@ pub fn classify_trace(trace: &Trace) -> Classifier {
             }
             _ => {}
         }
-        let Some(addr) = inst.mem_addr() else { continue };
+        let Some(addr) = inst.mem_addr() else {
+            continue;
+        };
         let key = inst.pc ^ ras.last().copied().unwrap_or(0);
         if pc_cat.get(&key) == Some(&Category::Lhf) {
             continue;
@@ -236,7 +242,9 @@ mod tests {
 
     #[test]
     fn strided_pc_is_lhf() {
-        let trace: Trace = (0..64u64).map(|i| load(0x100, 0x10_0000 + i * 64)).collect();
+        let trace: Trace = (0..64u64)
+            .map(|i| load(0x100, 0x10_0000 + i * 64))
+            .collect();
         let c = classify_trace(&trace);
         assert_eq!(c.pc_category(0x100), Category::Lhf);
         assert_eq!(c.line_category(line_of(0x10_0000)), Category::Lhf);

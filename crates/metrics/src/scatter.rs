@@ -39,7 +39,10 @@ pub fn render(
     y_label: &str,
 ) -> String {
     assert!(width >= 8 && height >= 4, "plot must be at least 8x4");
-    assert!(x_range.1 > x_range.0 && y_range.1 > y_range.0, "ranges must be non-empty");
+    assert!(
+        x_range.1 > x_range.0 && y_range.1 > y_range.0,
+        "ranges must be non-empty"
+    );
     let mut grid = vec![vec![' '; width]; height];
     let place = |v: f64, lo: f64, hi: f64, cells: usize| -> Option<usize> {
         if !v.is_finite() {
@@ -57,7 +60,7 @@ pub fn render(
             continue;
         };
         let row = height - 1 - cy; // y grows upward
-        // Later points (e.g. averages) overwrite earlier ones.
+                                   // Later points (e.g. averages) overwrite earlier ones.
         grid[row][cx] = p.glyph;
     }
     let mut out = String::new();
@@ -97,8 +100,20 @@ pub fn accuracy_scope_plot(
         .iter()
         .map(|&(x, y)| ScatterPoint { x, y, glyph: '.' })
         .collect();
-    pts.extend(averages.iter().map(|&(g, x, y)| ScatterPoint { x, y, glyph: g }));
-    render(&pts, (0.0, 1.0), (y_min, 1.0), 56, 14, "scope", "effective accuracy")
+    pts.extend(
+        averages
+            .iter()
+            .map(|&(g, x, y)| ScatterPoint { x, y, glyph: g }),
+    );
+    render(
+        &pts,
+        (0.0, 1.0),
+        (y_min, 1.0),
+        56,
+        14,
+        "scope",
+        "effective accuracy",
+    )
 }
 
 #[cfg(test)]
@@ -107,7 +122,11 @@ mod tests {
 
     #[test]
     fn renders_expected_dimensions() {
-        let pts = vec![ScatterPoint { x: 0.5, y: 0.5, glyph: 'x' }];
+        let pts = vec![ScatterPoint {
+            x: 0.5,
+            y: 0.5,
+            glyph: 'x',
+        }];
         let plot = render(&pts, (0.0, 1.0), (0.0, 1.0), 20, 6, "x", "y");
         // y label + 6 rows + axis + x label.
         assert_eq!(plot.lines().count(), 9);
@@ -117,8 +136,16 @@ mod tests {
     #[test]
     fn corners_land_on_corners() {
         let pts = vec![
-            ScatterPoint { x: 0.0, y: 0.0, glyph: 'a' },
-            ScatterPoint { x: 1.0, y: 1.0, glyph: 'b' },
+            ScatterPoint {
+                x: 0.0,
+                y: 0.0,
+                glyph: 'a',
+            },
+            ScatterPoint {
+                x: 1.0,
+                y: 1.0,
+                glyph: 'b',
+            },
         ];
         let plot = render(&pts, (0.0, 1.0), (0.0, 1.0), 10, 5, "x", "y");
         let lines: Vec<&str> = plot.lines().collect();
@@ -130,7 +157,11 @@ mod tests {
 
     #[test]
     fn out_of_range_points_clamp() {
-        let pts = vec![ScatterPoint { x: 5.0, y: -3.0, glyph: 'z' }];
+        let pts = vec![ScatterPoint {
+            x: 5.0,
+            y: -3.0,
+            glyph: 'z',
+        }];
         let plot = render(&pts, (0.0, 1.0), (0.0, 1.0), 10, 5, "x", "y");
         assert!(plot.contains('z'), "clamped, not dropped");
     }
@@ -138,8 +169,16 @@ mod tests {
     #[test]
     fn later_points_overwrite() {
         let pts = vec![
-            ScatterPoint { x: 0.5, y: 0.5, glyph: '#' },
-            ScatterPoint { x: 0.5, y: 0.5, glyph: '@' },
+            ScatterPoint {
+                x: 0.5,
+                y: 0.5,
+                glyph: '#',
+            },
+            ScatterPoint {
+                x: 0.5,
+                y: 0.5,
+                glyph: '@',
+            },
         ];
         let plot = render(&pts, (0.0, 1.0), (0.0, 1.0), 11, 5, "x", "y");
         assert!(plot.contains('@'));

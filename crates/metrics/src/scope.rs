@@ -84,7 +84,11 @@ pub fn scope(fp: &Footprint, pfp: &HashSet<u64>) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    let covered: u64 = fp.iter().filter(|(l, _)| pfp.contains(l)).map(|(_, w)| w).sum();
+    let covered: u64 = fp
+        .iter()
+        .filter(|(l, _)| pfp.contains(l))
+        .map(|(_, w)| w)
+        .sum();
     covered as f64 / total as f64
 }
 
@@ -92,7 +96,11 @@ pub fn scope(fp: &Footprint, pfp: &HashSet<u64>) -> f64 {
 /// looks at the region TPC does *not* cover): only lines in `region`
 /// participate in both numerator and denominator.
 pub fn scope_within(fp: &Footprint, pfp: &HashSet<u64>, region: &HashSet<u64>) -> f64 {
-    let total: u64 = fp.iter().filter(|(l, _)| region.contains(l)).map(|(_, w)| w).sum();
+    let total: u64 = fp
+        .iter()
+        .filter(|(l, _)| region.contains(l))
+        .map(|(_, w)| w)
+        .sum();
     if total == 0 {
         return 0.0;
     }
@@ -109,7 +117,12 @@ mod tests {
     use super::*;
 
     fn miss(line: u64) -> MemEvent {
-        MemEvent::DemandMiss { core: 0, level: CacheLevel::L1, line, pc: 0x100 }
+        MemEvent::DemandMiss {
+            core: 0,
+            level: CacheLevel::L1,
+            line,
+            pc: 0x100,
+        }
     }
 
     fn issued(line: u64, origin: u16) -> MemEvent {
@@ -134,7 +147,12 @@ mod tests {
     fn footprint_is_level_specific() {
         let events = vec![
             miss(1),
-            MemEvent::DemandMiss { core: 0, level: CacheLevel::L2, line: 9, pc: 0 },
+            MemEvent::DemandMiss {
+                core: 0,
+                level: CacheLevel::L2,
+                line: 9,
+                pc: 0,
+            },
         ];
         let fp = footprint(&events, CacheLevel::L1);
         assert_eq!(fp.weight(9), 0);

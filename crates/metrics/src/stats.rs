@@ -96,8 +96,16 @@ mod tests {
     #[test]
     fn weighted_average_respects_weights() {
         let pts = [
-            WeightedPoint { x: 0.0, y: 0.0, weight: 1.0 },
-            WeightedPoint { x: 1.0, y: 1.0, weight: 3.0 },
+            WeightedPoint {
+                x: 0.0,
+                y: 0.0,
+                weight: 1.0,
+            },
+            WeightedPoint {
+                x: 1.0,
+                y: 1.0,
+                weight: 3.0,
+            },
         ];
         let (x, y) = WeightedPoint::weighted_average(&pts);
         assert!((x - 0.75).abs() < 1e-12);
@@ -107,8 +115,16 @@ mod tests {
     #[test]
     fn zero_weights_fall_back_to_unweighted() {
         let pts = [
-            WeightedPoint { x: 0.0, y: 2.0, weight: 0.0 },
-            WeightedPoint { x: 1.0, y: 4.0, weight: 0.0 },
+            WeightedPoint {
+                x: 0.0,
+                y: 2.0,
+                weight: 0.0,
+            },
+            WeightedPoint {
+                x: 1.0,
+                y: 4.0,
+                weight: 0.0,
+            },
         ];
         let (x, y) = WeightedPoint::weighted_average(&pts);
         assert_eq!((x, y), (0.5, 3.0));

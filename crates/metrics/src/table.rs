@@ -21,7 +21,10 @@ impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<String>) -> Self {
         assert!(!headers.is_empty(), "a table needs at least one column");
-        TextTable { headers, rows: Vec::new() }
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.

@@ -1,18 +1,28 @@
 //! Property-based tests on the metric definitions.
 
+use dol_mem::{CacheLevel, MemEvent, Origin};
 use dol_metrics::{
     accuracy_at, classify_trace, footprint, geomean, prefetched_lines, scope, Category,
     WeightedPoint,
 };
-use dol_mem::{CacheLevel, MemEvent, Origin};
 use proptest::prelude::*;
 
 fn miss(line: u64) -> MemEvent {
-    MemEvent::DemandMiss { core: 0, level: CacheLevel::L1, line, pc: 0x100 }
+    MemEvent::DemandMiss {
+        core: 0,
+        level: CacheLevel::L1,
+        line,
+        pc: 0x100,
+    }
 }
 
 fn issued(line: u64) -> MemEvent {
-    MemEvent::PrefetchIssued { core: 0, line, origin: Origin(5), dest: CacheLevel::L1 }
+    MemEvent::PrefetchIssued {
+        core: 0,
+        line,
+        origin: Origin(5),
+        dest: CacheLevel::L1,
+    }
 }
 
 proptest! {

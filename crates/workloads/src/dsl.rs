@@ -1,8 +1,7 @@
 //! Shared helpers for kernel construction.
 
+use crate::rng::Rng64;
 use dol_isa::{AluOp, Cond, Operand, ProgramBuilder, Reg, Vm};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Base address of the first data array a kernel allocates.
 pub const DATA_BASE: u64 = 0x100_0000;
@@ -29,8 +28,8 @@ impl Alloc {
 }
 
 /// Deterministic RNG for data initialization.
-pub fn rng(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed ^ 0x5DEECE66D)
+pub fn rng(seed: u64) -> Rng64 {
+    Rng64::seed_from_u64(seed ^ 0x5DEECE66D)
 }
 
 /// Emits `loop { body }` — an infinite outer loop (the harness cuts
@@ -59,9 +58,9 @@ pub fn counted(
 }
 
 /// Fills `words` sequential words at `base` with RNG output.
-pub fn fill_random(vm: &mut Vm, base: u64, words: u64, rng: &mut SmallRng) {
+pub fn fill_random(vm: &mut Vm, base: u64, words: u64, rng: &mut Rng64) {
     for i in 0..words {
-        vm.memory_mut().write_u64(base + i * 8, rng.gen());
+        vm.memory_mut().write_u64(base + i * 8, rng.next_u64());
     }
 }
 
@@ -72,11 +71,11 @@ pub fn fill_with(vm: &mut Vm, base: u64, words: u64, mut f: impl FnMut(u64) -> u
     }
 }
 
-/// A random permutation of `0..n`.
-pub fn permutation(n: u64, rng: &mut SmallRng) -> Vec<u64> {
+/// A random permutation of `0..n` (Fisher–Yates).
+pub fn permutation(n: u64, rng: &mut Rng64) -> Vec<u64> {
     let mut p: Vec<u64> = (0..n).collect();
     for i in (1..n as usize).rev() {
-        let j = rng.gen_range(0..=i);
+        let j = rng.index(i + 1);
         p.swap(i, j);
     }
     p
@@ -93,7 +92,7 @@ pub fn build_list(
     nodes: u64,
     node_words: u64,
     next_off: u64,
-    rng: &mut SmallRng,
+    rng: &mut Rng64,
 ) -> u64 {
     let base = alloc.array(nodes * node_words);
     let perm = permutation(nodes, rng);

@@ -8,10 +8,9 @@
 //! property gathers.
 
 use crate::dsl::{counted, fill_random, forever, rng, Alloc};
+use crate::rng::Rng64;
 use crate::{Spec, Suite};
 use dol_isa::{AluOp, Cond, Operand, ProgramBuilder, Reg, Vm};
-use rand::rngs::SmallRng;
-use rand::Rng;
 
 use Reg::*;
 
@@ -37,13 +36,13 @@ struct Csr {
 }
 
 /// A skewed random graph (RMAT-flavoured degree distribution).
-fn build_rmat(vm: &mut Vm, alloc: &mut Alloc, n: u64, avg_degree: u64, r: &mut SmallRng) -> Csr {
+fn build_rmat(vm: &mut Vm, alloc: &mut Alloc, n: u64, avg_degree: u64, r: &mut Rng64) -> Csr {
     let m = n * avg_degree;
     let mut adj: Vec<Vec<u64>> = vec![Vec::new(); n as usize];
     for _ in 0..m {
         // Quadratic skew: low-numbered vertices attract more edges.
-        let u = (r.gen_range(0..n) * r.gen_range(0..n)) / n;
-        let v = (r.gen_range(0..n) * r.gen_range(0..n)) / n;
+        let u = (r.below(n) * r.below(n)) / n;
+        let v = (r.below(n) * r.below(n)) / n;
         adj[u as usize].push(v);
     }
     let row_ptr = alloc.array(n + 1);

@@ -37,10 +37,12 @@ mod dsl;
 mod embedded;
 mod graphs;
 mod mixes;
+pub mod rng;
 mod scientific;
 mod spec21;
 
 pub use mixes::{mix_names, mixes, Mix};
+pub use rng::Rng64;
 
 use dol_isa::Vm;
 
@@ -80,7 +82,10 @@ pub struct Spec {
 
 impl std::fmt::Debug for Spec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Spec").field("name", &self.name).field("suite", &self.suite).finish()
+        f.debug_struct("Spec")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .finish()
     }
 }
 

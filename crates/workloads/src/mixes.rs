@@ -4,9 +4,8 @@
 //! weighted speedups over 68 workloads in total (Figure 11). We generate
 //! seeded random 4-way combinations over all 36 kernels.
 
+use crate::rng::Rng64;
 use crate::{all_workloads, Spec};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A 4-way multiprogrammed mix.
 #[derive(Debug, Clone)]
@@ -20,11 +19,16 @@ pub struct Mix {
 /// Generates `count` deterministic 4-way mixes from all suites.
 pub fn mixes(count: usize, seed: u64) -> Vec<Mix> {
     let pool = all_workloads();
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1CE);
+    let mut rng = Rng64::seed_from_u64(seed ^ 0xD1CE);
     (0..count)
         .map(|i| {
-            let pick = |rng: &mut SmallRng| pool[rng.gen_range(0..pool.len())].clone();
-            let members = [pick(&mut rng), pick(&mut rng), pick(&mut rng), pick(&mut rng)];
+            let pick = |rng: &mut Rng64| pool[rng.index(pool.len())].clone();
+            let members = [
+                pick(&mut rng),
+                pick(&mut rng),
+                pick(&mut rng),
+                pick(&mut rng),
+            ];
             let name = format!(
                 "mix{i:02}[{}|{}|{}|{}]",
                 members[0].name, members[1].name, members[2].name, members[3].name

@@ -1,0 +1,187 @@
+//! Vendored deterministic PRNG for workload data initialization.
+//!
+//! Replaces the external `rand` crate (SmallRng) so the workspace builds
+//! with zero registry access. The generator is xoshiro256** seeded
+//! through SplitMix64 — the same construction the reference xoshiro
+//! implementation recommends — which gives a full 256-bit state from a
+//! 64-bit seed and passes the usual statistical batteries far beyond
+//! what data-layout scrambling needs.
+//!
+//! Seeding semantics match the old call sites one-to-one: every kernel
+//! derives its generator as `rng(seed ^ CONSTANT)`, so a workload's data
+//! layout is a pure function of its seed, traces are reproducible across
+//! runs and platforms, and different seeds give different layouts. (The
+//! concrete streams differ from `rand`'s SmallRng, so per-seed traces
+//! changed exactly once, at the swap.)
+
+/// SplitMix64 step: diffuses a 64-bit seed into successive state words.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator whose output stream is a pure function of
+    /// `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 { s }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `0..n` (`n > 0`). Uses a simple modulo — the
+    /// bias is ≤ n/2⁶⁴, irrelevant for data-layout scrambling.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is an empty range");
+        self.next_u64() % n
+    }
+
+    /// Uniform index into a collection of length `n` (`n > 0`).
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random bits.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden values pin the exact stream: any accidental change to the
+    /// seeding or update function would silently relayout every workload
+    /// (and shift every measured number in EXPERIMENTS.md).
+    #[test]
+    fn fixed_seed_golden_values() {
+        let mut r = Rng64::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                0x99EC5F36CB75F2B4,
+                0xBF6E1F784956452A,
+                0x1A5F849D4933E6E0,
+                0x6AA594F1262D2D2C,
+            ]
+        );
+        let mut r = Rng64::seed_from_u64(2018);
+        let first: Vec<u64> = (0..2).map(|_| r.next_u64()).collect();
+        // Self-recorded golden values for the harness's default seed.
+        assert_eq!(first, vec![0xD39FDFE3DD0D1672, 0xEEACAC441AB2E531]);
+    }
+
+    #[test]
+    fn same_seed_same_stream_different_seed_different_stream() {
+        let a: Vec<u64> = {
+            let mut r = Rng64::seed_from_u64(7);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng64::seed_from_u64(7);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = Rng64::seed_from_u64(8);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_and_index_stay_in_range() {
+        let mut r = Rng64::seed_from_u64(1);
+        for n in [1u64, 2, 3, 10, 63, 64, 65, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.below(n) < n);
+            }
+        }
+        for _ in 0..200 {
+            assert!(r.index(17) < 17);
+        }
+    }
+
+    /// Distribution sanity: mean of uniform u8-range draws, bit balance,
+    /// and unit_f64 bounds — coarse checks that would catch a broken
+    /// update function (stuck bits, short cycles), not statistical
+    /// perfection.
+    #[test]
+    fn distribution_sanity() {
+        let mut r = Rng64::seed_from_u64(12345);
+        const N: usize = 100_000;
+
+        // Mean of below(256) should be ~127.5.
+        let sum: u64 = (0..N).map(|_| r.below(256)).sum();
+        let mean = sum as f64 / N as f64;
+        assert!((mean - 127.5).abs() < 1.5, "mean {mean}");
+
+        // Each of the 64 bits should be set ~half the time.
+        let mut bit_counts = [0u32; 64];
+        for _ in 0..N {
+            let v = r.next_u64();
+            for (b, count) in bit_counts.iter_mut().enumerate() {
+                *count += ((v >> b) & 1) as u32;
+            }
+        }
+        for (b, count) in bit_counts.iter().enumerate() {
+            let frac = *count as f64 / N as f64;
+            assert!((frac - 0.5).abs() < 0.01, "bit {b} frac {frac}");
+        }
+
+        // unit_f64 in [0, 1) with a sane mean.
+        let sum: f64 = (0..N).map(|_| r.unit_f64()).sum();
+        let mean = sum / N as f64;
+        assert!((mean - 0.5).abs() < 0.01, "unit mean {mean}");
+        for _ in 0..1000 {
+            let f = r.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    /// No short cycle: 1 M draws never return to the initial state.
+    #[test]
+    fn no_short_cycle() {
+        let start = Rng64::seed_from_u64(99);
+        let mut r = start.clone();
+        for _ in 0..1_000_000u32 {
+            r.next_u64();
+            assert_ne!(r, start);
+        }
+    }
+}

@@ -3,7 +3,6 @@
 use crate::dsl::{counted, fill_random, fill_with, forever, rng, Alloc};
 use crate::{Spec, Suite};
 use dol_isa::{AluOp, ProgramBuilder, Reg, Vm};
-use rand::Rng;
 
 use Reg::*;
 
@@ -64,7 +63,7 @@ fn cg_band_spmv(seed: u64) -> Vm {
         let row = i / nnz_per_row as u64;
         let lo = row.saturating_sub(band);
         let hi = (row + band).min(rows as u64 - 1);
-        (lo + r.gen::<u64>() % (hi - lo + 1)) * 8
+        (lo + r.below(hi - lo + 1)) * 8
     });
     let mut r2 = rng(seed ^ 7);
     fill_random(&mut vm, vals, nnz as u64, &mut r2);
@@ -187,6 +186,6 @@ fn is_bucket(seed: u64) -> Vm {
     });
     let mut vm = Vm::new(b.build().expect("valid kernel"));
     let mut r = rng(seed);
-    fill_with(&mut vm, keys, n as u64, |_| r.gen::<u64>() & !7);
+    fill_with(&mut vm, keys, n as u64, |_| r.next_u64() & !7);
     vm
 }

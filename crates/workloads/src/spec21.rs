@@ -15,7 +15,6 @@
 use crate::dsl::{build_list, counted, fill_random, fill_with, forever, permutation, rng, Alloc};
 use crate::{Spec, Suite};
 use dol_isa::{AluOp, Cond, Operand, ProgramBuilder, Reg, Vm};
-use rand::Rng;
 
 use Reg::*;
 
@@ -77,7 +76,11 @@ fn stream_sum(seed: u64) -> Vm {
 fn stream_triad(seed: u64) -> Vm {
     let mut alloc = Alloc::new();
     let n = (MB / 8) as i64;
-    let (a, bb, c) = (alloc.array(n as u64), alloc.array(n as u64), alloc.array(n as u64));
+    let (a, bb, c) = (
+        alloc.array(n as u64),
+        alloc.array(n as u64),
+        alloc.array(n as u64),
+    );
     let mut b = ProgramBuilder::new();
     forever(&mut b, |b| {
         b.imm(R1, a as i64);
@@ -367,7 +370,7 @@ fn gather_window(seed: u64) -> Vm {
     let window = 64 * 1024u64;
     fill_with(&mut vm, idx, n as u64, |i| {
         let base = (i * 8) % (table_words * 8 - window);
-        (base + (r.gen::<u64>() % window)) & !7
+        (base + r.below(window)) & !7
     });
     let mut r2 = rng(seed ^ 1);
     fill_random(&mut vm, table, table_words, &mut r2);
@@ -397,7 +400,7 @@ fn histogram(seed: u64) -> Vm {
     });
     let mut vm = Vm::new(b.build().expect("valid kernel"));
     let mut r = rng(seed);
-    fill_with(&mut vm, keys, n as u64, |_| r.gen::<u64>() & !7);
+    fill_with(&mut vm, keys, n as u64, |_| r.next_u64() & !7);
     vm
 }
 
@@ -408,7 +411,7 @@ fn spmv_csr(seed: u64) -> Vm {
     let rows = 64 * 1024i64;
     let nnz_per_row = 8i64;
     let nnz = rows * nnz_per_row;
-    let x_words = (MB / 8) as u64;
+    let x_words = MB / 8;
     let col_idx = alloc.array(nnz as u64); // precomputed byte offsets
     let vals = alloc.array(nnz as u64);
     let x = alloc.array(x_words);
@@ -437,7 +440,7 @@ fn spmv_csr(seed: u64) -> Vm {
     });
     let mut vm = Vm::new(b.build().expect("valid kernel"));
     let mut r = rng(seed);
-    fill_with(&mut vm, col_idx, nnz as u64, |_| (r.gen::<u64>() % x_words) * 8);
+    fill_with(&mut vm, col_idx, nnz as u64, |_| r.below(x_words) * 8);
     let mut r2 = rng(seed ^ 2);
     fill_random(&mut vm, vals, nnz as u64, &mut r2);
     let mut r3 = rng(seed ^ 3);
@@ -509,7 +512,7 @@ fn aop_deref(seed: u64) -> Vm {
     let mut r = rng(seed);
     // Pointers into the pool, 64-byte aligned objects.
     let objects = pool_words * 8 / 64;
-    fill_with(&mut vm, ptrs, n as u64, |_| pool + (r.gen::<u64>() % objects) * 64);
+    fill_with(&mut vm, ptrs, n as u64, |_| pool + r.below(objects) * 64);
     let mut r2 = rng(seed ^ 4);
     fill_random(&mut vm, pool, pool_words, &mut r2);
     vm
@@ -577,7 +580,11 @@ fn btree_search(seed: u64) -> Vm {
         let this = addr_of(k);
         let (l, rch) = (2 * k, 2 * k + 1);
         let left = if l < nodes { addr_of(l) } else { addr_of(1) };
-        let right = if rch < nodes { addr_of(rch) } else { addr_of(1) };
+        let right = if rch < nodes {
+            addr_of(rch)
+        } else {
+            addr_of(1)
+        };
         vm.memory_mut().write_u64(this + 8, left);
         vm.memory_mut().write_u64(this + 16, right);
         vm.memory_mut().write_u64(this + 24, k);
@@ -624,7 +631,7 @@ fn binsearch(seed: u64) -> Vm {
     let mut vm = Vm::new(b.build().expect("valid kernel"));
     // Sorted values: i * 1024 + small noise keeps it monotone.
     let mut r = rng(seed);
-    fill_with(&mut vm, a, n_words, |i| i * 1024 + (r.gen::<u64>() % 512));
+    fill_with(&mut vm, a, n_words, |i| i * 1024 + r.below(512));
     vm
 }
 

@@ -9,8 +9,8 @@
 use std::collections::{HashMap, HashSet};
 
 use dol_isa::{InstKind, Trace};
-use dol_metrics::{classify_trace, Category};
 use dol_mem::{line_of, region_of, REGION_LINES};
+use dol_metrics::{classify_trace, Category};
 
 const BUDGET: u64 = 60_000;
 
@@ -76,11 +76,17 @@ fn region_shuffle_is_dense_but_not_strided() {
     // legitimately LHF; the *dense irregular* character must dominate
     // once strided instructions are excluded — require substantial MHF
     // and verify density directly.
-    assert!(mhf + lhf > 0.9, "dense region kernel: LHF {lhf:.2} + MHF {mhf:.2}");
+    assert!(
+        mhf + lhf > 0.9,
+        "dense region kernel: LHF {lhf:.2} + MHF {mhf:.2}"
+    );
     let mut region_lines: HashMap<u64, HashSet<u64>> = HashMap::new();
     for i in &t {
         if let Some(a) = i.mem_addr() {
-            region_lines.entry(region_of(a)).or_default().insert(line_of(a) % REGION_LINES);
+            region_lines
+                .entry(region_of(a))
+                .or_default()
+                .insert(line_of(a) % REGION_LINES);
         }
     }
     let dense = region_lines.values().filter(|s| s.len() > 6).count();
@@ -219,12 +225,15 @@ fn every_kernel_touches_more_memory_than_the_l1() {
             continue; // deliberately compute-bound, small table
         }
         let t = spec.build_vm(9).run(BUDGET).expect("runs");
-        let lines: HashSet<u64> =
-            t.iter().filter_map(|i| i.mem_addr()).map(line_of).collect();
+        let lines: HashSet<u64> = t.iter().filter_map(|i| i.mem_addr()).map(line_of).collect();
         // kmeans_assign and mix_hash are the suite's compute-heavy
         // members, so their footprints grow slowly with the budget; a
         // lower bar still proves they leave the caches at full budgets.
-        let bar = if matches!(spec.name, "kmeans_assign" | "mix_hash") { 256 } else { 1024 };
+        let bar = if matches!(spec.name, "kmeans_assign" | "mix_hash") {
+            256
+        } else {
+            1024
+        };
         assert!(
             lines.len() > bar,
             "{}: footprint {} lines too small",
@@ -240,8 +249,8 @@ fn phase_mix_really_has_two_phases() {
     // First quarter is the strided sweep, so its addresses are ordered;
     // somewhere later the random phase breaks the order badly.
     let addrs: Vec<u64> = t.iter().filter_map(|i| i.mem_addr()).collect();
-    let ordered = |s: &[u64]| s.windows(2).filter(|w| w[1] > w[0]).count() as f64
-        / (s.len() - 1) as f64;
+    let ordered =
+        |s: &[u64]| s.windows(2).filter(|w| w[1] > w[0]).count() as f64 / (s.len() - 1) as f64;
     let head = ordered(&addrs[..addrs.len() / 8]);
     let tail = ordered(&addrs[addrs.len() / 2..]);
     assert!(head > 0.95, "first phase is a sweep: {head:.2}");

@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --release -p dol-examples --bin custom_component`
 
-use dol_core::{
-    origins, Composite, NoPrefetcher, Prefetcher, PrefetchRequest, RetireInfo, Tpc,
-};
+use dol_core::{origins, Composite, NoPrefetcher, PrefetchRequest, Prefetcher, RetireInfo, Tpc};
 use dol_cpu::{System, SystemConfig, Workload};
 use dol_mem::{region_of, CacheLevel, Origin, LINE_BYTES, REGION_LINES};
 
@@ -24,7 +22,10 @@ struct NextRegion {
 
 impl NextRegion {
     fn new(origin: Origin) -> Self {
-        NextRegion { origin, last_region: u64::MAX }
+        NextRegion {
+            origin,
+            last_region: u64::MAX,
+        }
     }
 }
 
@@ -38,7 +39,9 @@ impl Prefetcher for NextRegion {
     }
 
     fn on_retire(&mut self, ev: &RetireInfo<'_>, out: &mut Vec<PrefetchRequest>) {
-        let Some(addr) = ev.inst.mem_addr() else { return };
+        let Some(addr) = ev.inst.mem_addr() else {
+            return;
+        };
         let region = region_of(addr);
         if region != self.last_region {
             self.last_region = region;

@@ -12,8 +12,7 @@ fn main() {
     // 1. Pick a workload from the suite and capture its functional trace.
     //    (Any `dol_isa::Vm` works; the suites are just convenient.)
     let spec = dol_workloads::by_name("stream_sum").expect("known workload");
-    let workload =
-        Workload::capture(spec.build_vm(42), 500_000).expect("kernel runs forever");
+    let workload = Workload::capture(spec.build_vm(42), 500_000).expect("kernel runs forever");
     println!(
         "workload `{}`: {} instructions, {} memory accesses",
         spec.name,

@@ -6,9 +6,17 @@ use dol_harness::RunPlan;
 #[test]
 #[ignore]
 fn embedded_gap() {
-    let plan = RunPlan { insts: 400_000, seed: 2018, mix_count: 2 };
+    let plan = RunPlan {
+        insts: 400_000,
+        mix_count: 2,
+        ..RunPlan::full()
+    };
     let sys = System::new(SystemConfig::isca2018(1));
-    for suite in [dol_workloads::embedded(), dol_workloads::graphs(), dol_workloads::scientific()] {
+    for suite in [
+        dol_workloads::embedded(),
+        dol_workloads::graphs(),
+        dol_workloads::scientific(),
+    ] {
         for spec in suite {
             let base = BaselineRun::capture(&spec, &plan, &sys);
             let fdp = AppRun::run(&base, "FDP", &sys).speedup(&base);

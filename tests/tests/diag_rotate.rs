@@ -1,5 +1,5 @@
 //! Ignored diagnostic for the rotate_img store-stream interaction.
-use dol_core::{NoPrefetcher, Prefetcher, TpcBuilder, TpcConfig};
+use dol_core::{NoPrefetcher, TpcBuilder, TpcConfig};
 use dol_cpu::{System, SystemConfig, Workload};
 use dol_mem::CacheLevel;
 
@@ -13,12 +13,20 @@ fn rotate_variants() {
     println!("base {} l1m {}", base.cycles, base.stats.cores[0].l1_misses);
     let variants: Vec<(&str, TpcConfig)> = vec![
         ("default(m=128,L2route)", TpcConfig::default()),
-        ("margin=64", { let mut c = TpcConfig::default(); c.margin = 64; c }),
-        ("force accurate L2 for all", {
-            let mut c = TpcConfig::default();
-            c.accurate_dest = CacheLevel::L2;
-            c
-        }),
+        (
+            "margin=64",
+            TpcConfig {
+                margin: 64,
+                ..TpcConfig::default()
+            },
+        ),
+        (
+            "force accurate L2 for all",
+            TpcConfig {
+                accurate_dest: CacheLevel::L2,
+                ..TpcConfig::default()
+            },
+        ),
     ];
     for (name, cfg) in variants {
         let mut p = TpcBuilder::new().config(cfg).name("v").build();

@@ -14,8 +14,12 @@ fn stream_gap() {
     let w = Workload::capture(spec.build_vm(2018), 300_000).unwrap();
     let sys = System::new(SystemConfig::isca2018(1));
     let base = sys.run(&w, &mut NoPrefetcher);
-    println!("base: cycles {} l1m {} avglat {:.1}", base.cycles, base.stats.cores[0].l1_misses,
-        base.stats.cores[0].latency_sum as f64 / base.stats.cores[0].accesses as f64);
+    println!(
+        "base: cycles {} l1m {} avglat {:.1}",
+        base.cycles,
+        base.stats.cores[0].l1_misses,
+        base.stats.cores[0].latency_sum as f64 / base.stats.cores[0].accesses as f64
+    );
     {
         let mut t2 = Tpc::t2_only();
         let _ = sys.run(&w, &mut t2);
@@ -32,20 +36,36 @@ fn stream_gap() {
     ];
     for (name, mut p) in runs {
         let r = sys.run(&w, p.as_mut());
-        let mut issued = 0u64; let mut dropped = [0u64; 4]; let mut useful = 0u64;
+        let mut issued = 0u64;
+        let mut dropped = [0u64; 4];
+        let mut useful = 0u64;
         for e in &r.events {
             match e {
                 MemEvent::PrefetchIssued { .. } => issued += 1,
                 MemEvent::PrefetchDropped { reason, .. } => {
-                    dropped[match reason { DropReason::Redundant => 0, DropReason::InFlight => 1, DropReason::NoMshr => 2, DropReason::QueueFull => 3 }] += 1
+                    dropped[match reason {
+                        DropReason::Redundant => 0,
+                        DropReason::InFlight => 1,
+                        DropReason::NoMshr => 2,
+                        DropReason::QueueFull => 3,
+                    }] += 1
                 }
-                MemEvent::PrefetchUseful { level: CacheLevel::L1, .. } => useful += 1,
+                MemEvent::PrefetchUseful {
+                    level: CacheLevel::L1,
+                    ..
+                } => useful += 1,
                 _ => {}
             }
         }
-        println!("{name}: cycles {} speedup {:.3} l1m {} avglat {:.1} issued {} useful {} dropped {:?}",
-            r.cycles, base.cycles as f64 / r.cycles as f64, r.stats.cores[0].l1_misses,
+        println!(
+            "{name}: cycles {} speedup {:.3} l1m {} avglat {:.1} issued {} useful {} dropped {:?}",
+            r.cycles,
+            base.cycles as f64 / r.cycles as f64,
+            r.stats.cores[0].l1_misses,
             r.stats.cores[0].latency_sum as f64 / r.stats.cores[0].accesses as f64,
-            issued, useful, dropped);
+            issued,
+            useful,
+            dropped
+        );
     }
 }

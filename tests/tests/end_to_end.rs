@@ -42,13 +42,22 @@ fn every_comparison_prefetcher_completes_every_suite_workload() {
 #[test]
 fn tpc_beats_baseline_on_every_stride_kernel() {
     let sys = sys();
-    for name in ["stream_sum", "stream_triad", "unrolled_copy", "stencil3", "matrix_row"] {
+    for name in [
+        "stream_sum",
+        "stream_triad",
+        "unrolled_copy",
+        "stencil3",
+        "matrix_row",
+    ] {
         let w = capture(name);
         let base = sys.run(&w, &mut NoPrefetcher);
         let mut tpc = Tpc::full();
         let with = sys.run(&w, &mut tpc);
         let speedup = base.cycles as f64 / with.cycles as f64;
-        assert!(speedup > 1.3, "{name}: expected a clear win, got {speedup:.3}");
+        assert!(
+            speedup > 1.3,
+            "{name}: expected a clear win, got {speedup:.3}"
+        );
     }
 }
 
@@ -123,12 +132,17 @@ fn multicore_weighted_speedup_is_positive_for_tpc() {
     let sys1 = sys();
     let names = ["stream_sum", "region_shuffle", "hash_probe", "spmv_csr"];
     let ws: Vec<Workload> = names.iter().map(|n| capture(n)).collect();
-    let alone: Vec<f64> = ws.iter().map(|w| sys1.run(w, &mut NoPrefetcher).ipc()).collect();
+    let alone: Vec<f64> = ws
+        .iter()
+        .map(|w| sys1.run(w, &mut NoPrefetcher).ipc())
+        .collect();
 
     let run4 = |mk: &dyn Fn() -> Box<dyn Prefetcher>| {
         let mut ps: Vec<Box<dyn Prefetcher>> = (0..4).map(|_| mk()).collect();
-        let mut refs: Vec<&mut dyn Prefetcher> =
-            ps.iter_mut().map(|p| p.as_mut() as &mut dyn Prefetcher).collect();
+        let mut refs: Vec<&mut dyn Prefetcher> = ps
+            .iter_mut()
+            .map(|p| p.as_mut() as &mut dyn Prefetcher)
+            .collect();
         let r = sys4.run_multi(&ws, &mut refs);
         dol_metrics::weighted_speedup(&r.ipcs(), &alone)
     };

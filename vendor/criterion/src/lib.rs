@@ -1,0 +1,257 @@
+#![warn(missing_docs)]
+
+//! A vendored, dependency-free stand-in for the subset of the
+//! [criterion](https://crates.io/crates/criterion) API this workspace
+//! uses, so `cargo bench` works with `CARGO_NET_OFFLINE=true` and an
+//! empty registry cache.
+//!
+//! The statistics are deliberately simple: each benchmark runs a warm-up
+//! phase, then `sample_size` timed samples (each sample auto-scales its
+//! iteration count toward `measurement_time / sample_size`), and reports
+//! min / median / mean per-iteration wall time, plus throughput when
+//! configured. There are no plots, no outlier classification, and no
+//! saved baselines. To run under real upstream criterion, point the
+//! `criterion` entry of `[workspace.dependencies]` back at crates.io
+//! (requires network access).
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink (re-exported for bench code; upstream reimplements
+/// this, std has it since 1.66).
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benches_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+
+    /// Prints the run footer (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!("\n{} benchmark(s) complete", self.benches_run);
+    }
+}
+
+/// A named collection of benchmarks sharing sampling parameters.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        report(&label, &b.samples, self.throughput);
+        self.criterion.benches_run += 1;
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; we have none).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    warm_up_time: Duration,
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Collected (iterations, elapsed) samples.
+    samples: Vec<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling iterations per sample so the whole
+    /// benchmark lands near the configured measurement time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run until the warm-up budget elapses, measuring the
+        // mean iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as u64 / warm_iters.max(1);
+
+        // Aim each sample at measurement_time / sample_size.
+        let sample_budget =
+            (self.measurement_time.as_nanos() as u64 / self.sample_size.max(1) as u64).max(1);
+        let iters_per_sample = (sample_budget / per_iter.max(1)).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push((iters_per_sample, start.elapsed()));
+        }
+    }
+}
+
+fn report(label: &str, samples: &[(u64, Duration)], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{label:40} (no samples)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = samples
+        .iter()
+        .map(|(iters, d)| d.as_nanos() as f64 / *iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let mut line = format!(
+        "{label:40} time: [min {} median {} mean {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+    if let Some(t) = throughput {
+        let (n, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = n as f64 / (median / 1e9);
+        line.push_str(&format!(" thrpt: {rate:.3e} {unit}/s"));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function (upstream: `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point (upstream: `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut calls = 0u64;
+        g.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.finish();
+        assert!(calls > 0, "routine must have run");
+    }
+
+    #[test]
+    fn throughput_formatting_does_not_panic() {
+        report(
+            "x",
+            &[(10, Duration::from_micros(50))],
+            Some(Throughput::Elements(1000)),
+        );
+        report("y", &[], None);
+    }
+}

@@ -1,0 +1,450 @@
+#![warn(missing_docs)]
+
+//! A vendored, dependency-free stand-in for the subset of the
+//! [proptest](https://crates.io/crates/proptest) API this workspace uses.
+//!
+//! The workspace must build and test with `CARGO_NET_OFFLINE=true` and an
+//! empty registry cache, so external dev-dependencies are off the table:
+//! cargo resolves every dependency in every manifest against the registry
+//! index even when a feature never activates it. This crate is wired into
+//! `[workspace.dependencies]` under the name `proptest`, so the property
+//! test files keep their upstream-compatible source form (`use
+//! proptest::prelude::*;`, `proptest! { ... }`, `prop_assert!`).
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Deterministic**: every test draws its cases from a fixed-seed
+//!   [`rng::TestRng`] derived from the test's name, so failures reproduce
+//!   without a persistence file. Set `PROPTEST_CASES` to change the case
+//!   count (default 64).
+//! * **No shrinking**: a failing case panics with the sampled inputs via
+//!   the standard assert message; there is no minimization pass.
+//! * **Strategies sample directly** — `Strategy` here is "something that
+//!   can produce a value from an RNG", not a lazy value tree.
+//!
+//! To run the property tests under real upstream proptest instead, point
+//! the `proptest` entry of `[workspace.dependencies]` back at crates.io
+//! (requires network access).
+
+pub mod rng {
+    //! The deterministic generator backing every strategy.
+
+    /// SplitMix64 step; used to diffuse seeds into full state.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// xoshiro256** generator: fast, tiny, and plenty for test sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Creates a generator whose stream is fully determined by `seed`.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            TestRng { s }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `0..n` (`n > 0`).
+        pub fn index(&mut self, n: usize) -> usize {
+            assert!(n > 0, "index() needs a nonempty range");
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-producing strategies and combinators.
+
+    use crate::rng::TestRng;
+    use std::ops::Range;
+
+    /// Something that can produce one sampled value per call.
+    ///
+    /// Unlike upstream proptest this is not a lazy value tree; `sample`
+    /// draws a concrete value immediately.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps sampled values through `f` (upstream: `Strategy::prop_map`).
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// The `prop_map` combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Modular span in u64 handles signed ranges whose width
+                    // exceeds the signed type's max.
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))+) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+
+    /// Types with a canonical "any value" strategy (upstream:
+    /// `Arbitrary`).
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// An unconstrained value of `T` (upstream: `any::<T>()`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// Boxes a strategy for heterogeneous collections ([`one_of`]).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    /// The strategy behind the `prop_oneof!` macro: picks one of its
+    /// member strategies uniformly, then samples it.
+    pub struct OneOf<T>(Vec<Box<dyn Strategy<Value = T>>>);
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.index(self.0.len());
+            self.0[i].sample(rng)
+        }
+    }
+
+    /// Builds a [`OneOf`] from boxed member strategies.
+    pub fn one_of<T>(choices: Vec<Box<dyn Strategy<Value = T>>>) -> OneOf<T> {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf(choices)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (upstream: `proptest::collection`).
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + if span == 0 { 0 } else { rng.index(span) };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector whose elements come from `element` and whose length lies
+    /// in `size` (upstream: `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test case loop.
+
+    use crate::rng::TestRng;
+
+    /// Default number of cases per property (upstream default: 256; kept
+    /// smaller because several properties drive whole-system simulations).
+    pub const DEFAULT_CASES: u32 = 64;
+
+    /// Stable, platform-independent hash of the test name (FNV-1a), so
+    /// each test gets its own — but reproducible — stream.
+    fn fnv1a(name: &str) -> u64 {
+        let mut h: u64 = 0xCBF29CE484222325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001B3);
+        }
+        h
+    }
+
+    /// Number of cases to run, honoring `PROPTEST_CASES`.
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES)
+            .max(1)
+    }
+
+    /// Runs `body` once per case with a case-specific deterministic RNG.
+    pub fn run(test_name: &str, mut body: impl FnMut(&mut TestRng)) {
+        let base = fnv1a(test_name);
+        for case in 0..cases() as u64 {
+            let mut rng = TestRng::seed_from_u64(base ^ case.wrapping_mul(0x9E3779B97F4A7C15));
+            body(&mut rng);
+        }
+    }
+}
+
+/// Declares deterministic property tests (upstream: `proptest!`).
+///
+/// Each `fn name(arg in strategy, ...) { body }` item becomes a standard
+/// `#[test]` that samples its arguments [`test_runner::cases`] times.
+/// Attributes (including `#[test]` itself and doc comments) pass through.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)+
+                    $body
+                });
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tok:tt)*) => { assert!($($tok)*) };
+}
+
+/// Asserts equality inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tok:tt)*) => { assert_eq!($($tok)*) };
+}
+
+/// Asserts inequality inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tok:tt)*) => { assert_ne!($($tok)*) };
+}
+
+/// Picks uniformly among member strategies (upstream: `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+pub mod prelude {
+    //! Everything a property test file needs (upstream:
+    //! `proptest::prelude`).
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::rng::TestRng;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = TestRng::seed_from_u64(42);
+        let mut b = TestRng::seed_from_u64(42);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = TestRng::seed_from_u64(43);
+        assert_ne!(va[0], c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = (10u64..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let s = (-5i64..5).sample(&mut rng);
+            assert!((-5..5).contains(&s));
+            let f = (0.25f64..0.75).sample(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u64..10, 3..7).sample(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 10));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = TestRng::seed_from_u64(11);
+        let s = prop_oneof![Just(1u64), Just(2), Just(3)].prop_map(|x| x * 10);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(v == 10 || v == 20 || v == 30);
+        }
+    }
+
+    proptest! {
+        /// The macro itself: tuple + vec sampling end to end.
+        #[test]
+        fn macro_generates_cases(xs in crate::collection::vec((0u64..100, any::<u64>()), 1..20)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            for (a, _b) in &xs {
+                prop_assert!(*a < 100);
+            }
+        }
+    }
+}
