@@ -62,6 +62,39 @@ fn simulator_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+fn sparse_memory_writes(c: &mut Criterion) {
+    use dol_isa::SparseMemory;
+
+    // Page-local stream (the common case the last-page cache serves) and
+    // a two-page ping-pong (the cache's worst case: every access misses
+    // it and falls through to one hash lookup).
+    const WORDS: u64 = 4096;
+    let mut group = c.benchmark_group("sparse_memory");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
+    group.throughput(criterion::Throughput::Elements(WORDS));
+    group.bench_function("write_u64_page_local", |b| {
+        b.iter(|| {
+            let mut m = SparseMemory::new();
+            for i in 0..WORDS {
+                m.write_u64(i * 8 % 4096, i);
+            }
+            m.touched_pages()
+        })
+    });
+    group.bench_function("write_u64_page_pingpong", |b| {
+        b.iter(|| {
+            let mut m = SparseMemory::new();
+            for i in 0..WORDS {
+                m.write_u64((i % 2) * 65536 + (i * 8 % 4096), i);
+            }
+            m.touched_pages()
+        })
+    });
+    group.finish();
+}
+
 fn benches(c: &mut Criterion) {
     bench_ablation(c, "ablation_drop", ablations::drop_policy);
     bench_ablation(c, "ablation_t2_thresholds", ablations::t2_thresholds);
@@ -70,6 +103,7 @@ fn benches(c: &mut Criterion) {
     bench_ablation(c, "ablation_p1_double", ablations::p1_doubling);
     bench_ablation(c, "ablation_multi_extra", ablations::multi_extra);
     simulator_throughput(c);
+    sparse_memory_writes(c);
 }
 
 criterion_group!(ablation_benches, benches);

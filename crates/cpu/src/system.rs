@@ -5,7 +5,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use dol_core::{AccessInfo, CompletedPrefetch, PrefetchRequest, Prefetcher, RetireInfo};
 use dol_isa::{InstKind, SparseMemory, Trace, Vm, VmError};
-use dol_mem::{line_of, CacheLevel, DropReason, MemEvent, MemorySystem, SystemStats};
+use dol_mem::{line_of, CacheLevel, DropReason, EventSink, MemorySystem, NullSink, SystemStats};
 
 use crate::{BranchPredictor, DestinationPolicy, SystemConfig};
 
@@ -52,8 +52,6 @@ pub struct RunResult {
     pub mispredicts: u64,
     /// Memory-system counters.
     pub stats: SystemStats,
-    /// Metric events from the memory system.
-    pub events: Vec<MemEvent>,
 }
 
 impl RunResult {
@@ -79,8 +77,6 @@ pub struct MultiRunResult {
     pub mispredicts: Vec<u64>,
     /// Shared memory-system counters.
     pub stats: SystemStats,
-    /// Metric events (all cores).
-    pub events: Vec<MemEvent>,
 }
 
 impl MultiRunResult {
@@ -164,10 +160,23 @@ impl System {
         &self.cfg
     }
 
-    /// Runs one workload on a single core with the given prefetcher.
+    /// Runs one workload on a single core with the given prefetcher,
+    /// discarding metric events. Use [`run_with_sink`](Self::run_with_sink)
+    /// to observe them.
     pub fn run(&self, workload: &Workload, prefetcher: &mut dyn Prefetcher) -> RunResult {
+        self.run_with_sink(workload, prefetcher, &mut NullSink)
+    }
+
+    /// Runs one workload on a single core, streaming metric events into
+    /// `sink` as the simulation progresses.
+    pub fn run_with_sink(
+        &self,
+        workload: &Workload,
+        prefetcher: &mut dyn Prefetcher,
+        sink: &mut dyn EventSink,
+    ) -> RunResult {
         let mut prefetchers: [&mut dyn Prefetcher; 1] = [prefetcher];
-        let multi = self.run_inner(std::slice::from_ref(workload), &mut prefetchers);
+        let multi = self.run_inner(std::slice::from_ref(workload), &mut prefetchers, sink);
         let (cycles, instructions) = multi.cores[0];
         RunResult {
             cycles,
@@ -175,7 +184,6 @@ impl System {
             stalls: multi.stalls[0],
             mispredicts: multi.mispredicts[0],
             stats: multi.stats,
-            events: multi.events,
         }
     }
 
@@ -191,13 +199,25 @@ impl System {
         workloads: &[Workload],
         prefetchers: &mut [&mut dyn Prefetcher],
     ) -> MultiRunResult {
-        self.run_inner(workloads, prefetchers)
+        self.run_inner(workloads, prefetchers, &mut NullSink)
+    }
+
+    /// Like [`run_multi`](Self::run_multi), streaming metric events from
+    /// all cores into `sink`.
+    pub fn run_multi_with_sink(
+        &self,
+        workloads: &[Workload],
+        prefetchers: &mut [&mut dyn Prefetcher],
+        sink: &mut dyn EventSink,
+    ) -> MultiRunResult {
+        self.run_inner(workloads, prefetchers, sink)
     }
 
     fn run_inner(
         &self,
         workloads: &[Workload],
         prefetchers: &mut [&mut dyn Prefetcher],
+        sink: &mut dyn EventSink,
     ) -> MultiRunResult {
         assert_eq!(
             workloads.len(),
@@ -224,21 +244,26 @@ impl System {
                 .min_by_key(|(_, c)| c.dispatch)
                 .map(|(i, _)| i);
             let Some(i) = next else { break };
-            self.step_inst(i, &mut cores[i], prefetchers[i], &mut mem, &mut out_buf);
+            self.step_inst(
+                i,
+                &mut cores[i],
+                prefetchers[i],
+                &mut mem,
+                &mut out_buf,
+                sink,
+            );
         }
 
         let per_core: Vec<(u64, u64)> = cores.iter().map(|c| (c.last_retire, c.insts)).collect();
         let mispredicts: Vec<u64> = cores.iter().map(|c| c.mispredicts).collect();
         let stalls: Vec<[u64; 3]> = cores.iter().map(|c| c.stalls).collect();
         let stats = mem.stats();
-        let mut events = mem.drain_events();
-        events.shrink_to_fit();
+        crate::telemetry::record_instructions(per_core.iter().map(|&(_, i)| i).sum());
         MultiRunResult {
             cores: per_core,
             stalls,
             mispredicts,
             stats,
-            events,
         }
     }
 
@@ -254,6 +279,7 @@ impl System {
         prefetcher: &mut dyn Prefetcher,
         mem: &mut MemorySystem,
         out: &mut Vec<PrefetchRequest>,
+        sink: &mut dyn EventSink,
     ) {
         while let Some(&Reverse((t, addr, origin))) = c.pending.peek() {
             if t > c.dispatch {
@@ -270,7 +296,7 @@ impl System {
             out.clear();
             prefetcher.on_prefetch_complete(&pf, out);
             let requests = std::mem::take(out);
-            self.issue_requests(core_idx, c, &requests, t, mem);
+            self.issue_requests(core_idx, c, &requests, t, mem, sink);
             *out = requests;
         }
     }
@@ -282,10 +308,12 @@ impl System {
         requests: &[PrefetchRequest],
         now: u64,
         mem: &mut MemorySystem,
+        sink: &mut dyn EventSink,
     ) {
-        self.issue_requests_attempt(core_idx, c, requests, now, mem, 0);
+        self.issue_requests_attempt(core_idx, c, requests, now, mem, 0, sink);
     }
 
+    #[allow(clippy::too_many_arguments)] // internal helper threading the run context
     fn issue_requests_attempt(
         &self,
         core_idx: usize,
@@ -294,6 +322,7 @@ impl System {
         now: u64,
         mem: &mut MemorySystem,
         attempt: u8,
+        sink: &mut dyn EventSink,
     ) {
         for req in requests {
             let dest = match &self.cfg.dest_policy {
@@ -315,6 +344,7 @@ impl System {
                 req.origin,
                 req.confidence,
                 now,
+                sink,
             );
             if outcome.accepted && req.want_value {
                 c.pending
@@ -334,7 +364,13 @@ impl System {
         }
     }
 
-    fn drain_retries(&self, core_idx: usize, c: &mut CoreRt<'_>, mem: &mut MemorySystem) {
+    fn drain_retries(
+        &self,
+        core_idx: usize,
+        c: &mut CoreRt<'_>,
+        mem: &mut MemorySystem,
+        sink: &mut dyn EventSink,
+    ) {
         if c.retries.is_empty() {
             return;
         }
@@ -349,7 +385,7 @@ impl System {
             }
         });
         for (attempt, req) in due {
-            self.issue_requests_attempt(core_idx, c, &[req], now, mem, attempt);
+            self.issue_requests_attempt(core_idx, c, &[req], now, mem, attempt, sink);
         }
     }
 
@@ -360,10 +396,11 @@ impl System {
         prefetcher: &mut dyn Prefetcher,
         mem: &mut MemorySystem,
         out: &mut Vec<PrefetchRequest>,
+        sink: &mut dyn EventSink,
     ) {
         let cfg = &self.cfg.core;
-        self.deliver_pending(core_idx, c, prefetcher, mem, out);
-        self.drain_retries(core_idx, c, mem);
+        self.deliver_pending(core_idx, c, prefetcher, mem, out, sink);
+        self.drain_retries(core_idx, c, mem, sink);
 
         let inst = c.trace[c.pos];
         c.pos += 1;
@@ -411,6 +448,7 @@ impl System {
                     is_write,
                     issue,
                     inst.pc,
+                    sink,
                 );
                 access = Some(AccessInfo {
                     l1_hit: outcome.l1_hit,
@@ -478,7 +516,7 @@ impl System {
         prefetcher.on_retire(&ev, out);
         if !out.is_empty() {
             let requests = std::mem::take(out);
-            self.issue_requests(core_idx, c, &requests, issue, mem);
+            self.issue_requests(core_idx, c, &requests, issue, mem, sink);
             *out = requests;
         }
     }
@@ -489,6 +527,7 @@ mod tests {
     use super::*;
     use dol_core::{NoPrefetcher, Tpc};
     use dol_isa::{AluOp, Cond, Operand, ProgramBuilder, Reg};
+    use dol_mem::MemEvent;
 
     /// A linear streaming-sum kernel touching `n` consecutive words.
     fn stream_workload(n: i64) -> Workload {
@@ -641,8 +680,9 @@ mod tests {
         cfg.dest_policy = DestinationPolicy::ForceL2;
         let sys = System::new(cfg);
         let mut t2 = Tpc::t2_only();
-        let r = sys.run(&w, &mut t2);
-        let issued: Vec<&MemEvent> = r
+        let mut sink = dol_mem::CollectSink::new();
+        sys.run_with_sink(&w, &mut t2, &mut sink);
+        let issued: Vec<&MemEvent> = sink
             .events
             .iter()
             .filter(|e| matches!(e, MemEvent::PrefetchIssued { .. }))

@@ -1,0 +1,35 @@
+//! Process-wide simulation throughput counters.
+//!
+//! The system driver adds each run's retired-instruction total to a
+//! global counter; harness binaries snapshot it around a figure driver
+//! to report simulated instructions per wall-clock second (the
+//! `BENCH_sim.json` artifact). One relaxed atomic add per *run* — not
+//! per instruction — so the hot loop is untouched.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SIM_INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Adds `n` retired instructions to the process-wide total.
+pub(crate) fn record_instructions(n: u64) {
+    SIM_INSTRUCTIONS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total instructions simulated by this process so far (all threads,
+/// all runs). Monotone; never reset.
+pub fn simulated_instructions() -> u64 {
+    SIM_INSTRUCTIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let before = simulated_instructions();
+        record_instructions(123);
+        record_instructions(2);
+        assert!(simulated_instructions() >= before + 125);
+    }
+}

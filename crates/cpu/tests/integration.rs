@@ -35,11 +35,12 @@ fn stratified_policy_splits_by_line_set() {
     cfg.dest_policy = DestinationPolicy::StratifiedByLine(Arc::new(lhf.clone()));
     let sys = System::new(cfg);
     let mut t2 = Tpc::t2_only();
-    let r = sys.run(&w, &mut t2);
+    let mut sink = dol_mem::CollectSink::new();
+    sys.run_with_sink(&w, &mut t2, &mut sink);
     let mut l1_ok = true;
     let mut l2_ok = true;
     let mut both = [0u64; 2];
-    for e in &r.events {
+    for e in &sink.events {
         if let MemEvent::PrefetchIssued { line, dest, .. } = e {
             // Untranslated == translated on core 0.
             let expect_l1 = lhf.contains(line);
@@ -93,7 +94,8 @@ fn mpc_distinguishes_call_sites_in_real_execution() {
     let sys = System::new(SystemConfig::isca2018(1));
     let base = sys.run(&w, &mut NoPrefetcher);
     let mut tpc = Tpc::t2_only();
-    let with = sys.run(&w, &mut tpc);
+    let mut sink = dol_mem::CollectSink::new();
+    let with = sys.run_with_sink(&w, &mut tpc, &mut sink);
     // With mPC both streams are detected as stable strided entries
     // (plain-PC keying would see the deltas flip-flop between the two
     // arrays and reject the instruction).
@@ -114,7 +116,7 @@ fn mpc_distinguishes_call_sites_in_real_execution() {
     // cycle win is small; the suite-level `strided_calls` kernel shows
     // the 2x speedup. Here we check the mechanism, not the cycles.)
     // Prefetches must land on both arrays.
-    let lines: HashSet<u64> = with
+    let lines: HashSet<u64> = sink
         .events
         .iter()
         .filter_map(|e| match e {
@@ -173,8 +175,9 @@ fn force_policies_are_exhaustive_over_requests() {
         cfg.dest_policy = policy;
         let sys = System::new(cfg);
         let mut tpc = Tpc::full();
-        let r = sys.run(&w, &mut tpc);
-        for e in &r.events {
+        let mut sink = dol_mem::CollectSink::new();
+        sys.run_with_sink(&w, &mut tpc, &mut sink);
+        for e in &sink.events {
             if let MemEvent::PrefetchIssued { dest, .. } = e {
                 assert_eq!(*dest, level);
             }

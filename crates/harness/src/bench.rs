@@ -1,0 +1,180 @@
+//! Self-measured simulation throughput (the `BENCH_sim.json` artifact).
+//!
+//! [`run_all`](crate::experiments) wraps every figure/table driver with a
+//! wall-clock timer and a delta of the process-wide retired-instruction
+//! counter ([`dol_cpu::telemetry::simulated_instructions`]), yielding
+//! simulated instructions per second per driver. The report serializes to
+//! a small hand-rolled JSON document (the build is hermetic — no serde):
+//!
+//! ```json
+//! {
+//!   "schema": "dol-bench-v1",
+//!   "mode": "smoke",
+//!   "jobs": 1,
+//!   "total": {"wall_s": 2.1, "sim_insts": 12000000, "insts_per_s": 5714285.7},
+//!   "drivers": [
+//!     {"id": "table1", "wall_s": 0.2, "sim_insts": 840000, "insts_per_s": 4200000.0}
+//!   ]
+//! }
+//! ```
+//!
+//! CI keeps a checked-in floor (`results/BENCH_floor.json`) and fails the
+//! throughput-smoke job when the measured total `insts_per_s` drops more
+//! than 30 % below it.
+
+/// Timing record for one figure/table driver.
+#[derive(Debug, Clone)]
+pub struct DriverBench {
+    /// Driver identifier ("fig08", "ablation_t2", …).
+    pub id: &'static str,
+    /// Wall-clock seconds spent inside the driver.
+    pub wall_s: f64,
+    /// Instructions simulated by the driver (telemetry counter delta).
+    pub sim_insts: u64,
+}
+
+impl DriverBench {
+    /// Simulated instructions per wall-clock second (0 for an empty or
+    /// instant driver).
+    pub fn insts_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.sim_insts as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A full `run_all` timing report.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// "smoke" or "full".
+    pub mode: &'static str,
+    /// Effective worker-thread count.
+    pub jobs: usize,
+    /// Per-driver records, in run order.
+    pub drivers: Vec<DriverBench>,
+}
+
+impl BenchReport {
+    /// Total wall-clock seconds across drivers.
+    pub fn wall_s(&self) -> f64 {
+        self.drivers.iter().map(|d| d.wall_s).sum()
+    }
+
+    /// Total simulated instructions across drivers.
+    pub fn sim_insts(&self) -> u64 {
+        self.drivers.iter().map(|d| d.sim_insts).sum()
+    }
+
+    /// Overall simulated instructions per wall-clock second.
+    pub fn insts_per_s(&self) -> f64 {
+        let w = self.wall_s();
+        if w > 0.0 {
+            self.sim_insts() as f64 / w
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes the report (schema `dol-bench-v1`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512 + 96 * self.drivers.len());
+        s.push_str("{\n  \"schema\": \"dol-bench-v1\",\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!(
+            "  \"total\": {{\"wall_s\": {:.3}, \"sim_insts\": {}, \"insts_per_s\": {:.1}}},\n",
+            self.wall_s(),
+            self.sim_insts(),
+            self.insts_per_s()
+        ));
+        s.push_str("  \"drivers\": [\n");
+        for (i, d) in self.drivers.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"wall_s\": {:.3}, \"sim_insts\": {}, \
+                 \"insts_per_s\": {:.1}}}{}\n",
+                d.id,
+                d.wall_s,
+                d.sim_insts,
+                d.insts_per_s(),
+                if i + 1 < self.drivers.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Extracts the total `insts_per_s` from a `dol-bench-v1` JSON document
+/// (e.g. the checked-in floor). Returns `None` on any shape mismatch —
+/// a tiny purpose-built scanner, not a general JSON parser.
+pub fn parse_floor(json: &str) -> Option<f64> {
+    let total = json.split("\"total\"").nth(1)?;
+    let after = total.split("\"insts_per_s\"").nth(1)?;
+    let num: String = after
+        .chars()
+        .skip_while(|c| *c == ':' || c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> BenchReport {
+        BenchReport {
+            mode: "smoke",
+            jobs: 1,
+            drivers: vec![
+                DriverBench {
+                    id: "table1",
+                    wall_s: 0.5,
+                    sim_insts: 1_000_000,
+                },
+                DriverBench {
+                    id: "fig08",
+                    wall_s: 1.5,
+                    sim_insts: 5_000_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_drivers() {
+        let r = report();
+        assert_eq!(r.wall_s(), 2.0);
+        assert_eq!(r.sim_insts(), 6_000_000);
+        assert_eq!(r.insts_per_s(), 3_000_000.0);
+    }
+
+    #[test]
+    fn json_round_trips_through_floor_parser() {
+        let r = report();
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"dol-bench-v1\""));
+        assert!(json.contains("\"id\": \"fig08\""));
+        let floor = parse_floor(&json).expect("parsable");
+        assert!((floor - 3_000_000.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn floor_parser_rejects_garbage() {
+        assert_eq!(parse_floor(""), None);
+        assert_eq!(parse_floor("{\"total\": {}}"), None);
+        assert_eq!(parse_floor("not json at all"), None);
+    }
+
+    #[test]
+    fn zero_wall_clock_is_not_a_division_error() {
+        let d = DriverBench {
+            id: "x",
+            wall_s: 0.0,
+            sim_insts: 5,
+        };
+        assert_eq!(d.insts_per_s(), 0.0);
+    }
+}

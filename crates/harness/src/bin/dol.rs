@@ -9,8 +9,8 @@
 use dol_core::NoPrefetcher;
 use dol_cpu::{System, SystemConfig, Workload};
 use dol_harness::prefetchers;
-use dol_mem::CacheLevel;
-use dol_metrics::{accuracy_at, footprint, prefetched_lines, scope, TextTable};
+use dol_mem::{CacheLevel, NullSink};
+use dol_metrics::{scope, StreamingMetrics, TextTable};
 
 fn usage() -> ! {
     eprintln!(
@@ -91,15 +91,17 @@ fn cmd_run(a: Args) {
     };
     let w = capture(workload, a.insts, a.seed);
     let sys = System::new(SystemConfig::isca2018(1));
-    let base = sys.run(&w, &mut NoPrefetcher);
+    let mut base_sm = StreamingMetrics::new();
+    let base = sys.run_with_sink(&w, &mut NoPrefetcher, &mut base_sm);
     let Some(mut p) = prefetchers::build(config) else {
         eprintln!("unknown prefetcher `{config}`; try `dol list`");
         std::process::exit(2);
     };
-    let r = sys.run(&w, p.as_mut());
-    let fp = footprint(&base.events, CacheLevel::L1);
-    let pfp = prefetched_lines(&r.events, None);
-    let acc = accuracy_at(&r.events, CacheLevel::L1, None);
+    let mut sm = StreamingMetrics::new();
+    let r = sys.run_with_sink(&w, p.as_mut(), &mut sm);
+    let fp = base_sm.footprint(CacheLevel::L1);
+    let pfp = sm.prefetched_lines_all();
+    let acc = sm.accuracy_at(CacheLevel::L1, None);
     println!(
         "workload {workload}: {} insts, seed {}",
         r.instructions, a.seed
@@ -124,7 +126,7 @@ fn cmd_run(a: Args) {
         base.cycles as f64 / r.cycles as f64,
         r.stats.dram.total_traffic_lines() as f64
             / base.stats.dram.total_traffic_lines().max(1) as f64,
-        scope(&fp, &pfp),
+        scope(fp, pfp),
         acc.effective_accuracy(),
         acc.issued,
         acc.useful,
@@ -138,7 +140,7 @@ fn cmd_compare(a: Args) {
     };
     let w = capture(workload, a.insts, a.seed);
     let sys = System::new(SystemConfig::isca2018(1));
-    let base = sys.run(&w, &mut NoPrefetcher);
+    let base = sys.run_with_sink(&w, &mut NoPrefetcher, &mut NullSink);
     let mut t = TextTable::new(vec![
         "prefetcher".into(),
         "speedup".into(),
@@ -147,8 +149,9 @@ fn cmd_compare(a: Args) {
     ]);
     for cfg in prefetchers::COMPARISON_SET {
         let mut p = prefetchers::build(cfg).expect("known config");
-        let r = sys.run(&w, p.as_mut());
-        let acc = accuracy_at(&r.events, CacheLevel::L1, None);
+        let mut sm = StreamingMetrics::new();
+        let r = sys.run_with_sink(&w, p.as_mut(), &mut sm);
+        let acc = sm.accuracy_at(CacheLevel::L1, None);
         t.row(vec![
             cfg.to_string(),
             format!("{:.3}", base.cycles as f64 / r.cycles as f64),

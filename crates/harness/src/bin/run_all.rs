@@ -1,17 +1,30 @@
 //! Regenerates every table and figure of the paper in one run.
 //!
 //! ```text
-//! run_all [--smoke] [--jobs N]
+//! run_all [--smoke] [--jobs N] [--bench-out PATH] [--bench-floor PATH]
 //! ```
 //!
 //! `--smoke` switches to [`RunPlan::smoke`] (tiny budget, first few
 //! workloads per suite, one mix) — the offline CI gate runs this.
 //! `--jobs N` shards workloads across N worker threads (`0` = one per
 //! core); output is byte-identical for any job count.
+//!
+//! Every driver is individually timed (wall clock + simulated-instruction
+//! delta). `--bench-out PATH` writes the measurements as a
+//! `dol-bench-v1` JSON document (see [`dol_harness::bench`]);
+//! `--bench-floor PATH` additionally compares overall simulated
+//! instructions per second against a previously recorded report and exits
+//! non-zero on a drop of more than 30 % — the CI throughput gate.
 
+use std::time::Instant;
+
+use dol_harness::bench::{parse_floor, BenchReport, DriverBench};
 use dol_harness::{experiments, RunPlan};
 
-const USAGE: &str = "usage: run_all [--smoke] [--jobs N]";
+const USAGE: &str = "usage: run_all [--smoke] [--jobs N] [--bench-out PATH] [--bench-floor PATH]";
+
+/// Largest tolerated throughput drop vs the recorded floor.
+const MAX_REGRESSION: f64 = 0.30;
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -21,6 +34,8 @@ fn usage() -> ! {
 fn main() {
     let mut smoke = false;
     let mut jobs: Option<usize> = None;
+    let mut bench_out: Option<String> = None;
+    let mut bench_floor: Option<String> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -32,6 +47,20 @@ fn main() {
             "--jobs" | "-j" => {
                 jobs = argv.get(i + 1).and_then(|v| v.parse().ok());
                 if jobs.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
+            "--bench-out" => {
+                bench_out = argv.get(i + 1).cloned();
+                if bench_out.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
+            "--bench-floor" => {
+                bench_floor = argv.get(i + 1).cloned();
+                if bench_floor.is_none() {
                     usage();
                 }
                 i += 2;
@@ -60,10 +89,61 @@ fn main() {
         dol_harness::sweep::effective_jobs(plan.jobs),
         if smoke { ", smoke mode" } else { "" },
     );
+
+    let mut bench = BenchReport {
+        mode: if smoke { "smoke" } else { "full" },
+        jobs: dol_harness::sweep::effective_jobs(plan.jobs),
+        drivers: Vec::new(),
+    };
     let mut deviations = 0;
-    for report in experiments::run_all(&plan) {
+    for (id, run) in experiments::drivers() {
+        let insts_before = dol_cpu::telemetry::simulated_instructions();
+        let t0 = Instant::now();
+        let report = run(&plan);
+        bench.drivers.push(DriverBench {
+            id,
+            wall_s: t0.elapsed().as_secs_f64(),
+            sim_insts: dol_cpu::telemetry::simulated_instructions() - insts_before,
+        });
         println!("{}", report.render());
         deviations += report.deviations();
     }
     println!("total shape-check deviations: {deviations}");
+    eprintln!(
+        "simulated {} insts in {:.2}s wall — {:.2} M inst/s",
+        bench.sim_insts(),
+        bench.wall_s(),
+        bench.insts_per_s() / 1e6
+    );
+
+    if let Some(path) = &bench_out {
+        std::fs::write(path, bench.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write bench report to {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("bench report written to {path}");
+    }
+    if let Some(path) = &bench_floor {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read bench floor {path}: {e}");
+            std::process::exit(2);
+        });
+        let Some(floor) = parse_floor(&text) else {
+            eprintln!("bench floor {path} is not a dol-bench-v1 document");
+            std::process::exit(2);
+        };
+        let measured = bench.insts_per_s();
+        let limit = floor * (1.0 - MAX_REGRESSION);
+        eprintln!(
+            "throughput gate: measured {:.2} M inst/s vs floor {:.2} M inst/s \
+             (fail below {:.2})",
+            measured / 1e6,
+            floor / 1e6,
+            limit / 1e6
+        );
+        if measured < limit {
+            eprintln!("THROUGHPUT REGRESSION: more than 30% below the recorded floor");
+            std::process::exit(1);
+        }
+    }
 }

@@ -3,7 +3,7 @@
 //! density, mPC keying).
 
 use dol_baselines::registry::monolithic_by_name;
-use dol_core::{Composite, NoPrefetcher, Prefetcher, Shunt, Tpc, TpcBuilder, TpcConfig};
+use dol_core::{Composite, Prefetcher, Shunt, Tpc, TpcBuilder, TpcConfig};
 use dol_cpu::{System, SystemConfig, Workload};
 use dol_mem::DropPolicy;
 use dol_metrics::{geomean, weighted_speedup, TextTable};
@@ -21,15 +21,13 @@ pub fn drop_policy(plan: &RunPlan) -> Report {
     let sys1 = single_core();
     let mixes = mixes(plan.mix_count, plan.seed);
     let ratios: Vec<f64> = crate::sweep::map(plan.jobs, &mixes, |mix| {
-        let members: Vec<Workload> = mix
+        let bases: Vec<_> = mix
             .members
             .iter()
-            .map(|m| Workload::capture(m.build_vm(plan.seed), plan.insts).expect("runs"))
+            .map(|m| BaselineRun::capture(m, plan, &sys1))
             .collect();
-        let alone: Vec<f64> = members
-            .iter()
-            .map(|w| sys1.run(w, &mut NoPrefetcher).ipc())
-            .collect();
+        let members: Vec<Workload> = bases.iter().map(|b| b.workload.clone()).collect();
+        let alone: Vec<f64> = bases.iter().map(|b| b.result.ipc()).collect();
         let ws_with = |policy: DropPolicy| -> f64 {
             let mut cfg = SystemConfig::isca2018(4);
             cfg.hierarchy.dram.drop_policy = policy;

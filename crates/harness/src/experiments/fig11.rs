@@ -1,8 +1,9 @@
 //! Figure 11 — speedups across benchmark suites and multicore mixes.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use dol_core::{NoPrefetcher, Prefetcher};
+use dol_core::Prefetcher;
 use dol_cpu::{System, SystemConfig, Workload};
 use dol_metrics::{geomean, weighted_speedup, TextTable};
 use dol_workloads::{mixes, Spec};
@@ -47,10 +48,8 @@ fn mix_speedups(plan: &RunPlan) -> Vec<f64> {
             uniq.push(m);
         }
     }
-    let captured: HashMap<String, (Workload, f64)> = crate::sweep::map(plan.jobs, &uniq, |m| {
-        let w = Workload::capture(m.build_vm(plan.seed), plan.insts).expect("workload runs");
-        let ipc = sys1.run(&w, &mut NoPrefetcher).ipc();
-        (m.name.to_string(), (w, ipc))
+    let captured: HashMap<String, Arc<BaselineRun>> = crate::sweep::map(plan.jobs, &uniq, |m| {
+        (m.name.to_string(), BaselineRun::capture(m, plan, &sys1))
     })
     .into_iter()
     .collect();
@@ -59,9 +58,13 @@ fn mix_speedups(plan: &RunPlan) -> Vec<f64> {
         let members: Vec<Workload> = mix
             .members
             .iter()
-            .map(|m| captured[m.name].0.clone())
+            .map(|m| captured[m.name].workload.clone())
             .collect();
-        let alone: Vec<f64> = mix.members.iter().map(|m| captured[m.name].1).collect();
+        let alone: Vec<f64> = mix
+            .members
+            .iter()
+            .map(|m| captured[m.name].result.ipc())
+            .collect();
         let ws_of = |cfg: &str| -> f64 {
             let mut ps: Vec<Box<dyn Prefetcher>> = (0..4)
                 .map(|_| prefetchers::build(cfg).expect("known config"))

@@ -4,9 +4,8 @@
 use std::collections::HashSet;
 
 use dol_mem::CacheLevel;
-use dol_metrics::{prefetched_lines, EffectiveAccuracy, TextTable};
+use dol_metrics::{EffectiveAccuracy, StreamingMetrics, TextTable};
 
-use crate::analysis::accuracy_within;
 use crate::bands::Expectation;
 use crate::experiments::Report;
 use crate::prefetchers::{self, EXTRA_SET};
@@ -55,7 +54,7 @@ pub fn run(plan: &RunPlan) -> Report {
         let base = BaselineRun::capture(spec, plan, &sys);
         // TPC's own attempt set defines the uncovered region.
         let tpc_run = AppRun::run(&base, "TPC", &sys);
-        let tpc_pfp = prefetched_lines(&tpc_run.result.events, None);
+        let tpc_pfp = tpc_run.metrics.prefetched_lines_all();
         let region: HashSet<u64> = base
             .fp_l1
             .lines()
@@ -76,21 +75,31 @@ pub fn run(plan: &RunPlan) -> Report {
             .iter()
             .map(|extra| {
                 // Standalone.
-                let solo = AppRun::run(&base, extra, &sys);
-                let aa = accuracy_within(&solo.result.events, CacheLevel::L1, None, Some(&region));
-                let pfp = prefetched_lines(&solo.result.events, None);
-                let sa = dol_metrics::scope::scope_within(&base.fp_l1, &pfp, &region);
+                let solo = AppRun::run_streaming(
+                    &base,
+                    extra,
+                    &sys,
+                    StreamingMetrics::new().with_region(region.clone()),
+                );
+                let aa = solo.metrics.accuracy_in_region(CacheLevel::L1, None);
+                let sa = dol_metrics::scope::scope_within(
+                    &base.fp_l1,
+                    solo.metrics.prefetched_lines_all(),
+                    &region,
+                );
 
                 // As an extra component behind TPC.
-                let comp = AppRun::run(&base, &format!("TPC+{extra}"), &sys);
-                let origin = prefetchers::extra_origin(0);
-                let ac = accuracy_within(
-                    &comp.result.events,
-                    CacheLevel::L1,
-                    Some(&[origin]),
-                    Some(&region),
+                let comp = AppRun::run_streaming(
+                    &base,
+                    &format!("TPC+{extra}"),
+                    &sys,
+                    StreamingMetrics::new().with_region(region.clone()),
                 );
-                let pfp = prefetched_lines(&comp.result.events, Some(&[origin]));
+                let origin = prefetchers::extra_origin(0);
+                let ac = comp
+                    .metrics
+                    .accuracy_in_region(CacheLevel::L1, Some(&[origin]));
+                let pfp = comp.metrics.prefetched_lines_of(&[origin]);
                 let sc = dol_metrics::scope::scope_within(&base.fp_l1, &pfp, &region);
                 (aa, sa, ac, sc)
             })

@@ -5,9 +5,9 @@
 //! full traces/events never accumulate.
 
 use dol_mem::CacheLevel;
-use dol_metrics::{accuracy_at, coverage, prefetched_lines, scope, EffectiveAccuracy};
+use dol_metrics::{coverage, scope, EffectiveAccuracy};
 
-use crate::analysis::{accuracy_by_category, scope_by_category};
+use crate::analysis::scope_by_category;
 use crate::prefetchers;
 use crate::runner::{single_core, AppRun, BaselineRun};
 use crate::RunPlan;
@@ -96,15 +96,15 @@ fn summarize(
     base_l1: u64,
     base_l2: u64,
 ) -> ConfigSummary {
-    let events = &run.result.events;
-    let pfp = prefetched_lines(events, None);
-    let acc_l1 = accuracy_at(events, CacheLevel::L1, None);
-    let acc_l2 = accuracy_at(events, CacheLevel::L2, None);
+    let sm = &run.metrics;
+    let pfp = sm.prefetched_lines_all();
+    let acc_l1 = sm.accuracy_at(CacheLevel::L1, None);
+    let acc_l2 = sm.accuracy_at(CacheLevel::L2, None);
     let component_acc = if cfg.starts_with("TPC") || cfg == "T2" || cfg == "T2+P1" {
         Some([
-            accuracy_at(events, CacheLevel::L1, Some(&[dol_core::origins::T2])),
-            accuracy_at(events, CacheLevel::L1, Some(&[dol_core::origins::P1])),
-            accuracy_at(events, CacheLevel::L2, Some(&[dol_core::origins::C1])),
+            sm.accuracy_at(CacheLevel::L1, Some(&[dol_core::origins::T2])),
+            sm.accuracy_at(CacheLevel::L1, Some(&[dol_core::origins::P1])),
+            sm.accuracy_at(CacheLevel::L2, Some(&[dol_core::origins::C1])),
         ])
     } else {
         None
@@ -113,13 +113,13 @@ fn summarize(
         config: cfg.to_string(),
         speedup: run.speedup(base),
         traffic_ratio: run.traffic_ratio(base),
-        scope_l1: scope(&base.fp_l1, &pfp),
+        scope_l1: scope(&base.fp_l1, pfp),
         acc_l1,
         acc_l2,
         cov_l1: coverage(base_l1, run.result.stats.cores[0].l1_misses),
         cov_l2: coverage(base_l2, run.result.stats.cores[0].l2_misses),
-        cat_acc: accuracy_by_category(events, CacheLevel::L1, &base.classifier),
-        cat_scope: scope_by_category(&base.fp_l1, &pfp, &base.classifier),
+        cat_acc: sm.accuracy_by_category(CacheLevel::L1),
+        cat_scope: scope_by_category(&base.fp_l1, pfp, &base.classifier),
         component_acc,
     }
 }

@@ -53,26 +53,36 @@ impl Report {
     }
 }
 
+/// A figure/table driver entry point.
+pub type Driver = fn(&crate::RunPlan) -> Report;
+
+/// Every figure/table driver with its stable identifier, in paper order.
+/// `run_all` binaries iterate this list so they can time each driver
+/// individually (the `BENCH_sim.json` artifact).
+pub fn drivers() -> Vec<(&'static str, Driver)> {
+    vec![
+        ("table1", table1::run),
+        ("table2", table2::run),
+        ("fig01", fig01::run),
+        ("fig08", fig08::run),
+        ("fig09", fig09::run),
+        ("fig10", fig10::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+        ("fig13", fig13::run),
+        ("fig14", fig14::run),
+        ("fig15", fig15::run),
+        ("fig16", fig16::run),
+        ("ablation_drop", ablations::drop_policy),
+        ("ablation_t2", ablations::t2_thresholds),
+        ("ablation_c1", ablations::c1_density),
+        ("ablation_mpc", ablations::mpc),
+        ("ablation_p1_double", ablations::p1_doubling),
+        ("ablation_multi_extra", ablations::multi_extra),
+    ]
+}
+
 /// Runs every experiment in paper order.
 pub fn run_all(plan: &crate::RunPlan) -> Vec<Report> {
-    vec![
-        table1::run(plan),
-        table2::run(plan),
-        fig01::run(plan),
-        fig08::run(plan),
-        fig09::run(plan),
-        fig10::run(plan),
-        fig11::run(plan),
-        fig12::run(plan),
-        fig13::run(plan),
-        fig14::run(plan),
-        fig15::run(plan),
-        fig16::run(plan),
-        ablations::drop_policy(plan),
-        ablations::t2_thresholds(plan),
-        ablations::c1_density(plan),
-        ablations::mpc(plan),
-        ablations::p1_doubling(plan),
-        ablations::multi_extra(plan),
-    ]
+    drivers().into_iter().map(|(_, run)| run(plan)).collect()
 }

@@ -23,6 +23,7 @@
 
 pub mod analysis;
 pub mod bands;
+pub mod bench;
 pub mod experiments;
 pub mod plan;
 pub mod prefetchers;

@@ -1,13 +1,70 @@
 //! Shared run helpers: workload capture, baseline + per-config runs.
+//!
+//! Metrics are accumulated *online* through [`StreamingMetrics`] sinks
+//! — no run buffers its raw event stream.
+//!
+//! # Capture memoization
+//!
+//! [`BaselineRun::capture`] is deterministic in `(workload name, insts,
+//! seed)` — the functional VM, the timing model, and the offline
+//! analyses have no other inputs — and most figure drivers re-capture
+//! the same handful of workloads. Captures are therefore memoized in a
+//! process-wide FIFO cache bounded by total cached *instructions*
+//! (`DOL_CAPTURE_CACHE`, default 6 M; `0` disables), and shared as
+//! `Arc`s. A cache hit returns bit-identical artifacts to a fresh
+//! capture, so reports are byte-identical with the cache on or off.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use dol_core::Prefetcher;
 use dol_cpu::{RunResult, System, SystemConfig, Workload};
-use dol_mem::CacheLevel;
-use dol_metrics::{classify_trace, footprint, Classifier, Footprint};
+use dol_metrics::{classify_trace, Classifier, Footprint, StreamingMetrics};
 use dol_workloads::Spec;
 
 use crate::plan::RunPlan;
 use crate::prefetchers;
+
+/// `(workload name, insts, seed)` — everything a capture depends on.
+/// All callers use the canonical single-core system of
+/// [`single_core`], so the system is not part of the key.
+type CaptureKey = (String, u64, u64);
+
+struct CaptureCache {
+    held_insts: u64,
+    entries: VecDeque<(CaptureKey, Arc<BaselineRun>)>,
+}
+
+static CAPTURE_CACHE: Mutex<CaptureCache> = Mutex::new(CaptureCache {
+    held_insts: 0,
+    entries: VecDeque::new(),
+});
+
+/// `(config, system fingerprint, workload name, insts, seed)` —
+/// everything an [`AppRun::run`] depends on. The system is keyed by its
+/// `Debug` rendering: drivers such as fig16 reuse one config name across
+/// structurally different systems (prefetch destination sweeps).
+type AppRunKey = (String, String, String, u64, u64);
+
+struct AppRunCache {
+    held_insts: u64,
+    entries: VecDeque<(AppRunKey, Arc<AppRun>)>,
+}
+
+static APP_RUN_CACHE: Mutex<AppRunCache> = Mutex::new(AppRunCache {
+    held_insts: 0,
+    entries: VecDeque::new(),
+});
+
+fn cache_budget_insts() -> u64 {
+    static BUDGET: OnceLock<u64> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("DOL_CAPTURE_CACHE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(6_000_000)
+    })
+}
 
 /// A captured workload with its baseline (no-prefetch) run and offline
 /// analysis artifacts.
@@ -22,24 +79,57 @@ pub struct BaselineRun {
     pub fp_l1: Footprint,
     /// Baseline L2 miss footprint.
     pub fp_l2: Footprint,
-    /// Offline LHF/MHF/HHF classification.
-    pub classifier: Classifier,
+    /// Offline LHF/MHF/HHF classification (shared with per-config runs
+    /// for streaming category accounting).
+    pub classifier: Arc<Classifier>,
     /// Baseline misses per kilo-instruction at L1 (the paper's scatter
     /// weights).
     pub mpki: f64,
+    /// Capture-cache key; also identifies this baseline for the
+    /// per-config run cache.
+    pub(crate) key: CaptureKey,
 }
 
 impl BaselineRun {
     /// Captures `spec` under `plan` and runs the no-prefetch baseline on
-    /// `sys`.
-    pub fn capture(spec: &Spec, plan: &RunPlan, sys: &System) -> Self {
+    /// `sys` (the canonical single-core system — see the module-level
+    /// memoization notes). Hits in the process-wide capture cache return
+    /// a shared, bit-identical artifact without re-simulating.
+    pub fn capture(spec: &Spec, plan: &RunPlan, sys: &System) -> Arc<Self> {
+        let key: CaptureKey = (spec.name.to_string(), plan.insts, plan.seed);
+        let budget = cache_budget_insts();
+        if budget > 0 {
+            let cache = CAPTURE_CACHE.lock().expect("capture cache poisoned");
+            if let Some((_, hit)) = cache.entries.iter().find(|(k, _)| *k == key) {
+                return Arc::clone(hit);
+            }
+        }
+        let fresh = Arc::new(Self::capture_uncached(spec, plan, sys));
+        if budget > 0 {
+            let mut cache = CAPTURE_CACHE.lock().expect("capture cache poisoned");
+            // A racing worker may have inserted the same key; both values
+            // are bit-identical, so keeping ours is equally correct.
+            if !cache.entries.iter().any(|(k, _)| *k == key) {
+                cache.held_insts += plan.insts;
+                cache.entries.push_back((key, Arc::clone(&fresh)));
+                while cache.held_insts > budget && cache.entries.len() > 1 {
+                    if let Some(((_, insts, _), _)) = cache.entries.pop_front() {
+                        cache.held_insts -= insts;
+                    }
+                }
+            }
+        }
+        fresh
+    }
+
+    fn capture_uncached(spec: &Spec, plan: &RunPlan, sys: &System) -> Self {
         let workload = Workload::capture(spec.build_vm(plan.seed), plan.insts)
             .unwrap_or_else(|e| panic!("workload {} failed: {e}", spec.name));
         let mut none = dol_core::NoPrefetcher;
-        let result = sys.run(&workload, &mut none);
-        let fp_l1 = footprint(&result.events, CacheLevel::L1);
-        let fp_l2 = footprint(&result.events, CacheLevel::L2);
-        let classifier = classify_trace(&workload.trace);
+        let mut sm = StreamingMetrics::new();
+        let result = sys.run_with_sink(&workload, &mut none, &mut sm);
+        let [fp_l1, fp_l2, _] = sm.into_footprints();
+        let classifier = Arc::new(classify_trace(&workload.trace));
         let mpki = result.stats.cores[0].l1_misses as f64 * 1000.0 / result.instructions as f64;
         BaselineRun {
             name: spec.name.to_string(),
@@ -49,6 +139,7 @@ impl BaselineRun {
             fp_l2,
             classifier,
             mpki,
+            key: (spec.name.to_string(), plan.insts, plan.seed),
         }
     }
 
@@ -69,21 +160,79 @@ pub struct AppRun {
     pub config: String,
     /// The run.
     pub result: RunResult,
+    /// Metrics accumulated online during the run.
+    pub metrics: StreamingMetrics,
 }
 
 impl AppRun {
-    /// Runs configuration `config` on a captured baseline's workload.
+    /// Runs configuration `config` on a captured baseline's workload,
+    /// with streaming category accounting against the baseline's
+    /// classifier.
+    ///
+    /// Deterministic in `(config, baseline key)`, so results are
+    /// memoized like [`BaselineRun::capture`] (same instruction budget,
+    /// 4x the allowance — per-run artifacts are far smaller than
+    /// traces). Runs with caller-prepared accumulators
+    /// ([`run_streaming`](Self::run_streaming)) bypass the cache.
     ///
     /// # Panics
     ///
     /// Panics on an unknown configuration name.
     pub fn run(base: &BaselineRun, config: &str, sys: &System) -> Self {
+        let (name, insts, seed) = base.key.clone();
+        let key: AppRunKey = (config.to_string(), format!("{sys:?}"), name, insts, seed);
+        let budget = cache_budget_insts().saturating_mul(4);
+        if budget > 0 {
+            let cache = APP_RUN_CACHE.lock().expect("app-run cache poisoned");
+            if let Some((_, hit)) = cache.entries.iter().find(|(k, _)| *k == key) {
+                return AppRun {
+                    config: hit.config.clone(),
+                    result: hit.result.clone(),
+                    metrics: hit.metrics.clone(),
+                };
+            }
+        }
+        let sm = StreamingMetrics::new().with_classifier(base.classifier.clone());
+        let fresh = Self::run_streaming(base, config, sys, sm);
+        if budget > 0 {
+            let shared = Arc::new(AppRun {
+                config: fresh.config.clone(),
+                result: fresh.result.clone(),
+                metrics: fresh.metrics.clone(),
+            });
+            let mut cache = APP_RUN_CACHE.lock().expect("app-run cache poisoned");
+            if !cache.entries.iter().any(|(k, _)| *k == key) {
+                cache.held_insts += insts;
+                cache.entries.push_back((key, shared));
+                while cache.held_insts > budget && cache.entries.len() > 1 {
+                    if let Some(((_, _, _, insts, _), _)) = cache.entries.pop_front() {
+                        cache.held_insts -= insts;
+                    }
+                }
+            }
+        }
+        fresh
+    }
+
+    /// Like [`run`](Self::run) with a caller-prepared accumulator (e.g.
+    /// one configured with a region restriction).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown configuration name.
+    pub fn run_streaming(
+        base: &BaselineRun,
+        config: &str,
+        sys: &System,
+        mut metrics: StreamingMetrics,
+    ) -> Self {
         let mut p = prefetchers::build(config)
             .unwrap_or_else(|| panic!("unknown prefetcher config {config}"));
-        let result = sys.run(&base.workload, p.as_mut());
+        let result = sys.run_with_sink(&base.workload, p.as_mut(), &mut metrics);
         AppRun {
             config: config.to_string(),
             result,
+            metrics,
         }
     }
 
@@ -106,7 +255,7 @@ pub fn single_core() -> System {
 
 /// Captures the whole spec21 suite with baselines (the common prologue
 /// of most figures), sharded across `plan.jobs` workers.
-pub fn capture_spec21(plan: &RunPlan, sys: &System) -> Vec<BaselineRun> {
+pub fn capture_spec21(plan: &RunPlan, sys: &System) -> Vec<Arc<BaselineRun>> {
     let specs = plan.cap_suite(dol_workloads::spec21());
     crate::sweep::map(plan.jobs, &specs, |s| BaselineRun::capture(s, plan, sys))
 }

@@ -1,9 +1,14 @@
 //! Sparse, paged data memory for the functional VM.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const PAGE_BYTES: u64 = 4096;
 const WORDS_PER_PAGE: usize = (PAGE_BYTES / 8) as usize;
+
+/// Sentinel slot for an empty last-page cache. Unreachable as a real
+/// slot: slot numbers fit in `u32`.
+const NO_SLOT: u64 = u64::MAX;
 
 /// Sparse byte-addressable memory backed by 4 KiB pages of 64-bit words.
 ///
@@ -11,9 +16,47 @@ const WORDS_PER_PAGE: usize = (PAGE_BYTES / 8) as usize;
 /// are truncated down to the containing word (the toy ISA never generates
 /// unaligned accesses, but workload setup code is forgiven for it).
 /// Reads of untouched memory return zero.
-#[derive(Debug, Clone, Default)]
+///
+/// Page storage is a flat `Vec` indexed through a `page → slot` map, with
+/// a one-entry last-page cache in front: the VM's load/store stream has
+/// strong page locality, so most accesses skip the hash entirely, and a
+/// write to an existing page hashes at most once (the old `entry()` path
+/// hashed the key twice). The cache stores only the *slot* (relaxed
+/// atomic, so shared `&self` reads stay `Sync`) and validates it against
+/// the slot's recorded page number, so a stale value can never alias a
+/// different page.
+#[derive(Debug)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Box<[u64; WORDS_PER_PAGE]>>,
+    /// Page payloads, in allocation order (slots are never freed).
+    pages: Vec<Box<[u64; WORDS_PER_PAGE]>>,
+    /// Page number of each slot (parallel to `pages`).
+    page_nums: Vec<u64>,
+    /// Page number → slot in `pages`.
+    index: HashMap<u64, u32>,
+    /// Slot of the last page touched, [`NO_SLOT`] when empty.
+    last: AtomicU64,
+}
+
+impl Default for SparseMemory {
+    fn default() -> Self {
+        SparseMemory {
+            pages: Vec::new(),
+            page_nums: Vec::new(),
+            index: HashMap::new(),
+            last: AtomicU64::new(NO_SLOT),
+        }
+    }
+}
+
+impl Clone for SparseMemory {
+    fn clone(&self) -> Self {
+        SparseMemory {
+            pages: self.pages.clone(),
+            page_nums: self.page_nums.clone(),
+            index: self.index.clone(),
+            last: AtomicU64::new(self.last.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl SparseMemory {
@@ -29,12 +72,24 @@ impl SparseMemory {
         (page, word)
     }
 
+    /// Slot of `page` if it exists, refreshing the last-page cache.
+    #[inline]
+    fn find(&self, page: u64) -> Option<u32> {
+        let s = self.last.load(Ordering::Relaxed);
+        if s != NO_SLOT && self.page_nums[s as usize] == page {
+            return Some(s as u32);
+        }
+        let slot = *self.index.get(&page)?;
+        self.last.store(slot as u64, Ordering::Relaxed);
+        Some(slot)
+    }
+
     /// Reads the 64-bit word containing `addr`.
     #[inline]
     pub fn read_u64(&self, addr: u64) -> u64 {
         let (page, word) = Self::split(addr);
-        match self.pages.get(&page) {
-            Some(p) => p[word],
+        match self.find(page) {
+            Some(slot) => self.pages[slot as usize][word],
             None => 0,
         }
     }
@@ -43,9 +98,18 @@ impl SparseMemory {
     #[inline]
     pub fn write_u64(&mut self, addr: u64, value: u64) {
         let (page, word) = Self::split(addr);
-        self.pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0u64; WORDS_PER_PAGE]))[word] = value;
+        let slot = match self.find(page) {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.pages.len()).expect("page count fits u32");
+                self.pages.push(Box::new([0u64; WORDS_PER_PAGE]));
+                self.page_nums.push(page);
+                self.index.insert(page, slot);
+                self.last.store(slot as u64, Ordering::Relaxed);
+                slot
+            }
+        };
+        self.pages[slot as usize][word] = value;
     }
 
     /// Writes a contiguous slice of words starting at `addr`.
@@ -104,5 +168,32 @@ mod tests {
         m.write_words(base, &vals);
         assert_eq!(m.read_words(base, 8), vals);
         assert_eq!(m.touched_pages(), 2);
+    }
+
+    #[test]
+    fn page_cache_survives_interleaved_pages() {
+        // Alternate between two pages so the one-entry cache keeps
+        // missing and refilling; values must stay correct throughout.
+        let mut m = SparseMemory::new();
+        for i in 0..64u64 {
+            m.write_u64(i * 8, i);
+            m.write_u64(PAGE_BYTES + i * 8, 1000 + i);
+        }
+        for i in 0..64u64 {
+            assert_eq!(m.read_u64(i * 8), i);
+            assert_eq!(m.read_u64(PAGE_BYTES + i * 8), 1000 + i);
+        }
+        assert_eq!(m.touched_pages(), 2);
+        // A clone is independent of the original's subsequent writes.
+        let c = m.clone();
+        m.write_u64(0, 999);
+        assert_eq!(c.read_u64(0), 0);
+        assert_eq!(m.read_u64(0), 999);
+    }
+
+    #[test]
+    fn memory_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<SparseMemory>();
     }
 }

@@ -49,18 +49,31 @@ pub struct EvictInfo {
     pub unused_prefetch: Option<Origin>,
 }
 
+/// Tag value marking an empty way in the packed tag array. Unreachable
+/// as a real tag: line addresses are byte addresses shifted right by
+/// [`crate::LINE_SHIFT`], so they never reach `u64::MAX`.
+const NO_TAG: u64 = u64::MAX;
+
 /// A set-associative cache.
 ///
 /// Tags store full line addresses; geometry comes from [`CacheConfig`].
 /// The cache tracks, per line, whether it was filled by a prefetch and
 /// whether a demand access has used it — the raw material for the paper's
 /// useful/useless prefetch and pollution accounting.
+///
+/// Lookups scan a packed parallel tag array (`tags`) instead of the
+/// ~40-byte [`Line`] records: a set's tags share one cache line of host
+/// memory, and the common miss case never touches line metadata at all.
+/// Invariant: `tags[i] == lines[i].tag` when `lines[i].valid`, else
+/// [`NO_TAG`].
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     set_mask: u64,
     ways: usize,
     lines: Vec<Line>,
+    /// Packed tags, parallel to `lines` ([`NO_TAG`] when invalid).
+    tags: Vec<u64>,
     clock: u64,
     rng: u64,
 }
@@ -74,6 +87,7 @@ impl Cache {
             set_mask: sets - 1,
             ways: cfg.ways as usize,
             lines: vec![Line::default(); (sets * cfg.ways as u64) as usize],
+            tags: vec![NO_TAG; (sets * cfg.ways as u64) as usize],
             clock: 0,
             rng: 0x9e37_79b9_7f4a_7c15,
         }
@@ -96,44 +110,48 @@ impl Cache {
         self.clock
     }
 
+    /// Index into `lines`/`tags` of the way holding `line`, if present.
+    #[inline]
+    fn find(&self, line: u64) -> Option<usize> {
+        let range = self.set_range(line);
+        self.tags[range.clone()]
+            .iter()
+            .position(|&t| t == line)
+            .map(|i| range.start + i)
+    }
+
     /// Whether the line is present, without disturbing replacement state.
     pub fn probe(&self, line: u64) -> bool {
-        self.lines[self.set_range(line)]
-            .iter()
-            .any(|l| l.valid && l.tag == line)
+        self.find(line).is_some()
     }
 
     /// Whether the line is present but its fill is still in flight.
     pub fn in_flight(&self, line: u64, now: u64) -> bool {
-        self.lines[self.set_range(line)]
-            .iter()
-            .any(|l| l.valid && l.tag == line && l.ready_at > now)
+        self.find(line)
+            .is_some_and(|i| self.lines[i].ready_at > now)
     }
 
     /// A demand access to `line` at cycle `now`; updates replacement and
     /// use/dirty metadata on a hit.
     pub fn demand_access(&mut self, line: u64, now: u64, is_write: bool) -> LookupOutcome {
         let stamp = self.next_stamp();
-        let update_on_hit = self.cfg.replacement != ReplacementPolicy::Fifo;
-        let range = self.set_range(line);
-        for l in &mut self.lines[range] {
-            if l.valid && l.tag == line {
-                let first_use = !l.used;
-                l.used = true;
-                if is_write {
-                    l.dirty = true;
-                }
-                if update_on_hit {
-                    l.stamp = stamp;
-                }
-                return LookupOutcome::Hit {
-                    prefetched_by: l.prefetch,
-                    first_use,
-                    ready_at: l.ready_at.max(now),
-                };
-            }
+        let Some(i) = self.find(line) else {
+            return LookupOutcome::Miss;
+        };
+        let l = &mut self.lines[i];
+        let first_use = !l.used;
+        l.used = true;
+        if is_write {
+            l.dirty = true;
         }
-        LookupOutcome::Miss
+        if self.cfg.replacement != ReplacementPolicy::Fifo {
+            l.stamp = stamp;
+        }
+        LookupOutcome::Hit {
+            prefetched_by: l.prefetch,
+            first_use,
+            ready_at: l.ready_at.max(now),
+        }
     }
 
     /// Inserts `line` (data ready at `ready_at`), returning the victim.
@@ -165,15 +183,14 @@ impl Cache {
         low_priority: bool,
     ) -> Option<EvictInfo> {
         let stamp = self.next_stamp();
-        let range = self.set_range(line);
         // Refresh an existing copy.
-        for l in &mut self.lines[range.clone()] {
-            if l.valid && l.tag == line {
-                l.dirty |= dirty;
-                l.ready_at = l.ready_at.min(ready_at);
-                return None;
-            }
+        if let Some(i) = self.find(line) {
+            let l = &mut self.lines[i];
+            l.dirty |= dirty;
+            l.ready_at = l.ready_at.min(ready_at);
+            return None;
         }
+        let range = self.set_range(line);
         let victim_at = self.pick_victim(range.clone());
         let stamp = if low_priority {
             // Just above the current LRU line: next-but-one victim.
@@ -206,6 +223,7 @@ impl Cache {
             ready_at,
             stamp,
         };
+        self.tags[victim_at] = line;
         evicted
     }
 
@@ -250,14 +268,10 @@ impl Cache {
 
     /// Removes the line if present, returning whether it was dirty.
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {
-        let range = self.set_range(line);
-        for l in &mut self.lines[range] {
-            if l.valid && l.tag == line {
-                l.valid = false;
-                return Some(l.dirty);
-            }
-        }
-        None
+        let i = self.find(line)?;
+        self.lines[i].valid = false;
+        self.tags[i] = NO_TAG;
+        Some(self.lines[i].dirty)
     }
 }
 

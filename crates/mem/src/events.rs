@@ -116,6 +116,65 @@ pub enum MemEvent {
     },
 }
 
+/// Consumer of the memory system's metric event stream.
+///
+/// The hierarchy emits every [`MemEvent`] through a sink the caller
+/// supplies, instead of accumulating an unbounded `Vec` internally —
+/// metrics are computed online in O(1) memory (see `dol_metrics`'
+/// streaming accumulators) and long runs no longer pay for event
+/// storage. [`CollectSink`] restores the old buffer-everything
+/// behaviour for tests, debugging, and ad-hoc event analysis;
+/// [`NullSink`] discards events for runs that only need timing and
+/// counters.
+pub trait EventSink {
+    /// Receives one event, in emission order.
+    fn emit(&mut self, ev: MemEvent);
+}
+
+/// A sink that discards every event (timing/counter-only runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline]
+    fn emit(&mut self, _ev: MemEvent) {}
+}
+
+/// A sink that buffers every event — the pre-streaming behaviour,
+/// preserved for tests and raw event capture.
+#[derive(Debug, Clone, Default)]
+pub struct CollectSink {
+    /// The buffered events, in emission order.
+    pub events: Vec<MemEvent>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the sink, returning the buffered events.
+    pub fn into_events(self) -> Vec<MemEvent> {
+        self.events
+    }
+}
+
+impl EventSink for CollectSink {
+    #[inline]
+    fn emit(&mut self, ev: MemEvent) {
+        self.events.push(ev);
+    }
+}
+
+/// `Vec<MemEvent>` is itself a sink (append).
+impl EventSink for Vec<MemEvent> {
+    #[inline]
+    fn emit(&mut self, ev: MemEvent) {
+        self.push(ev);
+    }
+}
+
 impl MemEvent {
     /// The line address the event concerns.
     pub fn line(&self) -> u64 {
@@ -151,5 +210,24 @@ mod tests {
             blamed: vec![Origin(3)],
         };
         assert_eq!(e.line(), 7);
+    }
+
+    #[test]
+    fn sinks_collect_or_discard() {
+        let ev = MemEvent::DemandMiss {
+            core: 0,
+            level: CacheLevel::L1,
+            line: 42,
+            pc: 0x100,
+        };
+        let mut c = CollectSink::new();
+        c.emit(ev.clone());
+        c.emit(ev.clone());
+        assert_eq!(c.events.len(), 2);
+        assert_eq!(c.into_events()[0].line(), 42);
+        NullSink.emit(ev.clone());
+        let mut v: Vec<MemEvent> = Vec::new();
+        v.emit(ev);
+        assert_eq!(v.len(), 1);
     }
 }

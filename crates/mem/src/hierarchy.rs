@@ -3,8 +3,8 @@
 use crate::cache::LookupOutcome;
 use crate::dram::DramRequest;
 use crate::{
-    line_of, Cache, CacheLevel, Dram, DramStats, DropReason, HierarchyConfig, MemEvent, MshrFile,
-    Origin, ShadowTags,
+    line_of, Cache, CacheLevel, Dram, DramStats, DropReason, EventSink, HierarchyConfig, MemEvent,
+    MshrFile, Origin, ShadowTags,
 };
 
 /// Outcome of a demand access.
@@ -79,8 +79,9 @@ pub struct SystemStats {
 /// accesses in non-decreasing time order per the whole system — the
 /// multicore driver interleaves cores in cycle lockstep.
 ///
-/// Metric events accumulate internally; drain them with
-/// [`drain_events`](Self::drain_events).
+/// Metric events stream out through the [`EventSink`] each entry point
+/// takes; pass [`crate::NullSink`] to discard them or
+/// [`crate::CollectSink`] to buffer them (the pre-streaming behaviour).
 #[derive(Debug)]
 pub struct MemorySystem {
     cfg: HierarchyConfig,
@@ -98,7 +99,6 @@ pub struct MemorySystem {
     pf_l2: Vec<MshrFile>,
     pf_l3: MshrFile,
     dram: Dram,
-    events: Vec<MemEvent>,
     stats: Vec<CoreStats>,
 }
 
@@ -119,7 +119,6 @@ impl MemorySystem {
             pf_l2: (0..n).map(|_| MshrFile::new(cfg.l2.mshrs)).collect(),
             pf_l3: MshrFile::new(cfg.l3.mshrs),
             dram: Dram::new(cfg.dram),
-            events: Vec::new(),
             stats: vec![CoreStats::default(); n],
             cfg,
         }
@@ -128,16 +127,6 @@ impl MemorySystem {
     /// The configuration in use.
     pub fn config(&self) -> &HierarchyConfig {
         &self.cfg
-    }
-
-    /// Removes and returns all pending metric events.
-    pub fn drain_events(&mut self) -> Vec<MemEvent> {
-        std::mem::take(&mut self.events)
-    }
-
-    /// Discards pending metric events without allocating.
-    pub fn clear_events(&mut self) {
-        self.events.clear();
     }
 
     /// Current statistics snapshot.
@@ -157,8 +146,9 @@ impl MemorySystem {
         is_write: bool,
         now: u64,
         pc: u64,
+        sink: &mut dyn EventSink,
     ) -> DemandOutcome {
-        let out = self.demand_access_inner(core, addr, is_write, now, pc);
+        let out = self.demand_access_inner(core, addr, is_write, now, pc, sink);
         self.stats[core].latency_sum += out.latency;
         out
     }
@@ -170,6 +160,7 @@ impl MemorySystem {
         is_write: bool,
         now: u64,
         pc: u64,
+        sink: &mut dyn EventSink,
     ) -> DemandOutcome {
         let line = line_of(addr);
         self.stats[core].accesses += 1;
@@ -194,7 +185,7 @@ impl MemorySystem {
                 self.stats[core].l1_hits += 1;
                 if first_use {
                     if let Some(origin) = prefetched_by {
-                        self.events.push(MemEvent::PrefetchUseful {
+                        sink.emit(MemEvent::PrefetchUseful {
                             core: core as u32,
                             level: CacheLevel::L1,
                             line,
@@ -204,7 +195,7 @@ impl MemorySystem {
                 }
                 if !shadow_l1_hit {
                     if let Some(origin) = prefetched_by {
-                        self.events.push(MemEvent::AvoidedMiss {
+                        sink.emit(MemEvent::AvoidedMiss {
                             core: core as u32,
                             level: CacheLevel::L1,
                             line,
@@ -228,7 +219,7 @@ impl MemorySystem {
 
         if shadow_l1_hit {
             let blamed = self.l1[core].prefetch_origins_in_set(line);
-            self.events.push(MemEvent::InducedMiss {
+            sink.emit(MemEvent::InducedMiss {
                 core: core as u32,
                 level: CacheLevel::L1,
                 line,
@@ -251,7 +242,7 @@ impl MemorySystem {
         }
 
         self.stats[core].l1_misses += 1;
-        self.events.push(MemEvent::DemandMiss {
+        sink.emit(MemEvent::DemandMiss {
             core: core as u32,
             level: CacheLevel::L1,
             line,
@@ -276,7 +267,7 @@ impl MemorySystem {
                 self.stats[core].l2_hits += 1;
                 if first_use {
                     if let Some(origin) = prefetched_by {
-                        self.events.push(MemEvent::PrefetchUseful {
+                        sink.emit(MemEvent::PrefetchUseful {
                             core: core as u32,
                             level: CacheLevel::L2,
                             line,
@@ -286,7 +277,7 @@ impl MemorySystem {
                 }
                 if let Some(false) = shadow_l2_hit {
                     if let Some(origin) = prefetched_by {
-                        self.events.push(MemEvent::AvoidedMiss {
+                        sink.emit(MemEvent::AvoidedMiss {
                             core: core as u32,
                             level: CacheLevel::L2,
                             line,
@@ -299,7 +290,7 @@ impl MemorySystem {
             LookupOutcome::Miss => {
                 if let Some(true) = shadow_l2_hit {
                     let blamed = self.l2[core].prefetch_origins_in_set(line);
-                    self.events.push(MemEvent::InducedMiss {
+                    sink.emit(MemEvent::InducedMiss {
                         core: core as u32,
                         level: CacheLevel::L2,
                         line,
@@ -310,23 +301,23 @@ impl MemorySystem {
                     data_ready = done.max(t);
                 } else {
                     self.stats[core].l2_misses += 1;
-                    self.events.push(MemEvent::DemandMiss {
+                    sink.emit(MemEvent::DemandMiss {
                         core: core as u32,
                         level: CacheLevel::L2,
                         line,
                         pc,
                     });
                     let t2 = self.l2_mshr[core].next_free(t);
-                    data_ready = self.fetch_from_l3(core, line, t2, false, 255);
+                    data_ready = self.fetch_from_l3(core, line, t2, false, 255, sink);
                     self.l2_mshr[core].allocate(line, t2, data_ready);
-                    self.fill_level(core, CacheLevel::L2, line, data_ready, None);
+                    self.fill_level(core, CacheLevel::L2, line, data_ready, None, sink);
                 }
             }
         }
 
         // Fill L1 and hold the MSHR until the data arrives.
         self.l1_mshr[core].allocate(line, l1_alloc_at, data_ready);
-        self.fill_level(core, CacheLevel::L1, line, data_ready, None);
+        self.fill_level(core, CacheLevel::L1, line, data_ready, None, sink);
         if is_write {
             // Mark the freshly-filled line dirty.
             self.l1[core].demand_access(line, now, true);
@@ -350,6 +341,7 @@ impl MemorySystem {
         t: u64,
         is_prefetch: bool,
         confidence: u8,
+        sink: &mut dyn EventSink,
     ) -> u64 {
         let t = t + self.cfg.l3.latency;
         match self.l3.demand_access(line, t, false) {
@@ -362,7 +354,7 @@ impl MemorySystem {
                     self.stats[core].l3_hits += 1;
                     if first_use {
                         if let Some(origin) = prefetched_by {
-                            self.events.push(MemEvent::PrefetchUseful {
+                            sink.emit(MemEvent::PrefetchUseful {
                                 core: core as u32,
                                 level: CacheLevel::L3,
                                 line,
@@ -394,7 +386,7 @@ impl MemorySystem {
                             None => return u64::MAX,
                         };
                     self.pf_l3.allocate(line, t, done);
-                    self.fill_level(core, CacheLevel::L3, line, done, None);
+                    self.fill_level(core, CacheLevel::L3, line, done, None, sink);
                     return done;
                 }
                 let t = self.l3_mshr.next_free(t);
@@ -404,7 +396,7 @@ impl MemorySystem {
                     .expect("demands are never dropped");
                 self.stats[core].dram_fills += 1;
                 self.l3_mshr.allocate(line, t, done);
-                self.fill_level(core, CacheLevel::L3, line, done, None);
+                self.fill_level(core, CacheLevel::L3, line, done, None, sink);
                 done
             }
         }
@@ -418,6 +410,7 @@ impl MemorySystem {
         line: u64,
         ready_at: u64,
         origin: Option<Origin>,
+        sink: &mut dyn EventSink,
     ) {
         let evicted = match level {
             CacheLevel::L1 => {
@@ -431,7 +424,7 @@ impl MemorySystem {
         };
         let Some(ev) = evicted else { return };
         if let Some(origin) = ev.unused_prefetch {
-            self.events.push(MemEvent::PrefetchUnused {
+            sink.emit(MemEvent::PrefetchUnused {
                 core: core as u32,
                 level,
                 line: ev.line,
@@ -445,11 +438,11 @@ impl MemorySystem {
                     if self.l2[core].probe(ev.line) {
                         self.l2[core].demand_access(ev.line, ready_at, true);
                     } else if let Some(ev2) = self.l2[core].fill(ev.line, ready_at, None, true) {
-                        self.handle_l2_victim(core, ev2, ready_at);
+                        self.handle_l2_victim(core, ev2, ready_at, sink);
                     }
                 }
                 CacheLevel::L2 => {
-                    self.handle_l2_victim_writeback(core, ev.line, ready_at);
+                    self.handle_l2_victim_writeback(core, ev.line, ready_at, sink);
                 }
                 CacheLevel::L3 => {
                     self.dram.request(ev.line, DramRequest::Writeback, ready_at);
@@ -458,9 +451,15 @@ impl MemorySystem {
         }
     }
 
-    fn handle_l2_victim(&mut self, core: usize, ev: crate::EvictInfo, now: u64) {
+    fn handle_l2_victim(
+        &mut self,
+        core: usize,
+        ev: crate::EvictInfo,
+        now: u64,
+        sink: &mut dyn EventSink,
+    ) {
         if let Some(origin) = ev.unused_prefetch {
-            self.events.push(MemEvent::PrefetchUnused {
+            sink.emit(MemEvent::PrefetchUnused {
                 core: core as u32,
                 level: CacheLevel::L2,
                 line: ev.line,
@@ -468,16 +467,22 @@ impl MemorySystem {
             });
         }
         if ev.dirty {
-            self.handle_l2_victim_writeback(core, ev.line, now);
+            self.handle_l2_victim_writeback(core, ev.line, now, sink);
         }
     }
 
-    fn handle_l2_victim_writeback(&mut self, core: usize, line: u64, now: u64) {
+    fn handle_l2_victim_writeback(
+        &mut self,
+        core: usize,
+        line: u64,
+        now: u64,
+        sink: &mut dyn EventSink,
+    ) {
         if self.l3.probe(line) {
             self.l3.demand_access(line, now, true);
         } else if let Some(ev3) = self.l3.fill(line, now, None, true) {
             if let Some(origin) = ev3.unused_prefetch {
-                self.events.push(MemEvent::PrefetchUnused {
+                sink.emit(MemEvent::PrefetchUnused {
                     core: core as u32,
                     level: CacheLevel::L3,
                     line: ev3.line,
@@ -496,6 +501,7 @@ impl MemorySystem {
     /// `confidence` (0–255) rides with the request to DRAM, where the
     /// [`crate::DropPolicy`] may shed low-confidence prefetches under
     /// congestion.
+    #[allow(clippy::too_many_arguments)] // mirrors the hardware request fields
     pub fn prefetch(
         &mut self,
         core: usize,
@@ -504,11 +510,12 @@ impl MemorySystem {
         origin: Origin,
         confidence: u8,
         now: u64,
+        sink: &mut dyn EventSink,
     ) -> PrefetchOutcome {
         assert!(dest != CacheLevel::L3, "prefetch destinations are L1 or L2");
         let line = line_of(addr);
-        let rejected = |this: &mut Self, reason: DropReason| {
-            this.events.push(MemEvent::PrefetchDropped {
+        let rejected = |sink: &mut dyn EventSink, reason: DropReason| {
+            sink.emit(MemEvent::PrefetchDropped {
                 core: core as u32,
                 line,
                 origin,
@@ -527,7 +534,7 @@ impl MemorySystem {
             CacheLevel::L3 => unreachable!(),
         };
         if present {
-            return rejected(self, DropReason::Redundant);
+            return rejected(sink, DropReason::Redundant);
         }
         let (pf, demand) = match dest {
             CacheLevel::L1 => (&mut self.pf_l1[core], &mut self.l1_mshr[core]),
@@ -535,10 +542,10 @@ impl MemorySystem {
             CacheLevel::L3 => unreachable!(),
         };
         if pf.pending(line, now).is_some() || demand.pending(line, now).is_some() {
-            return rejected(self, DropReason::InFlight);
+            return rejected(sink, DropReason::InFlight);
         }
         if !pf.has_free(now) {
-            return rejected(self, DropReason::NoMshr);
+            return rejected(sink, DropReason::NoMshr);
         }
 
         // Locate the data below the destination.
@@ -553,23 +560,23 @@ impl MemorySystem {
                         } else if let Some(done) = self.pf_l2[core].pending(line, t) {
                             done.max(t)
                         } else if !self.pf_l2[core].has_free(t) {
-                            return rejected(self, DropReason::NoMshr);
+                            return rejected(sink, DropReason::NoMshr);
                         } else {
-                            let done = self.fetch_from_l3(core, line, t, true, confidence);
+                            let done = self.fetch_from_l3(core, line, t, true, confidence, sink);
                             if done == u64::MAX {
-                                return rejected(self, DropReason::QueueFull);
+                                return rejected(sink, DropReason::QueueFull);
                             }
                             self.pf_l2[core].allocate(line, t, done);
-                            self.fill_level(core, CacheLevel::L2, line, done, Some(origin));
+                            self.fill_level(core, CacheLevel::L2, line, done, Some(origin), sink);
                             done
                         }
                     }
                 }
             }
             CacheLevel::L2 => {
-                let done = self.fetch_from_l3(core, line, now, true, confidence);
+                let done = self.fetch_from_l3(core, line, now, true, confidence, sink);
                 if done == u64::MAX {
-                    return rejected(self, DropReason::QueueFull);
+                    return rejected(sink, DropReason::QueueFull);
                 }
                 done
             }
@@ -585,9 +592,9 @@ impl MemorySystem {
             }
             CacheLevel::L3 => unreachable!(),
         }
-        self.fill_level(core, dest, line, data_ready, Some(origin));
+        self.fill_level(core, dest, line, data_ready, Some(origin), sink);
         self.stats[core].prefetches += 1;
-        self.events.push(MemEvent::PrefetchIssued {
+        sink.emit(MemEvent::PrefetchIssued {
             core: core as u32,
             line,
             origin,
@@ -614,7 +621,7 @@ impl MemorySystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::LINE_BYTES;
+    use crate::{CollectSink, LINE_BYTES};
 
     fn system() -> MemorySystem {
         MemorySystem::new(HierarchyConfig::tiny(1))
@@ -623,10 +630,11 @@ mod tests {
     #[test]
     fn cold_miss_goes_to_dram_then_hits() {
         let mut m = system();
-        let out = m.demand_access(0, 0x10000, false, 0, 0x400);
+        let mut sink = CollectSink::new();
+        let out = m.demand_access(0, 0x10000, false, 0, 0x400, &mut sink);
         assert!(!out.l1_hit);
         assert!(out.latency > 100, "DRAM latency, got {}", out.latency);
-        let out2 = m.demand_access(0, 0x10000, false, out.latency + 1, 0x400);
+        let out2 = m.demand_access(0, 0x10000, false, out.latency + 1, 0x400, &mut sink);
         assert!(out2.l1_hit);
         assert_eq!(out2.latency, 3);
         let s = m.stats();
@@ -638,9 +646,10 @@ mod tests {
     #[test]
     fn secondary_miss_merges_and_is_cheaper() {
         let mut m = system();
-        let first = m.demand_access(0, 0x10000, false, 0, 0x400);
+        let mut sink = CollectSink::new();
+        let first = m.demand_access(0, 0x10000, false, 0, 0x400, &mut sink);
         // Same line, 10 cycles later, while the fill is still in flight.
-        let second = m.demand_access(0, 0x10008, false, 10, 0x404);
+        let second = m.demand_access(0, 0x10008, false, 10, 0x404, &mut sink);
         assert!(second.l1_hit, "fill already landed in the cache array");
         assert!(second.latency <= first.latency);
     }
@@ -648,13 +657,14 @@ mod tests {
     #[test]
     fn prefetch_then_demand_is_avoided_miss() {
         let mut m = system();
+        let mut sink = CollectSink::new();
         let origin = Origin(3);
-        let p = m.prefetch(0, 0x20000, CacheLevel::L1, origin, 255, 0);
+        let p = m.prefetch(0, 0x20000, CacheLevel::L1, origin, 255, 0, &mut sink);
         assert!(p.accepted);
-        let out = m.demand_access(0, 0x20000, false, p.completes_at + 1, 0x400);
+        let out = m.demand_access(0, 0x20000, false, p.completes_at + 1, 0x400, &mut sink);
         assert!(out.l1_hit);
         assert_eq!(out.latency, 3);
-        let events = m.drain_events();
+        let events = std::mem::take(&mut sink.events);
         assert!(events.iter().any(|e| matches!(e,
             MemEvent::PrefetchIssued { origin: o, .. } if *o == origin)));
         assert!(events.iter().any(|e| matches!(e,
@@ -666,10 +676,19 @@ mod tests {
     #[test]
     fn redundant_prefetch_is_dropped() {
         let mut m = system();
-        let out = m.demand_access(0, 0x20000, false, 0, 0x400);
-        let p = m.prefetch(0, 0x20000, CacheLevel::L1, Origin(1), 255, out.latency + 1);
+        let mut sink = CollectSink::new();
+        let out = m.demand_access(0, 0x20000, false, 0, 0x400, &mut sink);
+        let p = m.prefetch(
+            0,
+            0x20000,
+            CacheLevel::L1,
+            Origin(1),
+            255,
+            out.latency + 1,
+            &mut sink,
+        );
         assert!(!p.accepted);
-        let events = m.drain_events();
+        let events = std::mem::take(&mut sink.events);
         assert!(events.iter().any(|e| matches!(
             e,
             MemEvent::PrefetchDropped {
@@ -682,26 +701,28 @@ mod tests {
     #[test]
     fn in_flight_prefetch_is_dropped() {
         let mut m = system();
-        let p1 = m.prefetch(0, 0x20000, CacheLevel::L1, Origin(1), 255, 0);
+        let mut sink = CollectSink::new();
+        let p1 = m.prefetch(0, 0x20000, CacheLevel::L1, Origin(1), 255, 0, &mut sink);
         assert!(p1.accepted);
         // While in flight the line is in the cache array (future ready),
         // so a repeat is redundant or in-flight — either way not issued.
-        let p2 = m.prefetch(0, 0x20000, CacheLevel::L1, Origin(1), 255, 1);
+        let p2 = m.prefetch(0, 0x20000, CacheLevel::L1, Origin(1), 255, 1, &mut sink);
         assert!(!p2.accepted);
     }
 
     #[test]
     fn prefetch_to_l2_fills_l2_not_l1() {
         let mut m = system();
-        let p = m.prefetch(0, 0x30000, CacheLevel::L2, Origin(2), 100, 0);
+        let mut sink = CollectSink::new();
+        let p = m.prefetch(0, 0x30000, CacheLevel::L2, Origin(2), 100, 0, &mut sink);
         assert!(p.accepted);
         assert!(!m.l1_contains(0, 0x30000));
         assert!(m.l2_contains(0, 0x30000));
         // Demand later: L1 misses, L2 hits.
-        let out = m.demand_access(0, 0x30000, false, p.completes_at + 1, 0x400);
+        let out = m.demand_access(0, 0x30000, false, p.completes_at + 1, 0x400, &mut sink);
         assert!(!out.l1_hit);
         assert!(out.l2_hit);
-        let events = m.drain_events();
+        let events = std::mem::take(&mut sink.events);
         assert!(events.iter().any(|e| matches!(
             e,
             MemEvent::AvoidedMiss {
@@ -716,23 +737,32 @@ mod tests {
         // Tiny L1: 4 KiB 4-way = 16 sets. Fill one set with demands, then
         // push prefetches into the same set until a demand line is evicted.
         let mut m = system();
+        let mut sink = CollectSink::new();
         let set_stride = 16 * LINE_BYTES; // lines mapping to the same set
         let mut t = 0;
         // 4 demand lines fill set 0.
         for i in 0..4u64 {
-            let out = m.demand_access(0, i * set_stride, false, t, 0x400);
+            let out = m.demand_access(0, i * set_stride, false, t, 0x400, &mut sink);
             t += out.latency + 1;
         }
         // 4 prefetched lines evict them.
         for i in 4..8u64 {
-            let p = m.prefetch(0, i * set_stride, CacheLevel::L1, Origin(9), 255, t);
+            let p = m.prefetch(
+                0,
+                i * set_stride,
+                CacheLevel::L1,
+                Origin(9),
+                255,
+                t,
+                &mut sink,
+            );
             t = t.max(p.completes_at) + 1;
         }
-        m.clear_events();
+        sink.events.clear();
         // Re-demand line 0: real miss; shadow (no prefetches) still holds it.
-        let out = m.demand_access(0, 0, false, t + 10_000, 0x404);
+        let out = m.demand_access(0, 0, false, t + 10_000, 0x404, &mut sink);
         assert!(!out.l1_hit);
-        let events = m.drain_events();
+        let events = std::mem::take(&mut sink.events);
         let induced = events.iter().find_map(|e| match e {
             MemEvent::InducedMiss {
                 level: CacheLevel::L1,
@@ -749,16 +779,17 @@ mod tests {
     #[test]
     fn unused_prefetch_eviction_is_reported() {
         let mut m = system();
+        let mut sink = CollectSink::new();
         let set_stride = 16 * LINE_BYTES;
         let mut t = 0;
-        let p = m.prefetch(0, 0, CacheLevel::L1, Origin(5), 255, t);
+        let p = m.prefetch(0, 0, CacheLevel::L1, Origin(5), 255, t, &mut sink);
         t = p.completes_at + 1;
         // Evict it with 4 demand fills to the same set.
         for i in 1..=4u64 {
-            let out = m.demand_access(0, i * set_stride, false, t, 0x400);
+            let out = m.demand_access(0, i * set_stride, false, t, 0x400, &mut sink);
             t += out.latency + 1;
         }
-        let events = m.drain_events();
+        let events = std::mem::take(&mut sink.events);
         assert!(events.iter().any(|e| matches!(
             e,
             MemEvent::PrefetchUnused {
@@ -772,10 +803,11 @@ mod tests {
     #[test]
     fn writeback_traffic_counted() {
         let mut m = system();
+        let mut sink = CollectSink::new();
         let mut t = 0;
         // Dirty many distinct lines so evictions cascade to DRAM.
         for i in 0..4096u64 {
-            let out = m.demand_access(0, i * LINE_BYTES, true, t, 0x400);
+            let out = m.demand_access(0, i * LINE_BYTES, true, t, 0x400, &mut sink);
             t += out.latency + 1;
         }
         let s = m.stats();
@@ -786,9 +818,10 @@ mod tests {
     #[test]
     fn stats_accumulate_consistently() {
         let mut m = system();
+        let mut sink = CollectSink::new();
         let mut t = 0;
         for i in 0..100u64 {
-            let out = m.demand_access(0, (i % 10) * LINE_BYTES, false, t, 0x400);
+            let out = m.demand_access(0, (i % 10) * LINE_BYTES, false, t, 0x400, &mut sink);
             t += out.latency + 1;
         }
         let s = m.stats();

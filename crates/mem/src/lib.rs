@@ -39,7 +39,7 @@ mod shadow;
 pub use cache::{Cache, EvictInfo, LookupOutcome};
 pub use config::{CacheConfig, DramConfig, HierarchyConfig, ReplacementPolicy};
 pub use dram::{Dram, DramRequest, DramStats, DropPolicy};
-pub use events::{DropReason, MemEvent, Origin};
+pub use events::{CollectSink, DropReason, EventSink, MemEvent, NullSink, Origin};
 pub use hierarchy::{DemandOutcome, MemorySystem, PrefetchOutcome, SystemStats};
 pub use mshr::MshrFile;
 pub use shadow::ShadowTags;

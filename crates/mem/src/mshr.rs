@@ -7,6 +7,18 @@
 /// excluded from prefetcher metrics (the paper's footnote 2). When all
 /// registers are busy, the next request must wait until the earliest
 /// in-flight fetch completes.
+///
+/// Every query expires completed entries at its own `now` before
+/// answering. This eagerness is observable, not just a cleanup policy:
+/// the hierarchy interrogates a file at non-monotone timestamps (a miss
+/// probes downstream levels at `now + latency`, then the next access
+/// starts earlier), so an entry dropped at a late timestamp must stay
+/// gone even for a later query with an earlier `now`. Expiry uses
+/// unordered `swap_remove` compaction instead of `retain` (no element
+/// shifting), and [`pending`](Self::pending) fuses the expiry sweep with
+/// the line search in a single pass; entry order is therefore
+/// unspecified, which is safe because at most one live entry per line
+/// exists at any time.
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
@@ -26,17 +38,33 @@ impl MshrFile {
 
     /// Drops entries that have completed by `now`.
     pub fn expire(&mut self, now: u64) {
-        self.inflight.retain(|&(_, t)| t > now);
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].1 <= now {
+                self.inflight.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// If `line` has a fetch in flight at `now`, returns its completion
-    /// cycle (a secondary miss).
+    /// cycle (a secondary miss). Expires completed entries as it scans.
     pub fn pending(&mut self, line: u64, now: u64) -> Option<u64> {
-        self.expire(now);
-        self.inflight
-            .iter()
-            .find(|&&(l, _)| l == line)
-            .map(|&(_, t)| t)
+        let mut found = None;
+        let mut i = 0;
+        while i < self.inflight.len() {
+            let (l, t) = self.inflight[i];
+            if t <= now {
+                self.inflight.swap_remove(i);
+            } else {
+                if l == line {
+                    found = Some(t);
+                }
+                i += 1;
+            }
+        }
+        found
     }
 
     /// Whether a register is free at `now` without waiting.
@@ -110,5 +138,64 @@ mod tests {
         let mut m = MshrFile::new(1);
         m.allocate(1, 0, 100);
         m.allocate(2, 0, 100);
+    }
+
+    #[test]
+    fn out_of_order_completions_keep_merge_and_alloc_semantics() {
+        // Completion times deliberately not in allocation order; the
+        // swap_remove compaction must behave exactly like ordered retain.
+        let mut m = MshrFile::new(3);
+        m.allocate(1, 0, 300);
+        m.allocate(2, 0, 100);
+        m.allocate(3, 0, 200);
+        // All three merge while live.
+        assert_eq!(m.pending(1, 50), Some(300));
+        assert_eq!(m.pending(2, 50), Some(100));
+        assert_eq!(m.pending(3, 50), Some(200));
+        assert!(!m.has_free(50));
+        assert_eq!(m.next_free(50), 100, "earliest completion wins");
+        // At t=150 the middle allocation (line 2) has completed: a slot is
+        // free, line 2 no longer merges, the others still do.
+        assert!(m.has_free(150));
+        assert_eq!(m.pending(2, 150), None);
+        assert_eq!(m.pending(1, 150), Some(300));
+        assert_eq!(m.pending(3, 150), Some(200));
+        assert_eq!(m.occupancy(150), 2);
+        // Reallocate line 2 with a *later* completion; it merges again.
+        m.allocate(2, 150, 500);
+        assert!(!m.has_free(150));
+        assert_eq!(m.pending(2, 150), Some(500));
+        // Expiry of the remaining out-of-order entries, one by one: at
+        // t=201 line 3 (completes 200) has freed its register.
+        assert_eq!(m.next_free(201), 201);
+        assert_eq!(m.occupancy(201), 2);
+        assert_eq!(m.occupancy(350), 1);
+        assert_eq!(m.pending(2, 350), Some(500));
+        assert_eq!(m.occupancy(500), 0);
+        assert_eq!(m.next_free(500), 500);
+    }
+
+    #[test]
+    fn allocate_reclaims_expired_registers_when_full() {
+        let mut m = MshrFile::new(2);
+        m.allocate(1, 0, 10);
+        m.allocate(2, 0, 20);
+        // The file is full of entries but entry 1 has expired by t=15.
+        m.allocate(3, 15, 40);
+        assert_eq!(m.occupancy(15), 2);
+        assert_eq!(m.pending(1, 15), None);
+        assert_eq!(m.pending(3, 15), Some(40));
+    }
+
+    #[test]
+    fn expiry_is_eager_at_each_query_timestamp() {
+        // A late-timestamped query must drop entries even if a later call
+        // uses an earlier `now` — the hierarchy probes downstream levels
+        // ahead of the current cycle, so this ordering really happens.
+        let mut m = MshrFile::new(2);
+        m.allocate(7, 0, 100);
+        assert_eq!(m.occupancy(150), 0, "expired at t=150");
+        // The earlier-timestamped query must NOT resurrect the entry.
+        assert_eq!(m.pending(7, 50), None, "entry is gone for good");
     }
 }

@@ -69,12 +69,13 @@ proptest! {
         addrs in proptest::collection::vec(0u64..1 << 20, 1..300),
     ) {
         let mut m = MemorySystem::new(HierarchyConfig::tiny(1));
+        let mut sink = dol_mem::CollectSink::new();
         let mut t = 0;
         for a in &addrs {
-            let out = m.demand_access(0, *a, false, t, 0x100);
+            let out = m.demand_access(0, *a, false, t, 0x100, &mut sink);
             t += out.latency + 1;
         }
-        let events = m.drain_events();
+        let events = sink.into_events();
         for e in &events {
             prop_assert!(
                 matches!(e, dol_mem::MemEvent::DemandMiss { .. }),
@@ -95,12 +96,13 @@ proptest! {
     #[test]
     fn prefetch_then_demand_hits(lines in proptest::collection::vec(0u64..256, 1..24)) {
         let mut m = MemorySystem::new(HierarchyConfig::tiny(1));
+        let mut sink = dol_mem::NullSink;
         let mut t = 0;
         let mut unique = lines.clone();
         unique.sort_unstable();
         unique.dedup();
         for l in &unique {
-            let p = m.prefetch(0, l * 64, dol_mem::CacheLevel::L2, Origin(7), 200, t);
+            let p = m.prefetch(0, l * 64, dol_mem::CacheLevel::L2, Origin(7), 200, t, &mut sink);
             if p.accepted {
                 t = t.max(p.completes_at);
             }
@@ -110,7 +112,7 @@ proptest! {
         // All prefetched lines must now be L2 hits (L2 in the tiny config
         // holds 256 lines, enough for the whole set).
         for l in &unique {
-            let out = m.demand_access(0, l * 64, false, t, 0x100);
+            let out = m.demand_access(0, l * 64, false, t, 0x100, &mut sink);
             prop_assert!(out.l1_hit || out.l2_hit, "line {l} should be resident");
             t += out.latency + 1;
         }

@@ -14,6 +14,10 @@
 //!   accesses with high spatial locality, and everything else.
 //! * [`stats`] — geometric means, weighted speedup, and scatter
 //!   summaries.
+//! * [`stream`] — [`StreamingMetrics`], an [`dol_mem::EventSink`] that
+//!   computes all of the above online in O(1) memory per distinct
+//!   (origin, line), bit-identical to replaying a buffered event vector
+//!   through the slice-based functions.
 //! * [`table`] — plain-text table rendering for the figure/table
 //!   binaries.
 
@@ -22,6 +26,7 @@ pub mod classify;
 pub mod scatter;
 pub mod scope;
 pub mod stats;
+pub mod stream;
 pub mod table;
 
 pub use accounting::{accuracy_at, coverage, EffectiveAccuracy};
@@ -29,4 +34,5 @@ pub use classify::{classify_trace, Category, Classifier};
 pub use scatter::{accuracy_scope_plot, ScatterPoint};
 pub use scope::{footprint, prefetched_lines, scope, Footprint};
 pub use stats::{geomean, normalize_to, weighted_speedup, WeightedPoint};
+pub use stream::StreamingMetrics;
 pub use table::TextTable;

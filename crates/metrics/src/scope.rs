@@ -37,6 +37,11 @@ impl Footprint {
     pub fn lines(&self) -> HashSet<u64> {
         self.weights.keys().copied().collect()
     }
+
+    /// Adds one miss to the footprint (streaming accumulation).
+    pub(crate) fn add_miss(&mut self, line: u64) {
+        *self.weights.entry(line).or_insert(0u64) += 1;
+    }
 }
 
 /// Extracts the miss footprint at `level` from a *baseline* (no-prefetch)

@@ -1,0 +1,487 @@
+//! Streaming metric accumulators: every metric of the crate, computed
+//! online from the memory system's event stream in O(1) memory per
+//! distinct (origin, line) — independent of instruction count.
+//!
+//! [`StreamingMetrics`] implements [`dol_mem::EventSink`]; hand one to
+//! `System::run_with_sink` and query it afterwards. Results are
+//! *bit-identical* to buffering the events in a
+//! [`dol_mem::CollectSink`] and replaying them through the slice-based
+//! functions ([`crate::accuracy_at`], [`crate::footprint`],
+//! [`crate::prefetched_lines`], …) for the filters the harness uses
+//! (no filter, or a single origin): every floating-point accumulation
+//! — only the induced-miss blame shares are non-integral — happens in
+//! event order per accounting cell, exactly as the replay loop would.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+use dol_mem::{CacheLevel, EventSink, MemEvent, Origin};
+
+use crate::accounting::EffectiveAccuracy;
+use crate::classify::{Category, Classifier};
+use crate::scope::Footprint;
+
+#[inline]
+fn level_idx(level: CacheLevel) -> usize {
+    match level {
+        CacheLevel::L1 => 0,
+        CacheLevel::L2 => 1,
+        CacheLevel::L3 => 2,
+    }
+}
+
+const LEVELS: [CacheLevel; 3] = [CacheLevel::L1, CacheLevel::L2, CacheLevel::L3];
+
+/// Per-level effective-accuracy cells for the whole prefetcher and for
+/// each origin separately, updated in event order.
+///
+/// The "overall" cells duplicate the per-origin ones on purpose: the
+/// induced-miss debit is a sum of `1/len(blamed)` shares, and f64
+/// addition is not associative — an unfiltered query must see the
+/// additions in exactly the order the replay loop would perform them,
+/// which summing per-origin cells after the fact would not reproduce.
+#[derive(Debug, Clone, Default)]
+struct Accounting {
+    overall: [EffectiveAccuracy; 3],
+    per_origin: BTreeMap<Origin, [EffectiveAccuracy; 3]>,
+}
+
+impl Accounting {
+    fn observe(&mut self, ev: &MemEvent, lines: Option<&HashSet<u64>>) {
+        let line_ok = |line: u64| lines.map(|s| s.contains(&line)).unwrap_or(true);
+        match ev {
+            MemEvent::PrefetchIssued {
+                origin, dest, line, ..
+            } if line_ok(*line) => {
+                for lvl in LEVELS {
+                    if *dest <= lvl {
+                        let i = level_idx(lvl);
+                        self.overall[i].issued += 1;
+                        self.per_origin.entry(*origin).or_default()[i].issued += 1;
+                    }
+                }
+            }
+            MemEvent::PrefetchUseful {
+                level,
+                origin,
+                line,
+                ..
+            } if line_ok(*line) => {
+                let i = level_idx(*level);
+                self.overall[i].useful += 1;
+                self.per_origin.entry(*origin).or_default()[i].useful += 1;
+            }
+            MemEvent::PrefetchUnused {
+                level,
+                origin,
+                line,
+                ..
+            } if line_ok(*line) => {
+                let i = level_idx(*level);
+                self.overall[i].unused += 1;
+                self.per_origin.entry(*origin).or_default()[i].unused += 1;
+            }
+            MemEvent::AvoidedMiss {
+                level,
+                origin,
+                line,
+                ..
+            } if line_ok(*line) => {
+                let i = level_idx(*level);
+                self.overall[i].avoided += 1;
+                self.per_origin.entry(*origin).or_default()[i].avoided += 1;
+            }
+            MemEvent::InducedMiss {
+                level,
+                line,
+                blamed,
+                ..
+            } if line_ok(*line) => {
+                let i = level_idx(*level);
+                if blamed.is_empty() {
+                    // Unattributed pollution: charged to the whole
+                    // prefetcher only (filtered queries must see zero).
+                    self.overall[i].induced += 1.0;
+                } else {
+                    let share = 1.0 / blamed.len() as f64;
+                    for o in blamed {
+                        self.overall[i].induced += share;
+                        self.per_origin.entry(*o).or_default()[i].induced += share;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn query(&self, level: CacheLevel, origins: Option<&[Origin]>) -> EffectiveAccuracy {
+        let i = level_idx(level);
+        match origins {
+            None => self.overall[i],
+            Some(set) => {
+                let mut acc = EffectiveAccuracy::default();
+                for o in set {
+                    if let Some(cells) = self.per_origin.get(o) {
+                        acc.issued += cells[i].issued;
+                        acc.useful += cells[i].useful;
+                        acc.unused += cells[i].unused;
+                        acc.avoided += cells[i].avoided;
+                        acc.induced += cells[i].induced;
+                    }
+                }
+                acc
+            }
+        }
+    }
+}
+
+/// All of the crate's metrics, accumulated online from a run's event
+/// stream.
+///
+/// Construct with [`new`](Self::new), opt into per-category accounting
+/// with [`with_classifier`](Self::with_classifier) and region-restricted
+/// accounting (the paper's Figure 14) with
+/// [`with_region`](Self::with_region), then pass `&mut` to the system
+/// driver as its event sink. Memory use is bounded by the number of
+/// distinct lines and origins, never by instruction count.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingMetrics {
+    acc: Accounting,
+    /// Region-restricted accounting: only events whose line is in the
+    /// region participate (both filtered and unfiltered queries).
+    region: Option<(HashSet<u64>, Accounting)>,
+    /// Per-level demand-miss footprints.
+    footprints: [Footprint; 3],
+    /// Lines attempted by any origin (issued or dropped).
+    pfp_all: HashSet<u64>,
+    /// Lines attempted per origin.
+    pfp_by_origin: BTreeMap<Origin, HashSet<u64>>,
+    /// Per-level × per-category accounting (present with a classifier).
+    classifier: Option<Arc<Classifier>>,
+    by_category: [[EffectiveAccuracy; 3]; 3],
+}
+
+impl StreamingMetrics {
+    /// An empty accumulator (no category or region accounting).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables per-LHF/MHF/HHF accounting with the given offline
+    /// classifier (events bucket by their target line's category).
+    pub fn with_classifier(mut self, classifier: Arc<Classifier>) -> Self {
+        self.classifier = Some(classifier);
+        self
+    }
+
+    /// Enables a second accounting restricted to `region` lines (the
+    /// paper's Figure 14 looks inside the footprint TPC leaves
+    /// uncovered).
+    pub fn with_region(mut self, region: HashSet<u64>) -> Self {
+        self.region = Some((region, Accounting::default()));
+        self
+    }
+
+    /// Consumes one event. Equivalent to [`EventSink::emit`] but usable
+    /// through a shared reference to the event.
+    pub fn observe(&mut self, ev: &MemEvent) {
+        self.acc.observe(ev, None);
+        if let Some((region, acc)) = self.region.as_mut() {
+            acc.observe(ev, Some(region));
+        }
+        match ev {
+            MemEvent::DemandMiss { level, line, .. } => {
+                self.footprints[level_idx(*level)].add_miss(*line);
+            }
+            MemEvent::PrefetchIssued { line, origin, .. }
+            | MemEvent::PrefetchDropped { line, origin, .. } => {
+                self.pfp_all.insert(*line);
+                self.pfp_by_origin.entry(*origin).or_default().insert(*line);
+            }
+            _ => {}
+        }
+        if let Some(cls) = self.classifier.as_deref() {
+            let cat_idx = |line: u64| match cls.line_category(line) {
+                Category::Lhf => 0usize,
+                Category::Mhf => 1,
+                Category::Hhf => 2,
+            };
+            match ev {
+                MemEvent::PrefetchIssued { dest, line, .. } => {
+                    for lvl in LEVELS {
+                        if *dest <= lvl {
+                            self.by_category[level_idx(lvl)][cat_idx(*line)].issued += 1;
+                        }
+                    }
+                }
+                MemEvent::PrefetchUseful { level, line, .. } => {
+                    self.by_category[level_idx(*level)][cat_idx(*line)].useful += 1;
+                }
+                MemEvent::PrefetchUnused { level, line, .. } => {
+                    self.by_category[level_idx(*level)][cat_idx(*line)].unused += 1;
+                }
+                MemEvent::AvoidedMiss { level, line, .. } => {
+                    self.by_category[level_idx(*level)][cat_idx(*line)].avoided += 1;
+                }
+                MemEvent::InducedMiss {
+                    level,
+                    line,
+                    blamed,
+                    ..
+                } if !blamed.is_empty() => {
+                    self.by_category[level_idx(*level)][cat_idx(*line)].induced += 1.0;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Effective-accuracy accounting at `level`, optionally restricted
+    /// to an origin set — the streaming equivalent of
+    /// [`crate::accuracy_at`]. Bit-identical to replay for `None` and
+    /// single-origin filters (the only filters the harness uses).
+    pub fn accuracy_at(&self, level: CacheLevel, origins: Option<&[Origin]>) -> EffectiveAccuracy {
+        self.acc.query(level, origins)
+    }
+
+    /// Accounting restricted to the region configured with
+    /// [`with_region`](Self::with_region) — the streaming equivalent of
+    /// the harness's line-filtered accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no region was configured.
+    pub fn accuracy_in_region(
+        &self,
+        level: CacheLevel,
+        origins: Option<&[Origin]>,
+    ) -> EffectiveAccuracy {
+        let (_, acc) = self
+            .region
+            .as_ref()
+            .expect("StreamingMetrics::with_region was not configured");
+        acc.query(level, origins)
+    }
+
+    /// The demand-miss footprint accumulated at `level` (meaningful for
+    /// baseline runs) — the streaming equivalent of [`crate::footprint`].
+    pub fn footprint(&self, level: CacheLevel) -> &Footprint {
+        &self.footprints[level_idx(level)]
+    }
+
+    /// Consumes the accumulator, returning the `[L1, L2, L3]` footprints.
+    pub fn into_footprints(self) -> [Footprint; 3] {
+        self.footprints
+    }
+
+    /// Lines attempted by any origin (issued or dropped) — the
+    /// streaming equivalent of [`crate::prefetched_lines`] with no
+    /// filter.
+    pub fn prefetched_lines_all(&self) -> &HashSet<u64> {
+        &self.pfp_all
+    }
+
+    /// Lines attempted by the given origins (union).
+    pub fn prefetched_lines_of(&self, origins: &[Origin]) -> HashSet<u64> {
+        let mut out = HashSet::new();
+        for o in origins {
+            if let Some(s) = self.pfp_by_origin.get(o) {
+                out.extend(s.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Per-LHF/MHF/HHF accounting at `level` — the streaming equivalent
+    /// of the harness's category accounting. All-zero cells when no
+    /// classifier was configured.
+    pub fn accuracy_by_category(&self, level: CacheLevel) -> [EffectiveAccuracy; 3] {
+        self.by_category[level_idx(level)]
+    }
+
+    /// Whether a classifier was configured.
+    pub fn has_classifier(&self) -> bool {
+        self.classifier.is_some()
+    }
+}
+
+impl EventSink for StreamingMetrics {
+    #[inline]
+    fn emit(&mut self, ev: MemEvent) {
+        self.observe(&ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{accuracy_at, footprint, prefetched_lines};
+
+    fn issued(line: u64, origin: u16, dest: CacheLevel) -> MemEvent {
+        MemEvent::PrefetchIssued {
+            core: 0,
+            line,
+            origin: Origin(origin),
+            dest,
+        }
+    }
+
+    fn induced(line: u64, level: CacheLevel, blamed: Vec<Origin>) -> MemEvent {
+        MemEvent::InducedMiss {
+            core: 0,
+            level,
+            line,
+            blamed,
+        }
+    }
+
+    fn sample_events() -> Vec<MemEvent> {
+        vec![
+            issued(1, 5, CacheLevel::L1),
+            issued(2, 6, CacheLevel::L2),
+            MemEvent::PrefetchDropped {
+                core: 0,
+                line: 3,
+                origin: Origin(5),
+                reason: dol_mem::DropReason::Redundant,
+            },
+            MemEvent::AvoidedMiss {
+                core: 0,
+                level: CacheLevel::L1,
+                line: 1,
+                origin: Origin(5),
+            },
+            MemEvent::PrefetchUseful {
+                core: 0,
+                level: CacheLevel::L1,
+                line: 1,
+                origin: Origin(5),
+            },
+            induced(9, CacheLevel::L1, vec![Origin(5), Origin(6), Origin(5)]),
+            induced(10, CacheLevel::L1, vec![]),
+            MemEvent::PrefetchUnused {
+                core: 0,
+                level: CacheLevel::L2,
+                line: 2,
+                origin: Origin(6),
+            },
+            MemEvent::DemandMiss {
+                core: 0,
+                level: CacheLevel::L1,
+                line: 7,
+                pc: 0x10,
+            },
+            MemEvent::DemandMiss {
+                core: 0,
+                level: CacheLevel::L1,
+                line: 7,
+                pc: 0x10,
+            },
+            MemEvent::DemandMiss {
+                core: 0,
+                level: CacheLevel::L2,
+                line: 8,
+                pc: 0x14,
+            },
+        ]
+    }
+
+    fn streamed(events: &[MemEvent]) -> StreamingMetrics {
+        let mut sm = StreamingMetrics::new();
+        for e in events {
+            sm.observe(e);
+        }
+        sm
+    }
+
+    #[test]
+    fn matches_replay_accounting_bitwise() {
+        let events = sample_events();
+        let sm = streamed(&events);
+        for level in LEVELS {
+            for filter in [
+                None,
+                Some([Origin(5)]),
+                Some([Origin(6)]),
+                Some([Origin(9)]),
+            ] {
+                let f = filter.as_ref().map(|s| s.as_slice());
+                let replay = accuracy_at(&events, level, f);
+                let stream = sm.accuracy_at(level, f);
+                assert_eq!(replay.issued, stream.issued, "{level} {filter:?}");
+                assert_eq!(replay.useful, stream.useful);
+                assert_eq!(replay.unused, stream.unused);
+                assert_eq!(replay.avoided, stream.avoided);
+                assert_eq!(
+                    replay.induced.to_bits(),
+                    stream.induced.to_bits(),
+                    "induced must be bit-identical at {level} {filter:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_replay_footprint_and_pfp() {
+        let events = sample_events();
+        let sm = streamed(&events);
+        for level in [CacheLevel::L1, CacheLevel::L2] {
+            let replay = footprint(&events, level);
+            let stream = sm.footprint(level);
+            assert_eq!(replay.unique_lines(), stream.unique_lines());
+            assert_eq!(replay.total_weight(), stream.total_weight());
+            for (line, w) in replay.iter() {
+                assert_eq!(stream.weight(line), w);
+            }
+        }
+        assert_eq!(&prefetched_lines(&events, None), sm.prefetched_lines_all());
+        assert_eq!(
+            prefetched_lines(&events, Some(&[Origin(5)])),
+            sm.prefetched_lines_of(&[Origin(5)])
+        );
+    }
+
+    #[test]
+    fn region_accounting_filters_lines() {
+        let events = sample_events();
+        let region: HashSet<u64> = [1u64, 9].into_iter().collect();
+        let mut sm = StreamingMetrics::new().with_region(region.clone());
+        for e in &events {
+            sm.observe(e);
+        }
+        let r = sm.accuracy_in_region(CacheLevel::L1, None);
+        // Only line 1's issue/useful/avoided and line 9's induced are in.
+        assert_eq!(r.issued, 1);
+        assert_eq!(r.useful, 1);
+        assert_eq!(r.avoided, 1);
+        assert!(
+            r.induced > 0.99 && r.induced < 1.01,
+            "3 thirds: {}",
+            r.induced
+        );
+        // Unfiltered accounting is unaffected by the region.
+        assert_eq!(sm.accuracy_at(CacheLevel::L1, None).issued, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_region")]
+    fn region_query_without_region_panics() {
+        StreamingMetrics::new().accuracy_in_region(CacheLevel::L1, None);
+    }
+
+    #[test]
+    fn sink_impl_feeds_observe() {
+        let mut sm = StreamingMetrics::new();
+        sm.emit(issued(1, 5, CacheLevel::L1));
+        assert_eq!(sm.accuracy_at(CacheLevel::L1, None).issued, 1);
+        assert!(sm.prefetched_lines_all().contains(&1));
+    }
+
+    #[test]
+    fn category_cells_without_classifier_are_zero() {
+        let sm = streamed(&sample_events());
+        assert!(!sm.has_classifier());
+        let cells = sm.accuracy_by_category(CacheLevel::L1);
+        assert!(cells.iter().all(|c| c.issued == 0));
+    }
+}

@@ -6,7 +6,7 @@
 use dol_core::{NoPrefetcher, Prefetcher, Tpc};
 use dol_cpu::{System, SystemConfig, Workload};
 use dol_mem::CacheLevel;
-use dol_metrics::{accuracy_at, footprint, prefetched_lines, scope};
+use dol_metrics::{scope, StreamingMetrics};
 
 fn main() {
     // 1. Pick a workload from the suite and capture its functional trace.
@@ -23,7 +23,8 @@ fn main() {
     // 2. Build the simulated machine (the paper's Table I) and run the
     //    no-prefetch baseline.
     let sys = System::new(SystemConfig::isca2018(1));
-    let baseline = sys.run(&workload, &mut NoPrefetcher);
+    let mut base_metrics = StreamingMetrics::new();
+    let baseline = sys.run_with_sink(&workload, &mut NoPrefetcher, &mut base_metrics);
     println!(
         "baseline: {} cycles (IPC {:.2}), {} L1 misses",
         baseline.cycles,
@@ -31,9 +32,11 @@ fn main() {
         baseline.stats.cores[0].l1_misses
     );
 
-    // 3. Run the same trace under TPC.
+    // 3. Run the same trace under TPC, streaming the event metrics
+    //    (`sys.run(..)` alone discards events and skips the accounting).
     let mut tpc = Tpc::full();
-    let with_tpc = sys.run(&workload, &mut tpc);
+    let mut tpc_metrics = StreamingMetrics::new();
+    let with_tpc = sys.run_with_sink(&workload, &mut tpc, &mut tpc_metrics);
     println!(
         "with TPC: {} cycles (IPC {:.2}), {} L1 misses, {} prefetches",
         with_tpc.cycles,
@@ -47,13 +50,14 @@ fn main() {
         tpc.storage_bits() as f64 / 8192.0
     );
 
-    // 4. The paper's metrics: scope and effective accuracy.
-    let fp = footprint(&baseline.events, CacheLevel::L1);
-    let pfp = prefetched_lines(&with_tpc.events, None);
-    let acc = accuracy_at(&with_tpc.events, CacheLevel::L1, None);
+    // 4. The paper's metrics: scope and effective accuracy, accumulated
+    //    online by the sinks while the runs streamed.
+    let fp = base_metrics.footprint(CacheLevel::L1);
+    let pfp = tpc_metrics.prefetched_lines_all();
+    let acc = tpc_metrics.accuracy_at(CacheLevel::L1, None);
     println!(
         "scope {:.2}, effective accuracy {:.2} ({} issued, {} useful)",
-        scope(&fp, &pfp),
+        scope(fp, pfp),
         acc.effective_accuracy(),
         acc.issued,
         acc.useful

@@ -5,7 +5,7 @@
 use dol_baselines::Fdp;
 use dol_core::{NoPrefetcher, Prefetcher, Tpc};
 use dol_cpu::{System, SystemConfig, Workload};
-use dol_mem::{CacheLevel, DropReason, MemEvent, Origin};
+use dol_mem::{CacheLevel, CollectSink, DropReason, MemEvent, Origin};
 
 #[test]
 #[ignore]
@@ -35,11 +35,12 @@ fn stream_gap() {
         ("FDP", Box::new(Fdp::new(Origin(20), CacheLevel::L1))),
     ];
     for (name, mut p) in runs {
-        let r = sys.run(&w, p.as_mut());
+        let mut sink = CollectSink::new();
+        let r = sys.run_with_sink(&w, p.as_mut(), &mut sink);
         let mut issued = 0u64;
         let mut dropped = [0u64; 4];
         let mut useful = 0u64;
-        for e in &r.events {
+        for e in &sink.events {
             match e {
                 MemEvent::PrefetchIssued { .. } => issued += 1,
                 MemEvent::PrefetchDropped { reason, .. } => {

@@ -4,8 +4,8 @@
 use dol_core::{NoPrefetcher, Prefetcher, Tpc};
 use dol_cpu::{System, SystemConfig, Workload};
 use dol_harness::prefetchers;
-use dol_mem::CacheLevel;
-use dol_metrics::{accuracy_at, footprint, prefetched_lines, scope};
+use dol_mem::{CacheLevel, CollectSink};
+use dol_metrics::{scope, StreamingMetrics};
 
 const BUDGET: u64 = 120_000;
 
@@ -86,29 +86,34 @@ fn runs_are_deterministic() {
     let w = capture("gather_window");
     let mut a = Tpc::full();
     let mut b = Tpc::full();
-    let ra = sys.run(&w, &mut a);
-    let rb = sys.run(&w, &mut b);
+    let mut sink_a = CollectSink::new();
+    let mut sink_b = CollectSink::new();
+    let ra = sys.run_with_sink(&w, &mut a, &mut sink_a);
+    let rb = sys.run_with_sink(&w, &mut b, &mut sink_b);
     assert_eq!(ra.cycles, rb.cycles);
     assert_eq!(ra.stats, rb.stats);
-    assert_eq!(ra.events.len(), rb.events.len());
+    assert_eq!(sink_a.events, sink_b.events);
 }
 
 #[test]
 fn t2_has_near_perfect_accuracy_on_canonical_streams() {
     let sys = sys();
     let w = capture("stream_sum");
-    let base = sys.run(&w, &mut NoPrefetcher);
+    let mut base_sm = StreamingMetrics::new();
+    let base = sys.run_with_sink(&w, &mut NoPrefetcher, &mut base_sm);
+    assert!(base.cycles > 0);
     let mut t2 = Tpc::t2_only();
-    let with = sys.run(&w, &mut t2);
-    let acc = accuracy_at(&with.events, CacheLevel::L1, None);
+    let mut sm = StreamingMetrics::new();
+    let _with = sys.run_with_sink(&w, &mut t2, &mut sm);
+    let acc = sm.accuracy_at(CacheLevel::L1, None);
     assert!(
         acc.effective_accuracy() > 0.9,
         "T2 accuracy on its home pattern: {:.3}",
         acc.effective_accuracy()
     );
-    let fp = footprint(&base.events, CacheLevel::L1);
-    let pfp = prefetched_lines(&with.events, None);
-    assert!(scope(&fp, &pfp) > 0.9, "T2 scope on a pure stream");
+    let fp = base_sm.footprint(CacheLevel::L1);
+    let pfp = sm.prefetched_lines_all();
+    assert!(scope(fp, pfp) > 0.9, "T2 scope on a pure stream");
 }
 
 #[test]
