@@ -7,6 +7,7 @@
 //! winner prefetches `X + best_offset` on every trained access until the
 //! next phase.
 
+use dol_core::table::{DirectTable, Geometry};
 use dol_core::{PrefetchRequest, Prefetcher, RetireInfo, CONF_MONOLITHIC};
 use dol_mem::{line_base, line_of, CacheLevel, Origin};
 
@@ -28,7 +29,9 @@ const BAD_SCORE: u32 = 5;
 pub struct Bop {
     origin: Origin,
     dest: CacheLevel,
-    rr: Vec<u64>,
+    /// Recent-requests table: direct-mapped by `line % RR_ENTRIES`,
+    /// tagged by the full line; collisions displace.
+    rr: DirectTable<()>,
     scores: [u32; OFFSET_LIST.len()],
     test_index: usize,
     round: u32,
@@ -44,7 +47,7 @@ impl Bop {
         Bop {
             origin,
             dest,
-            rr: vec![u64::MAX; RR_ENTRIES],
+            rr: DirectTable::new(Geometry::direct(RR_ENTRIES, 12, 0)),
             scores: [0; OFFSET_LIST.len()],
             test_index: 0,
             round: 0,
@@ -59,12 +62,11 @@ impl Bop {
     }
 
     fn rr_insert(&mut self, line: u64) {
-        let slot = (line as usize) % RR_ENTRIES;
-        self.rr[slot] = line;
+        self.rr.insert(line, ());
     }
 
     fn rr_contains(&self, line: u64) -> bool {
-        self.rr[(line as usize) % RR_ENTRIES] == line
+        self.rr.contains(line)
     }
 
     fn end_phase(&mut self) {

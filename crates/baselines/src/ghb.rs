@@ -8,6 +8,7 @@
 //! the history (delta correlation); the deltas that followed the previous
 //! occurrence of the pair are replayed from the current address.
 
+use dol_core::table::{DirectTable, Geometry, IndexKind};
 use dol_core::{PrefetchRequest, Prefetcher, RetireInfo, CONF_MONOLITHIC};
 use dol_mem::{CacheLevel, Origin};
 
@@ -26,14 +27,6 @@ struct GhbEntry {
     prev: u64,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct IndexEntry {
-    pc: u64,
-    /// Absolute sequence number of the PC's most recent GHB entry.
-    head: u64,
-    valid: bool,
-}
-
 /// The GHB PC/DC prefetcher (Table II: 4 KB — 256-entry GHB + 256-entry
 /// index table).
 #[derive(Debug, Clone)]
@@ -41,7 +34,10 @@ pub struct GhbPcDc {
     origin: Origin,
     dest: CacheLevel,
     ghb: Vec<GhbEntry>,
-    index: Vec<IndexEntry>,
+    /// Index table: direct-mapped by `(pc >> 2) % INDEX_ENTRIES`, tagged
+    /// by the full PC; the payload is the absolute sequence number of
+    /// the PC's most recent GHB entry.
+    index: DirectTable<u64>,
     /// Monotone count of pushes; `seq - GHB_ENTRIES` is the oldest live.
     seq: u64,
 }
@@ -53,7 +49,13 @@ impl GhbPcDc {
             origin,
             dest,
             ghb: vec![GhbEntry::default(); GHB_ENTRIES],
-            index: vec![IndexEntry::default(); INDEX_ENTRIES],
+            index: DirectTable::new(Geometry {
+                sets: INDEX_ENTRIES,
+                ways: 1,
+                tag_bits: 30,
+                value_bits: 8,
+                index: IndexKind::LowBits { shift: 2 },
+            }),
             seq: 0,
         }
     }
@@ -63,30 +65,19 @@ impl GhbPcDc {
     }
 
     fn push(&mut self, pc: u64, addr: u64) {
-        let slot = (pc >> 2) as usize % INDEX_ENTRIES;
-        let prev = if self.index[slot].valid && self.index[slot].pc == pc {
-            self.index[slot].head
-        } else {
-            u64::MAX
-        };
+        let prev = self.index.get(pc).copied().unwrap_or(u64::MAX);
         self.ghb[(self.seq % GHB_ENTRIES as u64) as usize] = GhbEntry { addr, prev };
-        self.index[slot] = IndexEntry {
-            pc,
-            head: self.seq,
-            valid: true,
-        };
+        self.index.insert(pc, self.seq);
         self.seq += 1;
     }
 
     /// Reconstructs this PC's recent addresses, newest first.
     fn history(&self, pc: u64) -> Vec<u64> {
-        let slot = (pc >> 2) as usize % INDEX_ENTRIES;
-        let ie = &self.index[slot];
-        if !ie.valid || ie.pc != pc {
+        let Some(&head) = self.index.get(pc) else {
             return Vec::new();
-        }
+        };
         let mut out = Vec::with_capacity(WALK_DEPTH);
-        let mut cur = ie.head;
+        let mut cur = head;
         while self.live(cur) && out.len() < WALK_DEPTH {
             let e = self.ghb[(cur % GHB_ENTRIES as u64) as usize];
             out.push(e.addr);

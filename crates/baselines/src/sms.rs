@@ -7,6 +7,7 @@
 //! Table; single-access regions wait in the Filter Table; ended
 //! generations store their pattern in the Pattern History Table.
 
+use dol_core::table::{DirectTable, Geometry};
 use dol_core::{PrefetchRequest, Prefetcher, RetireInfo, CONF_MONOLITHIC};
 use dol_mem::{line_of, region_of, CacheLevel, Origin, LINE_BYTES, REGION_LINES};
 
@@ -33,13 +34,6 @@ struct FtEntry {
     stamp: u64,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct PhtEntry {
-    key: u64,
-    pattern: u16,
-    valid: bool,
-}
-
 /// The SMS prefetcher (Table II: 12 KB — 64-entry AT, 32-entry FT,
 /// 512-entry PHT).
 #[derive(Debug, Clone)]
@@ -48,7 +42,9 @@ pub struct Sms {
     dest: CacheLevel,
     at: Vec<AtEntry>,
     ft: Vec<FtEntry>,
-    pht: Vec<PhtEntry>,
+    /// Pattern history: direct-mapped by `key % PHT_ENTRIES`, tagged by
+    /// the full trigger key.
+    pht: DirectTable<u16>,
     clock: u64,
 }
 
@@ -60,7 +56,7 @@ impl Sms {
             dest,
             at: vec![AtEntry::default(); AT_ENTRIES],
             ft: vec![FtEntry::default(); FT_ENTRIES],
-            pht: vec![PhtEntry::default(); PHT_ENTRIES],
+            pht: DirectTable::new(Geometry::direct(PHT_ENTRIES, 30, 16)),
             clock: 0,
         }
     }
@@ -78,17 +74,11 @@ impl Sms {
         if pattern.count_ones() <= 1 {
             return;
         }
-        let slot = (key as usize) % PHT_ENTRIES;
-        self.pht[slot] = PhtEntry {
-            key,
-            pattern,
-            valid: true,
-        };
+        self.pht.insert(key, pattern);
     }
 
     fn pht_lookup(&self, key: u64) -> Option<u16> {
-        let e = &self.pht[(key as usize) % PHT_ENTRIES];
-        (e.valid && e.key == key).then_some(e.pattern)
+        self.pht.get(key).copied()
     }
 
     fn evict_at(&mut self, idx: usize) {

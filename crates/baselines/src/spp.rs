@@ -7,6 +7,7 @@
 //! below a threshold. A small global history register bootstraps newly
 //! touched pages.
 
+use dol_core::table::{DirectTable, Geometry};
 use dol_core::{PrefetchRequest, Prefetcher, RetireInfo, CONF_MONOLITHIC};
 use dol_mem::{CacheLevel, Origin, LINE_BYTES};
 
@@ -23,10 +24,8 @@ const MAX_DEPTH: usize = 8;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct StEntry {
-    page: u64,
     last_offset: i64,
     signature: u16,
-    valid: bool,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -55,13 +54,17 @@ struct GhrEntry {
 pub struct Spp {
     origin: Origin,
     dest: CacheLevel,
-    st: Vec<StEntry>,
-    pt: Vec<PtEntry>,
+    /// Signature table: direct-mapped by `page % ST_ENTRIES`, tagged by
+    /// the full page number.
+    st: DirectTable<StEntry>,
+    /// Pattern table: direct-mapped by `sig % PT_ENTRIES`, *untagged* —
+    /// a signature reads whatever occupies its slot, as in the paper.
+    pt: DirectTable<PtEntry>,
     ghr: [GhrEntry; GHR_ENTRIES],
     ghr_cursor: usize,
     /// Direct-mapped recent-prefetch tags (the paper's prefetch filter);
     /// collisions replace, so the filter ages naturally.
-    filter: Vec<u64>,
+    filter: DirectTable<()>,
 }
 
 fn advance_signature(sig: u16, delta: i64) -> u16 {
@@ -75,20 +78,16 @@ impl Spp {
         Spp {
             origin,
             dest,
-            st: vec![StEntry::default(); ST_ENTRIES],
-            pt: vec![PtEntry::default(); PT_ENTRIES],
+            st: DirectTable::new(Geometry::direct(ST_ENTRIES, 16, 18)),
+            pt: DirectTable::new(Geometry::direct(PT_ENTRIES, 0, 52)),
             ghr: [GhrEntry::default(); GHR_ENTRIES],
             ghr_cursor: 0,
-            filter: vec![u64::MAX; PF_BITS],
+            filter: DirectTable::new(Geometry::direct(PF_BITS, 1, 0)),
         }
     }
 
-    fn pt_slot(sig: u16) -> usize {
-        sig as usize % PT_ENTRIES
-    }
-
     fn train(&mut self, sig: u16, delta: i64) {
-        let e = &mut self.pt[Self::pt_slot(sig)];
+        let e = self.pt.slot_mut(sig as u64);
         e.c_sig = e.c_sig.saturating_add(1);
         if let Some(d) = e
             .deltas
@@ -116,7 +115,7 @@ impl Spp {
 
     /// Best (delta, confidence×100) for a signature.
     fn predict(&self, sig: u16) -> Option<(i64, u32)> {
-        let e = &self.pt[Self::pt_slot(sig)];
+        let e = self.pt.get(sig as u64)?;
         if e.c_sig == 0 {
             return None;
         }
@@ -128,10 +127,7 @@ impl Spp {
     }
 
     fn filter_hit(&mut self, line: u64) -> bool {
-        let slot = (line as usize) % PF_BITS;
-        let hit = self.filter[slot] == line;
-        self.filter[slot] = line;
-        hit
+        self.filter.probe_insert(line, ())
     }
 }
 
@@ -153,28 +149,24 @@ impl Prefetcher for Spp {
         };
         let page = addr / PAGE_BYTES;
         let offset = ((addr % PAGE_BYTES) / LINE_BYTES) as i64;
-        let slot = (page as usize) % ST_ENTRIES;
 
-        let (mut sig, known) = {
-            let e = &self.st[slot];
-            if e.valid && e.page == page {
-                (e.signature, true)
-            } else {
-                (0u16, false)
-            }
+        let (mut sig, last_offset) = match self.st.get(page) {
+            Some(e) => (e.signature, Some(e.last_offset)),
+            None => (0u16, None),
         };
 
-        if known {
-            let delta = offset - self.st[slot].last_offset;
+        if let Some(last_offset) = last_offset {
+            let delta = offset - last_offset;
             if delta != 0 {
                 self.train(sig, delta);
                 sig = advance_signature(sig, delta);
-                self.st[slot] = StEntry {
+                self.st.insert(
                     page,
-                    last_offset: offset,
-                    signature: sig,
-                    valid: true,
-                };
+                    StEntry {
+                        last_offset: offset,
+                        signature: sig,
+                    },
+                );
                 // Record in the GHR for future page bootstraps.
                 self.ghr[self.ghr_cursor] = GhrEntry {
                     signature: sig,
@@ -195,12 +187,13 @@ impl Prefetcher for Spp {
                 .find(|g| g.valid && (g.last_offset + g.delta).rem_euclid(LINES_PER_PAGE) == offset)
                 .map(|g| advance_signature(g.signature, g.delta));
             sig = boot.unwrap_or(0);
-            self.st[slot] = StEntry {
+            self.st.insert(
                 page,
-                last_offset: offset,
-                signature: sig,
-                valid: true,
-            };
+                StEntry {
+                    last_offset: offset,
+                    signature: sig,
+                },
+            );
             if boot.is_none() {
                 return;
             }

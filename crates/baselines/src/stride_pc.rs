@@ -1,24 +1,25 @@
 //! Classic per-PC stride prefetching (reference point).
 
+use dol_core::table::{DirectTable, Geometry, IndexKind};
 use dol_core::{PrefetchRequest, Prefetcher, RetireInfo, CONF_MONOLITHIC};
 use dol_mem::{CacheLevel, Origin};
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Entry {
-    pc: u64,
     last_addr: u64,
     stride: i64,
     confidence: u8,
-    valid: bool,
 }
 
 /// A reference-prediction-table stride prefetcher keyed by PC
 /// (Chen/Baer style), with 2-bit confidence and configurable degree.
+/// The RPT is a direct-mapped [`DirectTable`] indexed by `pc >> 2`,
+/// exactly the historical `(pc >> 2) % 256` layout.
 #[derive(Debug, Clone)]
 pub struct StridePc {
     origin: Origin,
     dest: CacheLevel,
-    table: Vec<Entry>,
+    table: DirectTable<Entry>,
     degree: u32,
 }
 
@@ -28,7 +29,13 @@ impl StridePc {
         StridePc {
             origin,
             dest,
-            table: vec![Entry::default(); 256],
+            table: DirectTable::new(Geometry {
+                sets: 256,
+                ways: 1,
+                tag_bits: 16,
+                value_bits: 66,
+                index: IndexKind::LowBits { shift: 2 },
+            }),
             degree: 2,
         }
     }
@@ -39,10 +46,6 @@ impl StridePc {
         self.degree = degree;
         self
     }
-
-    fn slot(&self, pc: u64) -> usize {
-        (pc >> 2) as usize % self.table.len()
-    }
 }
 
 impl Prefetcher for StridePc {
@@ -51,7 +54,9 @@ impl Prefetcher for StridePc {
     }
 
     fn storage_bits(&self) -> u64 {
-        self.table.len() as u64 * (16 + 48 + 16 + 2)
+        // Partial-PC tag (16b) + last address (48b) + stride (16b) +
+        // 2-bit confidence per entry.
+        self.table.capacity() as u64 * (16 + 48 + 16 + 2)
     }
 
     fn on_retire(&mut self, ev: &RetireInfo<'_>, out: &mut Vec<PrefetchRequest>) {
@@ -62,18 +67,18 @@ impl Prefetcher for StridePc {
             return;
         };
         let pc = ev.inst.pc;
-        let slot = self.slot(pc);
-        let e = &mut self.table[slot];
-        if !e.valid || e.pc != pc {
-            *e = Entry {
+        let Some(e) = self.table.get_mut(pc) else {
+            // Miss (or aliasing PC): the slot is reallocated to `pc`.
+            self.table.insert(
                 pc,
-                last_addr: addr,
-                stride: 0,
-                confidence: 0,
-                valid: true,
-            };
+                Entry {
+                    last_addr: addr,
+                    stride: 0,
+                    confidence: 0,
+                },
+            );
             return;
-        }
+        };
         let stride = addr.wrapping_sub(e.last_addr) as i64;
         if stride == e.stride && stride != 0 {
             e.confidence = (e.confidence + 1).min(3);

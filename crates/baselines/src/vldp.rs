@@ -5,6 +5,7 @@
 //! that hits wins. An Offset Prediction Table predicts the first delta of
 //! a freshly touched page from its first-access offset.
 
+use dol_core::table::{DirectTable, Geometry};
 use dol_core::{PrefetchRequest, Prefetcher, RetireInfo, CONF_MONOLITHIC};
 use dol_mem::{CacheLevel, Origin, LINE_BYTES};
 
@@ -28,18 +29,9 @@ struct DhbEntry {
 
 #[derive(Debug, Clone, Copy, Default)]
 struct DptEntry {
-    key: u64,
     prediction: i64,
     /// 2-bit accuracy counter.
     accuracy: u8,
-    valid: bool,
-}
-
-#[derive(Debug, Clone, Copy, Default)]
-struct OptEntry {
-    offset: i64,
-    prediction: i64,
-    valid: bool,
 }
 
 /// The VLDP prefetcher (Table II: 3.25 KB — 64-entry DHB, 128-entry DPT
@@ -49,9 +41,12 @@ pub struct Vldp {
     origin: Origin,
     dest: CacheLevel,
     dhb: Vec<DhbEntry>,
-    /// DPT-1, DPT-2, DPT-3 (keyed by 1, 2, 3 most recent deltas).
-    dpt: [Vec<DptEntry>; 3],
-    opt: Vec<OptEntry>,
+    /// DPT-1, DPT-2, DPT-3: direct-mapped by the folded delta-history
+    /// key, tagged by the full key (keyed by 1, 2, 3 most recent
+    /// deltas).
+    dpt: [DirectTable<DptEntry>; 3],
+    /// OPT: direct-mapped and tagged by the first-access offset.
+    opt: DirectTable<i64>,
     clock: u64,
 }
 
@@ -72,20 +67,18 @@ impl Vldp {
             dest,
             dhb: vec![DhbEntry::default(); DHB_ENTRIES],
             dpt: [
-                vec![DptEntry::default(); DPT_ENTRIES],
-                vec![DptEntry::default(); DPT_ENTRIES],
-                vec![DptEntry::default(); DPT_ENTRIES],
+                DirectTable::new(Geometry::direct(DPT_ENTRIES, 12, 9)),
+                DirectTable::new(Geometry::direct(DPT_ENTRIES, 12, 9)),
+                DirectTable::new(Geometry::direct(DPT_ENTRIES, 12, 9)),
             ],
-            opt: vec![OptEntry::default(); OPT_ENTRIES],
+            opt: DirectTable::new(Geometry::direct(OPT_ENTRIES, 6, 7)),
             clock: 0,
         }
     }
 
     fn train_dpt(&mut self, level: usize, history: &[i64], actual: i64) {
         let key = key_of(history);
-        let slot = (key as usize) % DPT_ENTRIES;
-        let e = &mut self.dpt[level][slot];
-        if e.valid && e.key == key {
+        if let Some(e) = self.dpt[level].get_mut(key) {
             if e.prediction == actual {
                 e.accuracy = (e.accuracy + 1).min(3);
             } else {
@@ -95,12 +88,13 @@ impl Vldp {
                 }
             }
         } else {
-            *e = DptEntry {
+            self.dpt[level].insert(
                 key,
-                prediction: actual,
-                accuracy: 1,
-                valid: true,
-            };
+                DptEntry {
+                    prediction: actual,
+                    accuracy: 1,
+                },
+            );
         }
     }
 
@@ -110,10 +104,11 @@ impl Vldp {
         // random delta would fire a degree-4 garbage burst.
         for level in (0..num.min(3)).rev() {
             let key = key_of(&history[..=level]);
-            let e = &self.dpt[level][(key as usize) % DPT_ENTRIES];
             let needed = if level == 0 { 2 } else { 1 };
-            if e.valid && e.key == key && e.accuracy >= needed {
-                return Some(e.prediction);
+            if let Some(e) = self.dpt[level].get(key) {
+                if e.accuracy >= needed {
+                    return Some(e.prediction);
+                }
             }
         }
         None
@@ -159,9 +154,8 @@ impl Prefetcher for Vldp {
                     valid: true,
                     stamp: self.clock,
                 };
-                let opt = &self.opt[(offset as usize) % OPT_ENTRIES];
-                if opt.valid && opt.offset == offset {
-                    let target_off = offset + opt.prediction;
+                if let Some(&prediction) = self.opt.get(offset as u64) {
+                    let target_off = offset + prediction;
                     if (0..LINES_PER_PAGE).contains(&target_off) {
                         let target = page * PAGE_BYTES + target_off as u64 * LINE_BYTES;
                         out.push(PrefetchRequest::new(
@@ -184,12 +178,7 @@ impl Prefetcher for Vldp {
 
         // Train the OPT on the page's first delta.
         if old.num_deltas == 0 {
-            let slot = (old.last_offset as usize) % OPT_ENTRIES;
-            self.opt[slot] = OptEntry {
-                offset: old.last_offset,
-                prediction: delta,
-                valid: true,
-            };
+            self.opt.insert(old.last_offset as u64, delta);
         }
 
         // Train each DPT with the history that preceded this delta.

@@ -2,7 +2,8 @@
 //! memory-controller drop policy, and DESIGN.md's design-choice sweeps
 //! (T2 thresholds, C1 density, mPC keying). Also micro-benchmarks the
 //! simulator itself (instructions simulated per second), since the whole
-//! evaluation methodology rests on it being fast.
+//! evaluation methodology rests on it being fast, and the fixed-geometry
+//! predictor tables against the `HashMap` stores they replaced.
 
 use std::cell::Cell;
 use std::time::Duration;
@@ -95,6 +96,77 @@ fn sparse_memory_writes(c: &mut Criterion) {
     group.finish();
 }
 
+fn table_lookups(c: &mut Criterion) {
+    use dol_core::table::{AssocTable, DirectTable, Geometry};
+    use std::collections::HashMap;
+
+    // The predictor-store access pattern: a hot working set of PCs, each
+    // looked up and occasionally (re)inserted — what SIT labels, C1
+    // decisions and the coordinator's assignment table do per retire.
+    const OPS: u64 = 4096;
+    const PCS: u64 = 512;
+    let keys: Vec<u64> = (0..OPS).map(|i| (i % PCS).wrapping_mul(0x40) | 1).collect();
+
+    let mut group = c.benchmark_group("table");
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(1));
+    group.throughput(criterion::Throughput::Elements(OPS));
+    group.bench_function("direct_table_get_insert", |b| {
+        b.iter(|| {
+            let mut t: DirectTable<u32> = DirectTable::new(Geometry::direct(1024, 16, 32));
+            let mut hits = 0u32;
+            for &k in &keys {
+                match t.get_mut(k) {
+                    Some(v) => {
+                        *v += 1;
+                        hits += 1;
+                    }
+                    None => t.insert(k, 1),
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("assoc_table_get_insert", |b| {
+        b.iter(|| {
+            let mut t: AssocTable<u32> = AssocTable::new(Geometry::assoc(256, 4, 16, 32));
+            let mut hits = 0u32;
+            for &k in &keys {
+                match t.get_mut(k) {
+                    Some(v) => {
+                        *v += 1;
+                        hits += 1;
+                    }
+                    None => {
+                        t.insert(k, 1);
+                    }
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("hashmap_get_insert", |b| {
+        b.iter(|| {
+            let mut t: HashMap<u64, u32> = HashMap::new();
+            let mut hits = 0u32;
+            for &k in &keys {
+                match t.get_mut(&k) {
+                    Some(v) => {
+                        *v += 1;
+                        hits += 1;
+                    }
+                    None => {
+                        t.insert(k, 1);
+                    }
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
 fn benches(c: &mut Criterion) {
     bench_ablation(c, "ablation_drop", ablations::drop_policy);
     bench_ablation(c, "ablation_t2_thresholds", ablations::t2_thresholds);
@@ -104,6 +176,7 @@ fn benches(c: &mut Criterion) {
     bench_ablation(c, "ablation_multi_extra", ablations::multi_extra);
     simulator_throughput(c);
     sparse_memory_writes(c);
+    table_lookups(c);
 }
 
 criterion_group!(ablation_benches, benches);

@@ -11,8 +11,7 @@
 //! full-region prefetches (to L2 — C1's accuracy is lower than T2/P1's,
 //! so the coordinator keeps its lines out of L1).
 
-use std::collections::HashMap;
-
+use crate::table::{DirectTable, Geometry, RecentFilter};
 use crate::{AccessInfo, PrefetchRequest, Prefetcher, RetireInfo, CONF_C1};
 use dol_mem::{line_of, region_of, CacheLevel, Origin, LINE_BYTES, REGION_LINES};
 
@@ -70,6 +69,15 @@ struct Decision {
     last_region: u64,
 }
 
+impl Default for Decision {
+    fn default() -> Self {
+        Decision {
+            dense: false,
+            last_region: u64::MAX,
+        }
+    }
+}
+
 /// The C1 region prefetcher component.
 #[derive(Debug, Clone)]
 pub struct C1 {
@@ -77,11 +85,14 @@ pub struct C1 {
     origin: Origin,
     rm: Vec<RmEntry>,
     im: Vec<Option<ImEntry>>,
-    decided: HashMap<u64, Decision>,
+    /// Per-instruction dense/sparse decisions: a direct-mapped table of
+    /// `decided_entries` slots (the modeled 1 KB of decision state); a
+    /// colliding PC deterministically displaces the old decision.
+    decided: DirectTable<Decision>,
     /// Recently prefetched regions (shared across trigger instructions),
     /// so several dense instructions walking the same region do not
     /// re-issue its lines.
-    recent_regions: std::collections::VecDeque<u64>,
+    recent_regions: RecentFilter,
     clock: u64,
 }
 
@@ -91,8 +102,12 @@ impl C1 {
         C1 {
             rm: Vec::with_capacity(cfg.rm_entries),
             im: vec![None; cfg.im_entries],
-            decided: HashMap::new(),
-            recent_regions: std::collections::VecDeque::with_capacity(16),
+            decided: DirectTable::new(Geometry::direct(
+                cfg.decided_entries.next_power_of_two(),
+                16,
+                2,
+            )),
+            recent_regions: RecentFilter::new(16),
             clock: 0,
             cfg,
             origin,
@@ -106,7 +121,7 @@ impl C1 {
 
     /// Whether `pc` has been decided to access dense regions.
     pub fn is_dense_pc(&self, pc: u64) -> bool {
-        self.decided.get(&pc).map(|d| d.dense).unwrap_or(false)
+        self.decided.get(pc).map(|d| d.dense).unwrap_or(false)
     }
 
     fn im_index_of(&self, pc: u64) -> Option<usize> {
@@ -137,11 +152,6 @@ impl C1 {
     }
 
     fn remember_decision(&mut self, pc: u64, dense: bool) {
-        if self.decided.len() >= self.cfg.decided_entries && !self.decided.contains_key(&pc) {
-            if let Some(&victim) = self.decided.keys().next() {
-                self.decided.remove(&victim);
-            }
-        }
         self.decided.insert(
             pc,
             Decision {
@@ -215,7 +225,7 @@ impl C1 {
         if allow_candidate
             && !access.l1_hit
             && !access.secondary
-            && !self.decided.contains_key(&pc)
+            && !self.decided.contains(pc)
             && self.im_index_of(pc).is_none()
         {
             if let Some(slot) = self.im.iter().position(|e| e.is_none()) {
@@ -234,13 +244,10 @@ impl C1 {
         // Region prefetch for decided-dense instructions, once per region
         // globally (a shared recent-region filter keeps multiple dense
         // instructions in the same region from re-issuing its lines).
-        if let Some(d) = self.decided.get_mut(&pc) {
-            if d.dense && d.last_region != region && !self.recent_regions.contains(&region) {
+        if let Some(d) = self.decided.get_mut(pc) {
+            if d.dense && d.last_region != region && !self.recent_regions.contains(region) {
                 d.last_region = region;
-                if self.recent_regions.len() >= 16 {
-                    self.recent_regions.pop_front();
-                }
-                self.recent_regions.push_back(region);
+                self.recent_regions.push(region);
                 let base_line = region * REGION_LINES;
                 let this_line = line_of(addr);
                 for i in 0..REGION_LINES {

@@ -1,8 +1,7 @@
 //! Compositing existing prefetchers as additional components
 //! (the paper's Sec. IV-E).
 
-use std::collections::HashMap;
-
+use crate::table::{AssocTable, Geometry};
 use crate::{CompletedPrefetch, PrefetchRequest, Prefetcher, RetireInfo};
 use dol_mem::Origin;
 
@@ -33,8 +32,14 @@ struct ExtraGate {
 /// 4. each extra's realized accuracy is measured, and extras whose
 ///    prefetches stop earning hits are suppressed ("expertise can be
 ///    measured"), with periodic re-probing.
-pub struct Composite {
-    base: Box<dyn Prefetcher>,
+///
+/// The base is a type parameter so the per-retire call into the
+/// specialized components is statically dispatched (the built-in TPC
+/// path is the simulator's hottest loop); only the *extras* — the
+/// open-ended registry of monolithic prefetchers — stay behind
+/// `Box<dyn Prefetcher>`.
+pub struct Composite<B: Prefetcher = Box<dyn Prefetcher>> {
+    base: B,
     extras: Vec<(Origin, Box<dyn Prefetcher>)>,
     /// Per-extra accuracy gates (Sec. IV-D, "expertise can be
     /// measured"): the coordinator tracks each extra's realized
@@ -43,34 +48,43 @@ pub struct Composite {
     gates: Vec<ExtraGate>,
     /// Monotone count of memory events seen (gate time base).
     events: u64,
-    /// mPC → extra index assignment.
-    assignment: HashMap<u64, usize>,
+    /// mPC → extra index assignment: a fixed-geometry 4-way
+    /// set-associative table (hashed index, LRU), so the coordinator's
+    /// footprint is bounded at `ASSIGNMENT_ENTRIES` no matter how many
+    /// distinct PCs the program retires.
+    assignment: AssocTable<usize>,
     /// Instructions the base has ever claimed. Claims are *sticky*: once
     /// the base recognizes an instruction, the extras never see it again
     /// — a flickering filter (e.g. while T2 re-confirms a stride after a
     /// stream break) would otherwise feed the extras hole-ridden slices
-    /// of claimed streams, corrupting their pattern tables.
-    sticky_claims: std::collections::HashSet<u64>,
+    /// of claimed streams, corrupting their pattern tables. Bounded the
+    /// same way as `assignment` (an LRU-evicted claim is simply
+    /// re-learned from `claims_pc` on the next retire).
+    sticky_claims: AssocTable<()>,
     rr_cursor: usize,
-    assignment_cap: usize,
     name: String,
 }
 
-impl std::fmt::Debug for Composite {
+impl<B: Prefetcher> std::fmt::Debug for Composite<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Composite")
             .field("name", &self.name)
             .field("extras", &self.extras.len())
-            .field("assignments", &self.assignment.len())
+            .field("assignments", &self.assignment.live())
             .finish()
     }
 }
 
-impl Composite {
+impl<B: Prefetcher> Composite<B> {
+    /// Assignment-table capacity (entries), fixed at construction.
+    pub const ASSIGNMENT_ENTRIES: usize = 16_384;
+    /// Sticky-claim-table capacity (entries), fixed at construction.
+    pub const STICKY_ENTRIES: usize = 65_536;
+
     /// Builds a composite from a base and extra components; each extra
     /// comes with the [`Origin`] its requests carry (for ownership
     /// learning from demand hits).
-    pub fn new(base: Box<dyn Prefetcher>, extras: Vec<(Origin, Box<dyn Prefetcher>)>) -> Self {
+    pub fn new(base: B, extras: Vec<(Origin, Box<dyn Prefetcher>)>) -> Self {
         let mut name = base.name().to_string();
         for (_, e) in &extras {
             name.push('+');
@@ -82,26 +96,26 @@ impl Composite {
             extras,
             gates,
             events: 0,
-            assignment: HashMap::new(),
-            sticky_claims: std::collections::HashSet::new(),
+            assignment: AssocTable::new(Geometry::assoc(Self::ASSIGNMENT_ENTRIES / 4, 4, 16, 4)),
+            sticky_claims: AssocTable::new(Geometry::assoc(Self::STICKY_ENTRIES / 4, 4, 16, 0)),
             rr_cursor: 0,
-            assignment_cap: 16_384,
             name,
         }
     }
 
     /// Convenience: a base plus a single extra component.
-    pub fn with_extra(
-        base: Box<dyn Prefetcher>,
-        origin: Origin,
-        extra: Box<dyn Prefetcher>,
-    ) -> Self {
+    pub fn with_extra(base: B, origin: Origin, extra: Box<dyn Prefetcher>) -> Self {
         Composite::new(base, vec![(origin, extra)])
     }
 
     /// Number of instructions currently assigned to extras.
     pub fn assigned_count(&self) -> usize {
-        self.assignment.len()
+        self.assignment.live()
+    }
+
+    /// Number of sticky claims currently remembered.
+    pub fn sticky_count(&self) -> usize {
+        self.sticky_claims.live()
     }
 
     /// Window after which an extra's accuracy is evaluated.
@@ -129,13 +143,8 @@ impl Composite {
     }
 
     fn assign(&mut self, mpc: u64) -> usize {
-        if let Some(&k) = self.assignment.get(&mpc) {
+        if let Some(&k) = self.assignment.get_mut(mpc).map(|k| &*k) {
             return k;
-        }
-        if self.assignment.len() >= self.assignment_cap {
-            if let Some(&victim) = self.assignment.keys().next() {
-                self.assignment.remove(&victim);
-            }
         }
         let k = self.rr_cursor % self.extras.len();
         self.rr_cursor = self.rr_cursor.wrapping_add(1);
@@ -144,7 +153,7 @@ impl Composite {
     }
 }
 
-impl Prefetcher for Composite {
+impl<B: Prefetcher> Prefetcher for Composite<B> {
     fn name(&self) -> &str {
         &self.name
     }
@@ -167,15 +176,13 @@ impl Prefetcher for Composite {
         }
         // Division of labor: claimed instructions never reach the extras
         // (sticky — see the field documentation).
-        if self.sticky_claims.contains(&ev.mpc) {
+        if self.sticky_claims.contains(ev.mpc) {
             return;
         }
         if self.base.claims_pc(ev.mpc) {
-            if self.sticky_claims.len() < 65_536 {
-                self.sticky_claims.insert(ev.mpc);
-            }
+            self.sticky_claims.insert(ev.mpc, ());
             // Un-assign: the instruction belongs to the base now.
-            self.assignment.remove(&ev.mpc);
+            self.assignment.remove(ev.mpc);
             return;
         }
         // Ownership learning from tagged prefetched lines, which doubles
@@ -206,9 +213,9 @@ impl Prefetcher for Composite {
     }
 
     fn claims_pc(&self, mpc: u64) -> bool {
-        self.sticky_claims.contains(&mpc)
+        self.sticky_claims.contains(mpc)
             || self.base.claims_pc(mpc)
-            || self.assignment.contains_key(&mpc)
+            || self.assignment.contains(mpc)
     }
 }
 
@@ -285,7 +292,7 @@ mod tests {
     }
 
     fn drive(
-        c: &mut Composite,
+        c: &mut Composite<ClaimingBase>,
         pc: u64,
         addr: u64,
         served: Option<Origin>,
@@ -305,7 +312,7 @@ mod tests {
     #[test]
     fn claimed_instructions_never_reach_extras() {
         let mut c = Composite::with_extra(
-            Box::new(ClaimingBase(0x100)),
+            ClaimingBase(0x100),
             Origin(40),
             Box::new(Probe {
                 origin: Origin(40),
@@ -321,7 +328,7 @@ mod tests {
     #[test]
     fn round_robin_distributes_unclaimed_pcs() {
         let mut c = Composite::new(
-            Box::new(ClaimingBase(0)),
+            ClaimingBase(0),
             vec![
                 (
                     Origin(40),
@@ -347,7 +354,7 @@ mod tests {
         assert_eq!(c.assigned_count(), 8);
         // Assignments alternate between the two extras.
         let counts: Vec<usize> = (0..2)
-            .map(|k| c.assignment.values().filter(|v| **v == k).count())
+            .map(|k| c.assignment.iter().filter(|(_, v)| **v == k).count())
             .collect();
         assert_eq!(counts, vec![4, 4]);
     }
@@ -355,7 +362,7 @@ mod tests {
     #[test]
     fn ownership_migrates_to_the_component_that_served_the_hit() {
         let mut c = Composite::new(
-            Box::new(ClaimingBase(0)),
+            ClaimingBase(0),
             vec![
                 (
                     Origin(40),
@@ -375,13 +382,13 @@ mod tests {
         );
         // pc 0x300 initially assigned round-robin (extra 0).
         drive(&mut c, 0x300, 0x8000, None);
-        assert_eq!(c.assignment[&0x300], 0);
+        assert_eq!(c.assignment.peek(0x300), Some(&0));
         // A hit served by extra 1's tagged line migrates ownership.
         drive(&mut c, 0x300, 0x8040, Some(Origin(41)));
-        assert_eq!(c.assignment[&0x300], 1);
+        assert_eq!(c.assignment.peek(0x300), Some(&1));
         // Hits served by unknown origins change nothing.
         drive(&mut c, 0x300, 0x8080, Some(Origin(99)));
-        assert_eq!(c.assignment[&0x300], 1);
+        assert_eq!(c.assignment.peek(0x300), Some(&1));
     }
 
     #[test]
@@ -389,7 +396,7 @@ mod tests {
         // An extra that issues constantly but never earns a hit must be
         // suppressed after the measurement window.
         let mut c = Composite::with_extra(
-            Box::new(ClaimingBase(0)),
+            ClaimingBase(0),
             Origin(40),
             Box::new(Probe {
                 origin: Origin(40),
@@ -413,7 +420,7 @@ mod tests {
     fn useful_extra_stays_active() {
         // An extra whose lines keep serving demand hits is never gated.
         let mut c = Composite::with_extra(
-            Box::new(ClaimingBase(0)),
+            ClaimingBase(0),
             Origin(40),
             Box::new(Probe {
                 origin: Origin(40),
@@ -432,7 +439,7 @@ mod tests {
     #[test]
     fn gated_extra_is_reprobed_after_backoff() {
         let mut c = Composite::with_extra(
-            Box::new(ClaimingBase(0)),
+            ClaimingBase(0),
             Origin(40),
             Box::new(Probe {
                 origin: Origin(40),
@@ -456,9 +463,82 @@ mod tests {
     }
 
     #[test]
+    fn footprint_stays_bounded_under_millions_of_unique_pcs() {
+        // Regression guard for the coordinator's per-PC state: a stream
+        // with far more distinct (never-repeating) PCs than the tables
+        // hold must leave the footprint pinned at the configured
+        // capacities, never growing with the workload.
+        let mut c = Composite::with_extra(
+            ClaimingBase(u64::MAX), // claims nothing reachable
+            Origin(40),
+            Box::new(Probe {
+                origin: Origin(40),
+                seen: Vec::new(),
+            }),
+        );
+        let cap = Composite::<ClaimingBase>::ASSIGNMENT_ENTRIES;
+        for i in 0..2_000_000u64 {
+            // Unique, low-bit-aliasing-hostile PCs.
+            let pc = i.wrapping_mul(0x100_0001) | 1;
+            drive(&mut c, pc, 0x8000 + (i % 1024) * 64, None);
+            assert!(c.assigned_count() <= cap);
+        }
+        assert_eq!(
+            c.assigned_count(),
+            cap,
+            "assignment table must sit exactly at capacity"
+        );
+        assert!(c.sticky_count() <= Composite::<ClaimingBase>::STICKY_ENTRIES);
+    }
+
+    #[test]
+    fn sticky_claims_stay_bounded_under_millions_of_claimed_pcs() {
+        /// A base that claims every pc — worst case for the sticky table.
+        struct ClaimAll;
+        impl Prefetcher for ClaimAll {
+            fn name(&self) -> &str {
+                "claim-all"
+            }
+            fn storage_bits(&self) -> u64 {
+                0
+            }
+            fn on_retire(&mut self, _: &RetireInfo<'_>, _: &mut Vec<PrefetchRequest>) {}
+            fn claims_pc(&self, _: u64) -> bool {
+                true
+            }
+        }
+        let mut c = Composite::with_extra(
+            ClaimAll,
+            Origin(40),
+            Box::new(Probe {
+                origin: Origin(40),
+                seen: Vec::new(),
+            }),
+        );
+        for i in 0..2_000_000u64 {
+            let pc = i.wrapping_mul(0x100_0001) | 1;
+            let (inst, access) = mem_event(pc, 0x8000 + (i % 1024) * 64, None);
+            let ev = RetireInfo {
+                now: 0,
+                inst: &inst,
+                mpc: pc,
+                access: Some(access),
+            };
+            let mut out = Vec::new();
+            c.on_retire(&ev, &mut out);
+        }
+        assert_eq!(
+            c.sticky_count(),
+            Composite::<ClaimAll>::STICKY_ENTRIES,
+            "sticky-claim table must sit exactly at capacity"
+        );
+        assert_eq!(c.assigned_count(), 0);
+    }
+
+    #[test]
     fn name_and_storage_compose() {
         let c = Composite::with_extra(
-            Box::new(ClaimingBase(0)),
+            ClaimingBase(0),
             Origin(40),
             Box::new(Probe {
                 origin: Origin(40),
@@ -498,7 +578,7 @@ mod tests {
             }
         }
         let mut c = Composite::with_extra(
-            Box::new(ClaimingBase(0)),
+            ClaimingBase(0),
             Origin(40),
             Box::new(Completer {
                 origin: Origin(40),

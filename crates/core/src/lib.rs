@@ -77,6 +77,7 @@ mod loop_hw;
 mod p1;
 mod shunt;
 mod sit;
+pub mod table;
 mod tpc;
 
 pub use api::{

@@ -20,9 +20,8 @@
 //!    correction that resets the FSM when the program leaves the
 //!    predicted path.
 
-use std::collections::HashMap;
-
 use crate::sit::{Sit, SitUpdate};
+use crate::table::{AssocTable, Geometry};
 use crate::{PrefetchRequest, RetireInfo, CONF_P1};
 use dol_isa::InstKind;
 use dol_mem::{CacheLevel, Origin};
@@ -89,7 +88,7 @@ struct Investigation {
     self_dep: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct ChainFsm {
     /// Byte offset from a node's value to the next node's address.
     delta: i64,
@@ -111,7 +110,10 @@ pub struct P1 {
     /// Taint bit per logical register.
     taint: u32,
     investigating: Option<Investigation>,
-    chains: HashMap<u64, ChainFsm>,
+    /// Fully-associative LRU table of concurrent chain FSMs
+    /// (`chain_entries` ways in one set — the hardware holds a handful
+    /// of serialized walkers).
+    chains: AssocTable<ChainFsm>,
     /// Confirmed array-of-pointers *target* pcs (the dependent loads).
     aop_targets: Vec<u64>,
     /// `prefetch addr → producer mpc` for outstanding future-pointer
@@ -126,7 +128,7 @@ impl P1 {
             origin,
             taint: 0,
             investigating: None,
-            chains: HashMap::new(),
+            chains: AssocTable::new(Geometry::assoc(1, cfg.chain_entries, 48, 112)),
             aop_targets: Vec::new(),
             pending: Vec::new(),
         }
@@ -141,7 +143,7 @@ impl P1 {
 
     /// Whether P1 has claimed `mpc` as one of its targets.
     pub(crate) fn claims(&self, sit: &Sit, mpc: u64) -> bool {
-        if self.chains.contains_key(&mpc) || self.aop_targets.contains(&mpc) {
+        if self.chains.contains(mpc) || self.aop_targets.contains(&mpc) {
             return true;
         }
         sit.entry(mpc)
@@ -321,17 +323,14 @@ impl P1 {
                     if let Some(e) = sit.entry_mut(mpc) {
                         e.chain_delta = Some(delta);
                     }
-                    self.chains.entry(mpc).or_insert(ChainFsm {
+                    // LRU replacement inside the fixed FSM table.
+                    self.chains.get_or_insert_with(mpc, || ChainFsm {
                         delta,
                         frontier: 0,
                         ahead: 0,
                         waiting: false,
                         misses_in_a_row: 0,
                     });
-                    if self.chains.len() > self.cfg.chain_entries {
-                        let victim = *self.chains.keys().next().expect("non-empty");
-                        self.chains.remove(&victim);
-                    }
                     self.investigating = None;
                     return;
                 }
@@ -357,7 +356,7 @@ impl P1 {
         value: u64,
         out: &mut Vec<PrefetchRequest>,
     ) {
-        let Some(fsm) = self.chains.get_mut(&mpc) else {
+        let Some(fsm) = self.chains.get_mut(mpc) else {
             self.chains.insert(
                 mpc,
                 ChainFsm {
@@ -424,7 +423,7 @@ impl P1 {
         let (_, mpc) = self.pending.remove(pos);
 
         // Chain continuation: the value is the next node pointer.
-        if let Some(fsm) = self.chains.get_mut(&mpc) {
+        if let Some(fsm) = self.chains.get_mut(mpc) {
             fsm.waiting = false;
             fsm.ahead += 1;
             if fsm.ahead < self.cfg.chain_depth {
@@ -466,7 +465,7 @@ impl P1 {
     /// Number of active chain FSMs (test observability).
     #[allow(dead_code)]
     pub(crate) fn chain_count(&self) -> usize {
-        self.chains.len()
+        self.chains.live()
     }
 }
 

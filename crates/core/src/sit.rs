@@ -13,7 +13,7 @@
 //! confirmed pointer-chain offset (`chain_delta`, the constant between
 //! one iteration's value and the next iteration's address).
 
-use std::collections::HashMap;
+use crate::table::{DirectTable, Geometry};
 
 /// The four-state label a memory instruction carries in the I-cache
 /// state bits.
@@ -133,17 +133,24 @@ pub struct SitUpdate {
 pub struct Sit {
     cfg: SitConfig,
     entries: Vec<SitEntry>,
-    labels: HashMap<u64, InstLabel>,
+    labels: DirectTable<InstLabel>,
     clock: u64,
 }
 
 impl Sit {
     /// Creates an empty table.
     pub fn new(cfg: SitConfig) -> Self {
+        // The label store models the I-cache state bits: direct-mapped
+        // on the low PC bits, 2 bits of label per instruction. A
+        // colliding PC displaces the old instruction, whose state bits
+        // reset to Unknown — like an I-cache line replacement. The tag
+        // keeps aliasing PCs from reading each other's label; its cost
+        // is the I-cache's own tag, so `storage_bits` stays 2b/entry.
+        let label_geom = Geometry::direct(cfg.label_entries.next_power_of_two(), 16, 2);
         Sit {
             cfg,
             entries: Vec::with_capacity(cfg.entries),
-            labels: HashMap::new(),
+            labels: DirectTable::new(label_geom),
             clock: 0,
         }
     }
@@ -164,19 +171,13 @@ impl Sit {
 
     /// The label of instruction `pc`.
     pub fn label(&self, pc: u64) -> InstLabel {
-        self.labels.get(&pc).copied().unwrap_or(InstLabel::Unknown)
+        self.labels.get(pc).copied().unwrap_or(InstLabel::Unknown)
     }
 
-    /// Sets the label of instruction `pc`. Models finite I-cache state
-    /// bits by forgetting an arbitrary entry when full.
+    /// Sets the label of instruction `pc`. The store is direct-mapped,
+    /// so a colliding instruction's state bits reset to Unknown — the
+    /// finite-I-cache-state behavior, now with deterministic victims.
     pub fn set_label(&mut self, pc: u64, label: InstLabel) {
-        if self.labels.len() >= self.cfg.label_entries && !self.labels.contains_key(&pc) {
-            // The I-cache line holding some old instruction was replaced;
-            // its state bits reset to Unknown.
-            if let Some(&victim) = self.labels.keys().next() {
-                self.labels.remove(&victim);
-            }
-        }
         self.labels.insert(pc, label);
     }
 

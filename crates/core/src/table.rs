@@ -1,0 +1,620 @@
+//! Fixed-geometry hardware tables for predictor state.
+//!
+//! The paper models every TPC structure as a small fixed-capacity SRAM
+//! (64-entry SIT, 16-entry monitors, finite chain FSMs). This module is
+//! the single table abstraction all predictor stores are built on, so
+//! geometry (entries, ways, tag bits) and replacement are explicit and
+//! `storage_bits()` is derived from the constructor parameters rather
+//! than from whatever a `HashMap` happened to grow to.
+//!
+//! Two variants cover every use in the tree:
+//!
+//! * [`DirectTable`] — direct-mapped (one way per set). With
+//!   `tag_bits = 0` the table is *untagged*: a lookup returns whatever
+//!   occupies the indexed slot, which is exactly how SPP's pattern
+//!   table behaves.
+//! * [`AssocTable`] — N-way set-associative with LRU replacement via
+//!   monotonic age stamps.
+//!
+//! Plus [`RecentFilter`], a tiny FIFO ring used for "have I touched
+//! this recently" checks (C1's recent-region suppression).
+//!
+//! Indexing is either the low bits of a (optionally shifted) key —
+//! reproducing the historical `key % N` layout bit-for-bit for
+//! power-of-two `N` — or a single-multiply Fibonacci hash
+//! ([`fast_hash`]) when the key space is adversarial (the coordinator's
+//! per-PC ownership map). Replacement is deterministic in both modes;
+//! nothing here depends on process-random hash seeds.
+
+/// Single-multiply Fibonacci hash: one `u64` multiply by
+/// 2^64 / phi, odd-ized. Top bits are well mixed, so set indices are
+/// taken from the high end of the product.
+#[inline(always)]
+pub fn fast_hash(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// How a key is folded into a set index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// `index = (key >> shift) & (sets - 1)`. With `shift = 0` this is
+    /// the classic `key % sets` for power-of-two `sets`; baselines that
+    /// historically indexed with `(pc >> 2) % N` use `shift = 2`.
+    LowBits {
+        /// Right shift applied to the key before masking.
+        shift: u32,
+    },
+    /// `index = fast_hash(key) >> (64 - log2(sets))` — single multiply,
+    /// high bits. Use when keys may alias badly in their low bits.
+    Hashed,
+}
+
+/// Table geometry: everything `storage_bits()` needs, fixed at
+/// construction.
+#[derive(Debug, Clone, Copy)]
+pub struct Geometry {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Ways per set (`1` for direct-mapped).
+    pub ways: usize,
+    /// Width of the stored tag fingerprint in bits (`0` = untagged).
+    pub tag_bits: u32,
+    /// Accounting width of the payload in bits.
+    pub value_bits: u32,
+    /// Key-to-set mapping.
+    pub index: IndexKind,
+}
+
+impl Geometry {
+    /// Direct-mapped geometry with `LowBits { shift: 0 }` indexing.
+    pub fn direct(sets: usize, tag_bits: u32, value_bits: u32) -> Self {
+        Geometry {
+            sets,
+            ways: 1,
+            tag_bits,
+            value_bits,
+            index: IndexKind::LowBits { shift: 0 },
+        }
+    }
+
+    /// Set-associative geometry with hashed indexing.
+    pub fn assoc(sets: usize, ways: usize, tag_bits: u32, value_bits: u32) -> Self {
+        Geometry {
+            sets,
+            ways,
+            tag_bits,
+            value_bits,
+            index: IndexKind::Hashed,
+        }
+    }
+
+    /// Total entries (`sets * ways`).
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Modeled SRAM cost in bits: per entry, a valid bit, the tag
+    /// fingerprint, the payload, and (for associative tables) a
+    /// log2(ways) recency field per way. Derived purely from geometry —
+    /// workload-invariant by construction.
+    pub fn storage_bits(&self) -> u64 {
+        let lru_bits = if self.ways > 1 {
+            (self.ways as u64 - 1).max(1).ilog2() as u64 + 1
+        } else {
+            0
+        };
+        self.entries() as u64 * (1 + self.tag_bits as u64 + self.value_bits as u64 + lru_bits)
+    }
+
+    fn assert_valid(&self) {
+        assert!(
+            self.sets.is_power_of_two(),
+            "table sets must be a power of two"
+        );
+        assert!(self.ways >= 1, "table needs at least one way");
+    }
+
+    #[inline(always)]
+    fn set_of(&self, key: u64) -> usize {
+        match self.index {
+            IndexKind::LowBits { shift } => ((key >> shift) as usize) & (self.sets - 1),
+            IndexKind::Hashed if self.sets == 1 => 0,
+            IndexKind::Hashed => (fast_hash(key) >> (64 - self.sets.trailing_zeros())) as usize,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    tag: u64,
+    valid: bool,
+    stamp: u64,
+    value: V,
+}
+
+/// Direct-mapped fixed-geometry table.
+///
+/// Tags store the full key (the `tag_bits` field is the *accounting*
+/// width of the hardware fingerprint; matching uses the whole key so
+/// software behavior is exact). With `tag_bits = 0` the table is
+/// untagged: lookups return the indexed slot unconditionally once it
+/// has been written.
+#[derive(Debug, Clone)]
+pub struct DirectTable<V> {
+    geom: Geometry,
+    slots: Vec<Slot<V>>,
+    live: usize,
+}
+
+impl<V: Default + Clone> DirectTable<V> {
+    /// Allocates the table; all slots start invalid with `V::default()`.
+    pub fn new(geom: Geometry) -> Self {
+        let mut geom = geom;
+        geom.ways = 1;
+        geom.assert_valid();
+        let slots = vec![
+            Slot {
+                tag: 0,
+                valid: false,
+                stamp: 0,
+                value: V::default()
+            };
+            geom.sets
+        ];
+        DirectTable {
+            geom,
+            slots,
+            live: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn matches(&self, slot: &Slot<V>, key: u64) -> bool {
+        slot.valid && (self.geom.tag_bits == 0 || slot.tag == key)
+    }
+
+    /// Tagged lookup.
+    #[inline(always)]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let s = &self.slots[self.geom.set_of(key)];
+        if self.matches(s, key) {
+            Some(&s.value)
+        } else {
+            None
+        }
+    }
+
+    /// Tagged mutable lookup.
+    #[inline(always)]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let idx = self.geom.set_of(key);
+        if self.matches(&self.slots[idx], key) {
+            Some(&mut self.slots[idx].value)
+        } else {
+            None
+        }
+    }
+
+    /// `true` if `key` currently hits.
+    #[inline(always)]
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Writes `key -> value`, displacing whatever occupied the slot.
+    #[inline(always)]
+    pub fn insert(&mut self, key: u64, value: V) {
+        let idx = self.geom.set_of(key);
+        let s = &mut self.slots[idx];
+        if !s.valid {
+            self.live += 1;
+        }
+        s.tag = key;
+        s.valid = true;
+        s.value = value;
+    }
+
+    /// Checks for a hit, then unconditionally writes `key` into the
+    /// slot. Returns whether the probe hit *before* the write — the
+    /// recent-request-table idiom (BOP RR, SPP's prefetch filter).
+    #[inline(always)]
+    pub fn probe_insert(&mut self, key: u64, value: V) -> bool {
+        let hit = self.contains(key);
+        self.insert(key, value);
+        hit
+    }
+
+    /// Invalidates `key`'s slot on a hit; returns whether it hit.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let idx = self.geom.set_of(key);
+        if self.matches(&self.slots[idx], key) {
+            self.slots[idx].valid = false;
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Mutable access to the indexed slot regardless of tag — the
+    /// untagged-table access path (SPP's pattern table). Marks the slot
+    /// live and retags it.
+    #[inline(always)]
+    pub fn slot_mut(&mut self, key: u64) -> &mut V {
+        let idx = self.geom.set_of(key);
+        let s = &mut self.slots[idx];
+        if !s.valid {
+            self.live += 1;
+        }
+        s.valid = true;
+        s.tag = key;
+        &mut s.value
+    }
+
+    /// Number of live (valid) slots.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.geom.sets
+    }
+
+    /// Iterates live `(key, value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.slots
+            .iter()
+            .filter(|s| s.valid)
+            .map(|s| (s.tag, &s.value))
+    }
+
+    /// Invalidates every slot.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            s.valid = false;
+        }
+        self.live = 0;
+    }
+
+    /// Modeled SRAM cost (geometry-derived, workload-invariant).
+    pub fn storage_bits(&self) -> u64 {
+        self.geom.storage_bits()
+    }
+}
+
+/// N-way set-associative fixed-geometry table with LRU replacement.
+///
+/// Age is a monotonic stamp bumped on every touching access; the
+/// victim is the invalid way if any, else the least-recently-stamped.
+#[derive(Debug, Clone)]
+pub struct AssocTable<V> {
+    geom: Geometry,
+    slots: Vec<Slot<V>>,
+    clock: u64,
+    live: usize,
+}
+
+impl<V: Default + Clone> AssocTable<V> {
+    /// Allocates the table; all ways start invalid.
+    pub fn new(geom: Geometry) -> Self {
+        geom.assert_valid();
+        let slots = vec![
+            Slot {
+                tag: 0,
+                valid: false,
+                stamp: 0,
+                value: V::default()
+            };
+            geom.entries()
+        ];
+        AssocTable {
+            geom,
+            slots,
+            clock: 0,
+            live: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn set_range(&self, key: u64) -> std::ops::Range<usize> {
+        let base = self.geom.set_of(key) * self.geom.ways;
+        base..base + self.geom.ways
+    }
+
+    /// Read-only lookup (does not refresh recency).
+    #[inline(always)]
+    pub fn peek(&self, key: u64) -> Option<&V> {
+        let r = self.set_range(key);
+        self.slots[r]
+            .iter()
+            .find(|s| s.valid && s.tag == key)
+            .map(|s| &s.value)
+    }
+
+    /// Mutable lookup; refreshes the entry's LRU stamp on a hit.
+    #[inline(always)]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        self.clock += 1;
+        let clock = self.clock;
+        let r = self.set_range(key);
+        self.slots[r]
+            .iter_mut()
+            .find(|s| s.valid && s.tag == key)
+            .map(|s| {
+                s.stamp = clock;
+                &mut s.value
+            })
+    }
+
+    /// `true` if `key` currently hits.
+    #[inline(always)]
+    pub fn contains(&self, key: u64) -> bool {
+        self.peek(key).is_some()
+    }
+
+    /// Inserts `key -> value`, touching LRU state. Returns the evicted
+    /// `(key, value)` pair when a valid victim is displaced.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<(u64, V)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let r = self.set_range(key);
+        // Hit: overwrite in place.
+        if let Some(s) = self.slots[r.clone()]
+            .iter_mut()
+            .find(|s| s.valid && s.tag == key)
+        {
+            s.stamp = clock;
+            s.value = value;
+            return None;
+        }
+        // Miss: fill an invalid way, else evict LRU.
+        let victim = match self.slots[r.clone()].iter().position(|s| !s.valid) {
+            Some(off) => r.start + off,
+            None => {
+                let off = self.slots[r.clone()]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.stamp)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                r.start + off
+            }
+        };
+        let s = &mut self.slots[victim];
+        let evicted = if s.valid {
+            Some((s.tag, std::mem::take(&mut s.value)))
+        } else {
+            self.live += 1;
+            None
+        };
+        s.tag = key;
+        s.valid = true;
+        s.stamp = clock;
+        s.value = value;
+        evicted
+    }
+
+    /// Looks up `key`, inserting `default()` (with LRU eviction) on a
+    /// miss. The `HashMap::entry(..).or_insert_with(..)` idiom.
+    pub fn get_or_insert_with(&mut self, key: u64, default: impl FnOnce() -> V) -> &mut V {
+        if self.contains(key) {
+            return self.get_mut(key).expect("key just hit");
+        }
+        self.insert(key, default());
+        self.get_mut(key).expect("key just inserted")
+    }
+
+    /// Invalidates `key` on a hit; returns whether it hit.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let r = self.set_range(key);
+        if let Some(s) = self.slots[r].iter_mut().find(|s| s.valid && s.tag == key) {
+            s.valid = false;
+            s.value = V::default();
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of live entries.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total entry count (`sets * ways`).
+    pub fn capacity(&self) -> usize {
+        self.geom.entries()
+    }
+
+    /// Iterates live `(key, value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.slots
+            .iter()
+            .filter(|s| s.valid)
+            .map(|s| (s.tag, &s.value))
+    }
+
+    /// Invalidates every entry.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            s.valid = false;
+            s.value = V::default();
+        }
+        self.live = 0;
+    }
+
+    /// Modeled SRAM cost (geometry-derived, workload-invariant).
+    pub fn storage_bits(&self) -> u64 {
+        self.geom.storage_bits()
+    }
+}
+
+/// Small FIFO ring answering "was this key seen in the last N?".
+/// Fixed capacity, linear membership scan — the hardware shape of
+/// C1's recent-region suppression filter.
+#[derive(Debug, Clone)]
+pub struct RecentFilter {
+    ring: Vec<u64>,
+    head: usize,
+    len: usize,
+}
+
+impl RecentFilter {
+    /// Allocates an N-entry filter.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        RecentFilter {
+            ring: vec![0; capacity],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// `true` if `key` is among the last `capacity` pushes.
+    #[inline(always)]
+    pub fn contains(&self, key: u64) -> bool {
+        self.ring[..self.len].contains(&key)
+    }
+
+    /// Records `key`, displacing the oldest entry once full.
+    #[inline(always)]
+    pub fn push(&mut self, key: u64) {
+        self.ring[self.head] = key;
+        self.head = (self.head + 1) % self.ring.len();
+        self.len = (self.len + 1).min(self.ring.len());
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Modeled SRAM cost assuming `key_bits` per entry.
+    pub fn storage_bits(&self, key_bits: u32) -> u64 {
+        self.ring.len() as u64 * key_bits as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_bits_index_matches_modulo() {
+        let g = Geometry::direct(256, 16, 8);
+        for key in [0u64, 1, 255, 256, 511, 0xdead_beef] {
+            assert_eq!(g.set_of(key), (key % 256) as usize);
+        }
+        let g2 = Geometry {
+            index: IndexKind::LowBits { shift: 2 },
+            ..Geometry::direct(256, 16, 8)
+        };
+        for key in [0u64, 4, 0x104, 0xfff0] {
+            assert_eq!(g2.set_of(key), ((key >> 2) % 256) as usize);
+        }
+    }
+
+    #[test]
+    fn direct_table_alias_displaces() {
+        let mut t: DirectTable<u32> = DirectTable::new(Geometry::direct(4, 16, 32));
+        t.insert(1, 10);
+        t.insert(5, 50); // aliases slot 1
+        assert_eq!(t.get(5), Some(&50));
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.live(), 1);
+        assert!(t.remove(5));
+        assert!(!t.remove(5));
+        assert_eq!(t.live(), 0);
+    }
+
+    #[test]
+    fn untagged_direct_table_always_hits_indexed_slot() {
+        let mut t: DirectTable<u32> = DirectTable::new(Geometry::direct(4, 0, 32));
+        *t.slot_mut(1) = 10;
+        // key 5 aliases slot 1 and, untagged, reads whatever is there.
+        assert_eq!(t.get(5), Some(&10));
+        assert_eq!(t.get(2), None); // slot 2 never written
+    }
+
+    #[test]
+    fn probe_insert_reports_prior_hit() {
+        let mut t: DirectTable<()> = DirectTable::new(Geometry::direct(8, 16, 0));
+        assert!(!t.probe_insert(3, ()));
+        assert!(t.probe_insert(3, ()));
+        assert!(!t.probe_insert(11, ())); // aliases slot 3, displaces
+        assert!(!t.probe_insert(3, ()));
+    }
+
+    #[test]
+    fn assoc_table_lru_evicts_oldest() {
+        // One set, two ways: pure LRU.
+        let mut t: AssocTable<u32> = AssocTable::new(Geometry::assoc(1, 2, 16, 32));
+        assert_eq!(t.insert(1, 10), None);
+        assert_eq!(t.insert(2, 20), None);
+        t.get_mut(1); // refresh 1 => 2 is LRU
+        assert_eq!(t.insert(3, 30), Some((2, 20)));
+        assert!(t.contains(1) && t.contains(3) && !t.contains(2));
+        assert_eq!(t.live(), 2);
+    }
+
+    #[test]
+    fn assoc_table_bounded_under_adversarial_keys() {
+        let mut t: AssocTable<u64> = AssocTable::new(Geometry::assoc(64, 4, 16, 16));
+        for k in 0..100_000u64 {
+            t.insert(k.wrapping_mul(0x10001) | 1, k);
+        }
+        assert_eq!(t.live(), t.capacity());
+    }
+
+    #[test]
+    fn get_or_insert_with_matches_entry_semantics() {
+        let mut t: AssocTable<u32> = AssocTable::new(Geometry::assoc(1, 2, 16, 32));
+        *t.get_or_insert_with(7, || 70) += 1;
+        assert_eq!(t.peek(7), Some(&71));
+        assert_eq!(*t.get_or_insert_with(7, || 0), 71);
+    }
+
+    #[test]
+    fn storage_bits_is_geometry_only() {
+        let g = Geometry::assoc(64, 4, 16, 16);
+        let mut t: AssocTable<u64> = AssocTable::new(g);
+        let before = t.storage_bits();
+        assert_eq!(before, g.storage_bits());
+        for k in 0..10_000u64 {
+            t.insert(k, k);
+        }
+        assert_eq!(t.storage_bits(), before);
+        // 256 entries * (1 valid + 16 tag + 16 value + 2 lru)
+        assert_eq!(before, 256 * (1 + 16 + 16 + 2));
+    }
+
+    #[test]
+    fn recent_filter_fifo_semantics() {
+        let mut f = RecentFilter::new(2);
+        assert!(f.is_empty());
+        f.push(1);
+        f.push(2);
+        assert!(f.contains(1) && f.contains(2));
+        f.push(3); // displaces 1
+        assert!(!f.contains(1));
+        assert!(f.contains(2) && f.contains(3));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn hashed_index_spreads_low_bit_aliases() {
+        let g = Geometry::assoc(256, 1, 16, 8);
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..256u64 {
+            seen.insert(g.set_of(k << 12)); // keys identical in low 12 bits
+        }
+        assert!(seen.len() > 64, "hashed index should spread stride keys");
+    }
+}

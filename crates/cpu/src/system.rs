@@ -163,19 +163,23 @@ impl System {
     /// Runs one workload on a single core with the given prefetcher,
     /// discarding metric events. Use [`run_with_sink`](Self::run_with_sink)
     /// to observe them.
-    pub fn run(&self, workload: &Workload, prefetcher: &mut dyn Prefetcher) -> RunResult {
+    pub fn run<P: Prefetcher + ?Sized>(
+        &self,
+        workload: &Workload,
+        prefetcher: &mut P,
+    ) -> RunResult {
         self.run_with_sink(workload, prefetcher, &mut NullSink)
     }
 
     /// Runs one workload on a single core, streaming metric events into
     /// `sink` as the simulation progresses.
-    pub fn run_with_sink(
+    pub fn run_with_sink<P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
         &self,
         workload: &Workload,
-        prefetcher: &mut dyn Prefetcher,
-        sink: &mut dyn EventSink,
+        prefetcher: &mut P,
+        sink: &mut S,
     ) -> RunResult {
-        let mut prefetchers: [&mut dyn Prefetcher; 1] = [prefetcher];
+        let mut prefetchers: [&mut P; 1] = [prefetcher];
         let multi = self.run_inner(std::slice::from_ref(workload), &mut prefetchers, sink);
         let (cycles, instructions) = multi.cores[0];
         RunResult {
@@ -213,11 +217,11 @@ impl System {
         self.run_inner(workloads, prefetchers, sink)
     }
 
-    fn run_inner(
+    fn run_inner<P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
         &self,
         workloads: &[Workload],
-        prefetchers: &mut [&mut dyn Prefetcher],
-        sink: &mut dyn EventSink,
+        prefetchers: &mut [&mut P],
+        sink: &mut S,
     ) -> MultiRunResult {
         assert_eq!(
             workloads.len(),
@@ -247,7 +251,7 @@ impl System {
             self.step_inst(
                 i,
                 &mut cores[i],
-                prefetchers[i],
+                &mut *prefetchers[i],
                 &mut mem,
                 &mut out_buf,
                 sink,
@@ -272,14 +276,14 @@ impl System {
         addr.wrapping_add((core as u64) << CORE_SPACE_SHIFT)
     }
 
-    fn deliver_pending(
+    fn deliver_pending<P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
         &self,
         core_idx: usize,
         c: &mut CoreRt<'_>,
-        prefetcher: &mut dyn Prefetcher,
+        prefetcher: &mut P,
         mem: &mut MemorySystem,
         out: &mut Vec<PrefetchRequest>,
-        sink: &mut dyn EventSink,
+        sink: &mut S,
     ) {
         while let Some(&Reverse((t, addr, origin))) = c.pending.peek() {
             if t > c.dispatch {
@@ -301,20 +305,20 @@ impl System {
         }
     }
 
-    fn issue_requests(
+    fn issue_requests<S: EventSink + ?Sized>(
         &self,
         core_idx: usize,
         c: &mut CoreRt<'_>,
         requests: &[PrefetchRequest],
         now: u64,
         mem: &mut MemorySystem,
-        sink: &mut dyn EventSink,
+        sink: &mut S,
     ) {
         self.issue_requests_attempt(core_idx, c, requests, now, mem, 0, sink);
     }
 
     #[allow(clippy::too_many_arguments)] // internal helper threading the run context
-    fn issue_requests_attempt(
+    fn issue_requests_attempt<S: EventSink + ?Sized>(
         &self,
         core_idx: usize,
         c: &mut CoreRt<'_>,
@@ -322,7 +326,7 @@ impl System {
         now: u64,
         mem: &mut MemorySystem,
         attempt: u8,
-        sink: &mut dyn EventSink,
+        sink: &mut S,
     ) {
         for req in requests {
             let dest = match &self.cfg.dest_policy {
@@ -364,12 +368,12 @@ impl System {
         }
     }
 
-    fn drain_retries(
+    fn drain_retries<S: EventSink + ?Sized>(
         &self,
         core_idx: usize,
         c: &mut CoreRt<'_>,
         mem: &mut MemorySystem,
-        sink: &mut dyn EventSink,
+        sink: &mut S,
     ) {
         if c.retries.is_empty() {
             return;
@@ -389,14 +393,14 @@ impl System {
         }
     }
 
-    fn step_inst(
+    fn step_inst<P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
         &self,
         core_idx: usize,
         c: &mut CoreRt<'_>,
-        prefetcher: &mut dyn Prefetcher,
+        prefetcher: &mut P,
         mem: &mut MemorySystem,
         out: &mut Vec<PrefetchRequest>,
-        sink: &mut dyn EventSink,
+        sink: &mut S,
     ) {
         let cfg = &self.cfg.core;
         self.deliver_pending(core_idx, c, prefetcher, mem, out, sink);

@@ -98,7 +98,7 @@ fn cmd_run(a: Args) {
         std::process::exit(2);
     };
     let mut sm = StreamingMetrics::new();
-    let r = sys.run_with_sink(&w, p.as_mut(), &mut sm);
+    let r = sys.run_with_sink(&w, &mut p, &mut sm);
     let fp = base_sm.footprint(CacheLevel::L1);
     let pfp = sm.prefetched_lines_all();
     let acc = sm.accuracy_at(CacheLevel::L1, None);
@@ -150,7 +150,7 @@ fn cmd_compare(a: Args) {
     for cfg in prefetchers::COMPARISON_SET {
         let mut p = prefetchers::build(cfg).expect("known config");
         let mut sm = StreamingMetrics::new();
-        let r = sys.run_with_sink(&w, p.as_mut(), &mut sm);
+        let r = sys.run_with_sink(&w, &mut p, &mut sm);
         let acc = sm.accuracy_at(CacheLevel::L1, None);
         t.row(vec![
             cfg.to_string(),

@@ -100,10 +100,15 @@ fn main() {
         let insts_before = dol_cpu::telemetry::simulated_instructions();
         let t0 = Instant::now();
         let report = run(&plan);
+        let sim_insts = dol_cpu::telemetry::simulated_instructions() - insts_before;
         bench.drivers.push(DriverBench {
             id,
             wall_s: t0.elapsed().as_secs_f64(),
-            sim_insts: dol_cpu::telemetry::simulated_instructions() - insts_before,
+            sim_insts,
+            // A zero instruction delta means the driver was served
+            // entirely from the memoized run caches; keep it out of the
+            // throughput denominator.
+            cached: sim_insts == 0,
         });
         println!("{}", report.render());
         deviations += report.deviations();

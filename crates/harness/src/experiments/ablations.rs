@@ -240,7 +240,7 @@ pub fn multi_extra(plan: &RunPlan) -> Report {
                     (origin, p)
                 })
                 .collect();
-            let mut c = Composite::new(Box::new(Tpc::full()), extras);
+            let mut c = Composite::new(Tpc::full(), extras);
             crate::runner::run_with(&base, &mut c, &sys).cycles
         };
         let sh = {

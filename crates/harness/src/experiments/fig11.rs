@@ -66,13 +66,11 @@ fn mix_speedups(plan: &RunPlan) -> Vec<f64> {
             .map(|m| captured[m.name].result.ipc())
             .collect();
         let ws_of = |cfg: &str| -> f64 {
-            let mut ps: Vec<Box<dyn Prefetcher>> = (0..4)
+            let mut ps: Vec<prefetchers::Built> = (0..4)
                 .map(|_| prefetchers::build(cfg).expect("known config"))
                 .collect();
-            let mut refs: Vec<&mut dyn Prefetcher> = ps
-                .iter_mut()
-                .map(|p| p.as_mut() as &mut dyn Prefetcher)
-                .collect();
+            let mut refs: Vec<&mut dyn Prefetcher> =
+                ps.iter_mut().map(|p| p as &mut dyn Prefetcher).collect();
             let r = sys4.run_multi(&members, &mut refs);
             weighted_speedup(&r.ipcs(), &alone)
         };

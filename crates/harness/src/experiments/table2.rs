@@ -1,5 +1,6 @@
 //! Table II — storage cost of the evaluated prefetchers.
 
+use dol_core::Prefetcher;
 use dol_metrics::TextTable;
 
 use crate::bands::Expectation;

@@ -228,7 +228,7 @@ impl AppRun {
     ) -> Self {
         let mut p = prefetchers::build(config)
             .unwrap_or_else(|| panic!("unknown prefetcher config {config}"));
-        let result = sys.run_with_sink(&base.workload, p.as_mut(), &mut metrics);
+        let result = sys.run_with_sink(&base.workload, &mut p, &mut metrics);
         AppRun {
             config: config.to_string(),
             result,

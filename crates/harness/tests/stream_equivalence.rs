@@ -80,8 +80,8 @@ fn check_app(app: &str) {
     let mut sm = StreamingMetrics::new()
         .with_classifier(std::sync::Arc::new(classifier.clone()))
         .with_region(region.clone());
-    sys.run_with_sink(&workload, p1.as_mut(), &mut sink);
-    sys.run_with_sink(&workload, p2.as_mut(), &mut sm);
+    sys.run_with_sink(&workload, &mut p1, &mut sink);
+    sys.run_with_sink(&workload, &mut p2, &mut sm);
     let events: &[MemEvent] = &sink.events;
 
     // Whole-prefetcher and single-origin accuracy at every level.

@@ -41,6 +41,30 @@ fn report_renders_identically_serial_vs_parallel() {
     assert_eq!(serial.table, parallel.table);
 }
 
+/// The full CI artifact, not just one driver: `run_all --smoke` must
+/// print byte-identical tables for any `--jobs` value (the table
+/// replacement policies are deterministic; nothing may depend on worker
+/// interleaving or process-random hash seeds).
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "spawns two full smoke runs; run under --release"
+)]
+fn run_all_output_is_byte_identical_for_any_jobs() {
+    let exe = env!("CARGO_BIN_EXE_run_all");
+    let run = |jobs: &str| {
+        let out = std::process::Command::new(exe)
+            .args(["--smoke", "--jobs", jobs])
+            .output()
+            .expect("run_all spawns");
+        assert!(out.status.success(), "run_all --jobs {jobs} failed");
+        out.stdout
+    };
+    let serial = run("1");
+    let parallel = run("4");
+    assert_eq!(serial, parallel, "run_all stdout must not depend on --jobs");
+}
+
 #[test]
 fn smoke_plan_caps_the_scan() {
     let apps = matrix::scan_spec21(

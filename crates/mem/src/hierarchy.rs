@@ -139,28 +139,28 @@ impl MemorySystem {
 
     /// A demand load or store from `core` to byte address `addr` at cycle
     /// `now`; `pc` identifies the instruction for miss events.
-    pub fn demand_access(
+    pub fn demand_access<S: EventSink + ?Sized>(
         &mut self,
         core: usize,
         addr: u64,
         is_write: bool,
         now: u64,
         pc: u64,
-        sink: &mut dyn EventSink,
+        sink: &mut S,
     ) -> DemandOutcome {
         let out = self.demand_access_inner(core, addr, is_write, now, pc, sink);
         self.stats[core].latency_sum += out.latency;
         out
     }
 
-    fn demand_access_inner(
+    fn demand_access_inner<S: EventSink + ?Sized>(
         &mut self,
         core: usize,
         addr: u64,
         is_write: bool,
         now: u64,
         pc: u64,
-        sink: &mut dyn EventSink,
+        sink: &mut S,
     ) -> DemandOutcome {
         let line = line_of(addr);
         self.stats[core].accesses += 1;
@@ -334,14 +334,14 @@ impl MemorySystem {
 
     /// Looks up L3 (then DRAM) starting at cycle `t`; returns data-ready
     /// time and fills L3 on a DRAM fetch.
-    fn fetch_from_l3(
+    fn fetch_from_l3<S: EventSink + ?Sized>(
         &mut self,
         core: usize,
         line: u64,
         t: u64,
         is_prefetch: bool,
         confidence: u8,
-        sink: &mut dyn EventSink,
+        sink: &mut S,
     ) -> u64 {
         let t = t + self.cfg.l3.latency;
         match self.l3.demand_access(line, t, false) {
@@ -403,14 +403,14 @@ impl MemorySystem {
     }
 
     /// Fills `line` into one cache level, handling the victim.
-    fn fill_level(
+    fn fill_level<S: EventSink + ?Sized>(
         &mut self,
         core: usize,
         level: CacheLevel,
         line: u64,
         ready_at: u64,
         origin: Option<Origin>,
-        sink: &mut dyn EventSink,
+        sink: &mut S,
     ) {
         let evicted = match level {
             CacheLevel::L1 => {
@@ -451,12 +451,12 @@ impl MemorySystem {
         }
     }
 
-    fn handle_l2_victim(
+    fn handle_l2_victim<S: EventSink + ?Sized>(
         &mut self,
         core: usize,
         ev: crate::EvictInfo,
         now: u64,
-        sink: &mut dyn EventSink,
+        sink: &mut S,
     ) {
         if let Some(origin) = ev.unused_prefetch {
             sink.emit(MemEvent::PrefetchUnused {
@@ -471,12 +471,12 @@ impl MemorySystem {
         }
     }
 
-    fn handle_l2_victim_writeback(
+    fn handle_l2_victim_writeback<S: EventSink + ?Sized>(
         &mut self,
         core: usize,
         line: u64,
         now: u64,
-        sink: &mut dyn EventSink,
+        sink: &mut S,
     ) {
         if self.l3.probe(line) {
             self.l3.demand_access(line, now, true);
@@ -502,7 +502,7 @@ impl MemorySystem {
     /// [`crate::DropPolicy`] may shed low-confidence prefetches under
     /// congestion.
     #[allow(clippy::too_many_arguments)] // mirrors the hardware request fields
-    pub fn prefetch(
+    pub fn prefetch<S: EventSink + ?Sized>(
         &mut self,
         core: usize,
         addr: u64,
@@ -510,11 +510,11 @@ impl MemorySystem {
         origin: Origin,
         confidence: u8,
         now: u64,
-        sink: &mut dyn EventSink,
+        sink: &mut S,
     ) -> PrefetchOutcome {
         assert!(dest != CacheLevel::L3, "prefetch destinations are L1 or L2");
         let line = line_of(addr);
-        let rejected = |sink: &mut dyn EventSink, reason: DropReason| {
+        let rejected = |sink: &mut S, reason: DropReason| {
             sink.emit(MemEvent::PrefetchDropped {
                 core: core as u32,
                 line,

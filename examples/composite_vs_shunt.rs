@@ -31,7 +31,7 @@ fn main() {
         let tpc = run(&workload, &sys, &mut Tpc::full());
 
         let mut composite = Composite::with_extra(
-            Box::new(Tpc::full()),
+            Tpc::full(),
             extra_origin,
             Box::new(Sms::new(extra_origin, CacheLevel::L1)),
         );

@@ -27,7 +27,7 @@ fn every_comparison_prefetcher_completes_every_suite_workload() {
         let w = Workload::capture(spec.build_vm(5), 30_000).expect("runs");
         for cfg in prefetchers::COMPARISON_SET {
             let mut p = prefetchers::build(cfg).expect("known config");
-            let r = sys.run(&w, p.as_mut());
+            let r = sys.run(&w, &mut p);
             assert_eq!(
                 r.instructions as usize,
                 w.trace.len(),
@@ -165,7 +165,7 @@ fn composite_and_shunt_configs_run_end_to_end() {
     let w = capture("histogram");
     for cfg in ["TPC+SMS", "TPC|SMS", "TPC+VLDP", "TPC|VLDP"] {
         let mut p = prefetchers::build(cfg).expect("combinator config");
-        let r = sys.run(&w, p.as_mut());
+        let r = sys.run(&w, &mut p);
         assert!(r.cycles > 0);
         assert_eq!(p.name(), cfg);
     }
