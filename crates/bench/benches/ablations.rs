@@ -167,6 +167,76 @@ fn table_lookups(c: &mut Criterion) {
     group.finish();
 }
 
+fn trace_codec(c: &mut Criterion) {
+    use dol_cpu::Workload;
+    use dol_isa::InstSource;
+    use dol_trace::{encode_workload, ReplaySource, TraceHeader, TraceReader};
+
+    // Encode/decode throughput of the `dol-trace-v1` codec, in both
+    // encoded MB/s and instructions/s — the replay path's decode rate
+    // bounds how fast `run_all --trace-dir` can feed the timing model.
+    let spec = dol_workloads::by_name("stream_sum").expect("known workload");
+    let workload = Workload::capture(spec.build_vm(1), 100_000).expect("runs");
+    let header = TraceHeader {
+        name: "stream_sum".into(),
+        seed: 1,
+        insts: workload.trace.len() as u64,
+    };
+    let mut encoded = Vec::new();
+    encode_workload(
+        &mut encoded,
+        &header,
+        &workload.memory,
+        workload.trace.as_slice(),
+    )
+    .expect("encodes");
+
+    let mut group = c.benchmark_group("trace_codec");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    group.throughput(criterion::Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_mbps", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(encoded.len());
+            encode_workload(
+                &mut out,
+                &header,
+                &workload.memory,
+                workload.trace.as_slice(),
+            )
+            .expect("encodes")
+        })
+    });
+    group.bench_function("decode_mbps", |b| {
+        b.iter(|| {
+            let (_, _, trace) = dol_trace::decode_workload(&encoded[..]).expect("decodes");
+            trace.len()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("trace_codec_insts");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    group.throughput(criterion::Throughput::Elements(workload.trace.len() as u64));
+    group.bench_function("streaming_decode_insts_per_s", |b| {
+        b.iter(|| {
+            let mut reader = TraceReader::new(&encoded[..]).expect("valid");
+            reader.read_memory().expect("valid");
+            let mut source = ReplaySource::new(reader);
+            let mut n = 0u64;
+            while source.next_inst().is_some() {
+                n += 1;
+            }
+            assert!(source.error().is_none());
+            n
+        })
+    });
+    group.finish();
+}
+
 fn benches(c: &mut Criterion) {
     bench_ablation(c, "ablation_drop", ablations::drop_policy);
     bench_ablation(c, "ablation_t2_thresholds", ablations::t2_thresholds);
@@ -177,6 +247,7 @@ fn benches(c: &mut Criterion) {
     simulator_throughput(c);
     sparse_memory_writes(c);
     table_lookups(c);
+    trace_codec(c);
 }
 
 criterion_group!(ablation_benches, benches);

@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use dol_core::{AccessInfo, CompletedPrefetch, PrefetchRequest, Prefetcher, RetireInfo};
-use dol_isa::{InstKind, SparseMemory, Trace, Vm, VmError};
+use dol_isa::{InstKind, InstSource, RetiredInst, SparseMemory, Trace, TraceCursor, Vm, VmError};
 use dol_mem::{line_of, CacheLevel, DropReason, EventSink, MemorySystem, NullSink, SystemStats};
 
 use crate::{BranchPredictor, DestinationPolicy, SystemConfig};
@@ -89,10 +89,14 @@ impl MultiRunResult {
     }
 }
 
-struct CoreRt<'a> {
-    trace: &'a [dol_isa::RetiredInst],
+struct CoreRt<'a, S: InstSource> {
+    /// The instruction stream — generic, so both the in-memory trace
+    /// path and the on-disk replay path monomorphize to direct calls
+    /// (no `dyn` dispatch on the per-retire edge).
+    source: S,
+    /// One-instruction lookahead; `None` means the stream is drained.
+    next: Option<RetiredInst>,
     memory: &'a SparseMemory,
-    pos: usize,
     regs: [u64; dol_isa::Reg::COUNT],
     rob: VecDeque<u64>,
     lsq: VecDeque<u64>,
@@ -114,12 +118,13 @@ struct CoreRt<'a> {
     retries: Vec<(u64, u8, PrefetchRequest)>,
 }
 
-impl<'a> CoreRt<'a> {
-    fn new(w: &'a Workload, gshare_bits: u32) -> Self {
+impl<'a, S: InstSource> CoreRt<'a, S> {
+    fn new(mut source: S, memory: &'a SparseMemory, gshare_bits: u32) -> Self {
+        let next = source.next_inst();
         CoreRt {
-            trace: w.trace.as_slice(),
-            memory: &w.memory,
-            pos: 0,
+            source,
+            next,
+            memory,
             regs: [0; dol_isa::Reg::COUNT],
             rob: VecDeque::new(),
             lsq: VecDeque::new(),
@@ -137,7 +142,7 @@ impl<'a> CoreRt<'a> {
     }
 
     fn done(&self) -> bool {
-        self.pos >= self.trace.len()
+        self.next.is_none()
     }
 }
 
@@ -179,16 +184,52 @@ impl System {
         prefetcher: &mut P,
         sink: &mut S,
     ) -> RunResult {
+        let (result, _) = self.run_source_with_sink(
+            TraceCursor::new(workload.trace.as_slice()),
+            &workload.memory,
+            prefetcher,
+            sink,
+        );
+        result
+    }
+
+    /// Runs an arbitrary instruction source on a single core —
+    /// the trace-replay entry point. `memory` is the workload's final
+    /// image, the value source for pointer-prefetch callbacks.
+    ///
+    /// The source is statically dispatched: a streaming on-disk replay
+    /// compiles to the same devirtualized per-retire edge as the
+    /// in-memory trace path. Returns the drained source so callers can
+    /// inspect it (e.g. a replay source's deferred decode error).
+    pub fn run_source<I: InstSource, P: Prefetcher + ?Sized>(
+        &self,
+        source: I,
+        memory: &SparseMemory,
+        prefetcher: &mut P,
+    ) -> (RunResult, I) {
+        self.run_source_with_sink(source, memory, prefetcher, &mut NullSink)
+    }
+
+    /// Like [`run_source`](Self::run_source), streaming metric events
+    /// into `sink`.
+    pub fn run_source_with_sink<I: InstSource, P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
+        &self,
+        source: I,
+        memory: &SparseMemory,
+        prefetcher: &mut P,
+        sink: &mut S,
+    ) -> (RunResult, I) {
         let mut prefetchers: [&mut P; 1] = [prefetcher];
-        let multi = self.run_inner(std::slice::from_ref(workload), &mut prefetchers, sink);
+        let (multi, mut sources) = self.run_inner(vec![(source, memory)], &mut prefetchers, sink);
         let (cycles, instructions) = multi.cores[0];
-        RunResult {
+        let result = RunResult {
             cycles,
             instructions,
             stalls: multi.stalls[0],
             mispredicts: multi.mispredicts[0],
             stats: multi.stats,
-        }
+        };
+        (result, sources.pop().expect("one core, one source"))
     }
 
     /// Runs one workload per core (sharing L3 and DRAM), one prefetcher
@@ -203,7 +244,7 @@ impl System {
         workloads: &[Workload],
         prefetchers: &mut [&mut dyn Prefetcher],
     ) -> MultiRunResult {
-        self.run_inner(workloads, prefetchers, &mut NullSink)
+        self.run_multi_with_sink(workloads, prefetchers, &mut NullSink)
     }
 
     /// Like [`run_multi`](Self::run_multi), streaming metric events from
@@ -214,28 +255,29 @@ impl System {
         prefetchers: &mut [&mut dyn Prefetcher],
         sink: &mut dyn EventSink,
     ) -> MultiRunResult {
-        self.run_inner(workloads, prefetchers, sink)
+        let sources: Vec<(TraceCursor<'_>, &SparseMemory)> = workloads
+            .iter()
+            .map(|w| (TraceCursor::new(w.trace.as_slice()), &w.memory))
+            .collect();
+        let (result, _) = self.run_inner(sources, prefetchers, sink);
+        result
     }
 
-    fn run_inner<P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
+    fn run_inner<'a, I: InstSource, P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
         &self,
-        workloads: &[Workload],
+        sources: Vec<(I, &'a SparseMemory)>,
         prefetchers: &mut [&mut P],
         sink: &mut S,
-    ) -> MultiRunResult {
-        assert_eq!(
-            workloads.len(),
-            prefetchers.len(),
-            "one prefetcher per core"
-        );
+    ) -> (MultiRunResult, Vec<I>) {
+        assert_eq!(sources.len(), prefetchers.len(), "one prefetcher per core");
         assert!(
-            workloads.len() <= self.cfg.hierarchy.cores as usize,
+            sources.len() <= self.cfg.hierarchy.cores as usize,
             "more workloads than configured cores"
         );
         let mut mem = MemorySystem::new(self.cfg.hierarchy);
-        let mut cores: Vec<CoreRt<'_>> = workloads
-            .iter()
-            .map(|w| CoreRt::new(w, self.cfg.core.gshare_bits))
+        let mut cores: Vec<CoreRt<'a, I>> = sources
+            .into_iter()
+            .map(|(s, m)| CoreRt::new(s, m, self.cfg.core.gshare_bits))
             .collect();
         let mut out_buf: Vec<PrefetchRequest> = Vec::with_capacity(32);
 
@@ -263,12 +305,13 @@ impl System {
         let stalls: Vec<[u64; 3]> = cores.iter().map(|c| c.stalls).collect();
         let stats = mem.stats();
         crate::telemetry::record_instructions(per_core.iter().map(|&(_, i)| i).sum());
-        MultiRunResult {
+        let result = MultiRunResult {
             cores: per_core,
             stalls,
             mispredicts,
             stats,
-        }
+        };
+        (result, cores.into_iter().map(|c| c.source).collect())
     }
 
     #[inline]
@@ -276,10 +319,10 @@ impl System {
         addr.wrapping_add((core as u64) << CORE_SPACE_SHIFT)
     }
 
-    fn deliver_pending<P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
+    fn deliver_pending<I: InstSource, P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
         &self,
         core_idx: usize,
-        c: &mut CoreRt<'_>,
+        c: &mut CoreRt<'_, I>,
         prefetcher: &mut P,
         mem: &mut MemorySystem,
         out: &mut Vec<PrefetchRequest>,
@@ -305,10 +348,10 @@ impl System {
         }
     }
 
-    fn issue_requests<S: EventSink + ?Sized>(
+    fn issue_requests<I: InstSource, S: EventSink + ?Sized>(
         &self,
         core_idx: usize,
-        c: &mut CoreRt<'_>,
+        c: &mut CoreRt<'_, I>,
         requests: &[PrefetchRequest],
         now: u64,
         mem: &mut MemorySystem,
@@ -318,10 +361,10 @@ impl System {
     }
 
     #[allow(clippy::too_many_arguments)] // internal helper threading the run context
-    fn issue_requests_attempt<S: EventSink + ?Sized>(
+    fn issue_requests_attempt<I: InstSource, S: EventSink + ?Sized>(
         &self,
         core_idx: usize,
-        c: &mut CoreRt<'_>,
+        c: &mut CoreRt<'_, I>,
         requests: &[PrefetchRequest],
         now: u64,
         mem: &mut MemorySystem,
@@ -368,10 +411,10 @@ impl System {
         }
     }
 
-    fn drain_retries<S: EventSink + ?Sized>(
+    fn drain_retries<I: InstSource, S: EventSink + ?Sized>(
         &self,
         core_idx: usize,
-        c: &mut CoreRt<'_>,
+        c: &mut CoreRt<'_, I>,
         mem: &mut MemorySystem,
         sink: &mut S,
     ) {
@@ -393,10 +436,10 @@ impl System {
         }
     }
 
-    fn step_inst<P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
+    fn step_inst<I: InstSource, P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
         &self,
         core_idx: usize,
-        c: &mut CoreRt<'_>,
+        c: &mut CoreRt<'_, I>,
         prefetcher: &mut P,
         mem: &mut MemorySystem,
         out: &mut Vec<PrefetchRequest>,
@@ -406,8 +449,8 @@ impl System {
         self.deliver_pending(core_idx, c, prefetcher, mem, out, sink);
         self.drain_retries(core_idx, c, mem, sink);
 
-        let inst = c.trace[c.pos];
-        c.pos += 1;
+        let inst = c.next.take().expect("step_inst on a drained core");
+        c.next = c.source.next_inst();
         c.insts += 1;
 
         // Front-end width.
@@ -622,6 +665,21 @@ mod tests {
             base.cycles,
             with.cycles
         );
+    }
+
+    #[test]
+    fn run_source_matches_run() {
+        let w = chase_workload(4000);
+        let sys = System::new(SystemConfig::tiny(1));
+        let mut tpc = Tpc::full();
+        let baseline = sys.run(&w, &mut tpc);
+        let mut tpc = Tpc::full();
+        let (via_source, _) =
+            sys.run_source(TraceCursor::new(w.trace.as_slice()), &w.memory, &mut tpc);
+        assert_eq!(baseline.cycles, via_source.cycles);
+        assert_eq!(baseline.instructions, via_source.instructions);
+        assert_eq!(baseline.stalls, via_source.stalls);
+        assert_eq!(baseline.mispredicts, via_source.mispredicts);
     }
 
     #[test]

@@ -55,6 +55,38 @@ impl DriverBench {
     }
 }
 
+/// Trace-decode throughput for a replayed (`--trace-dir`) run: the delta
+/// of [`dol_trace::telemetry::decode_totals`] across the run.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceBench {
+    /// Encoded `dol-trace-v1` bytes decoded.
+    pub bytes: u64,
+    /// Instructions decoded.
+    pub insts: u64,
+    /// Wall-clock seconds spent decoding.
+    pub wall_s: f64,
+}
+
+impl TraceBench {
+    /// Decode throughput in bytes per second.
+    pub fn bytes_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.bytes as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Decode throughput in instructions per second.
+    pub fn insts_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.insts as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
 /// A full `run_all` timing report.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -64,6 +96,9 @@ pub struct BenchReport {
     pub jobs: usize,
     /// Per-driver records, in run order.
     pub drivers: Vec<DriverBench>,
+    /// Trace-decode throughput, present when workloads were replayed
+    /// from `dol-trace-v1` files rather than captured live.
+    pub trace: Option<TraceBench>,
 }
 
 impl BenchReport {
@@ -108,6 +143,17 @@ impl BenchReport {
             self.sim_insts(),
             self.insts_per_s()
         ));
+        if let Some(t) = &self.trace {
+            s.push_str(&format!(
+                "  \"trace\": {{\"decoded_bytes\": {}, \"decoded_insts\": {}, \"wall_s\": {:.3}, \
+                 \"bytes_per_s\": {:.1}, \"insts_per_s\": {:.1}}},\n",
+                t.bytes,
+                t.insts,
+                t.wall_s,
+                t.bytes_per_s(),
+                t.insts_per_s()
+            ));
+        }
         s.push_str("  \"drivers\": [\n");
         for (i, d) in self.drivers.iter().enumerate() {
             s.push_str(&format!(
@@ -162,6 +208,7 @@ mod tests {
                     cached: false,
                 },
             ],
+            trace: None,
         }
     }
 
@@ -201,6 +248,23 @@ mod tests {
         assert!(json.contains("\"id\": \"fig08\""));
         let floor = parse_floor(&json).expect("parsable");
         assert!((floor - 3_000_000.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn trace_section_serializes_without_breaking_the_floor() {
+        let mut r = report();
+        r.trace = Some(TraceBench {
+            bytes: 10_000_000,
+            insts: 2_000_000,
+            wall_s: 0.5,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"decoded_bytes\": 10000000"));
+        assert!(json.contains("\"bytes_per_s\": 20000000.0"));
+        assert!(json.contains("\"insts_per_s\": 4000000.0"));
+        // The floor scanner still picks up the *total* rate, not the
+        // trace-decode rate.
+        assert!((parse_floor(&json).unwrap() - 3_000_000.0).abs() < 0.5);
     }
 
     #[test]

@@ -4,18 +4,30 @@
 //! dol list                                     # workloads and configs
 //! dol run --workload stream_sum --prefetcher TPC [--insts N] [--seed S]
 //! dol compare --workload aop_deref             # all configs on one workload
+//! dol trace record (--workload <name> | --all) --dir DIR [--insts N] [--seed S] [--smoke]
+//! dol trace info <file.dolt>                   # header + size summary
+//! dol trace verify <file.dolt>...              # full decode, checksums checked
+//! dol trace run --trace <file.dolt> --prefetcher TPC   # streaming replay
 //! ```
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
 
 use dol_core::NoPrefetcher;
 use dol_cpu::{System, SystemConfig, Workload};
-use dol_harness::prefetchers;
+use dol_harness::{prefetchers, traces, RunPlan};
 use dol_mem::{CacheLevel, NullSink};
 use dol_metrics::{scope, StreamingMetrics, TextTable};
+use dol_trace::{ReplaySource, TraceReader};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  dol list\n  dol run --workload <name> --prefetcher <config> \
-         [--insts N] [--seed S]\n  dol compare --workload <name> [--insts N] [--seed S]\n\
+         [--insts N] [--seed S]\n  dol compare --workload <name> [--insts N] [--seed S]\n  \
+         dol trace record (--workload <name> | --all) --dir <dir> [--insts N] [--seed S] \
+         [--smoke]\n  dol trace info <file.dolt>\n  dol trace verify <file.dolt>...\n  \
+         dol trace run --trace <file.dolt> --prefetcher <config>\n\
          \nconfigs: none, TPC, T2, P1, C1, T2+P1, TPC-plainPC, {} and TPC+<mono> / TPC|<mono>",
         dol_baselines::registry::MONOLITHIC_NAMES.join(", ")
     );
@@ -27,6 +39,10 @@ struct Args {
     prefetcher: Option<String>,
     insts: u64,
     seed: u64,
+    dir: Option<String>,
+    trace: Option<String>,
+    all: bool,
+    smoke: bool,
 }
 
 fn parse(args: &[String]) -> Args {
@@ -35,6 +51,10 @@ fn parse(args: &[String]) -> Args {
         prefetcher: None,
         insts: 1_000_000,
         seed: 2018,
+        dir: None,
+        trace: None,
+        all: false,
+        smoke: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -60,6 +80,22 @@ fn parse(args: &[String]) -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
                 i += 2;
+            }
+            "--dir" | "-d" => {
+                out.dir = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--trace" | "-t" => {
+                out.trace = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--all" => {
+                out.all = true;
+                i += 1;
+            }
+            "--smoke" => {
+                out.smoke = true;
+                i += 1;
             }
             _ => usage(),
         }
@@ -171,12 +207,186 @@ fn cmd_compare(a: Args) {
     );
 }
 
+/// `dol trace record`: capture workloads to `dol-trace-v1` files.
+fn cmd_trace_record(a: Args) {
+    let Some(dir) = a.dir.as_deref() else { usage() };
+    let dir = Path::new(dir);
+    let mut plan = if a.smoke {
+        RunPlan::smoke()
+    } else {
+        RunPlan::full()
+    };
+    if !a.smoke {
+        plan.insts = a.insts;
+    }
+    plan.seed = a.seed;
+    plan.jobs = 0;
+    match (a.workload.as_deref(), a.all) {
+        (Some(name), false) => {
+            let Some(spec) = dol_workloads::by_name(name) else {
+                eprintln!("unknown workload `{name}`; try `dol list`");
+                std::process::exit(2);
+            };
+            let path = traces::trace_path(dir, name);
+            match traces::record(&spec, plan.insts, plan.seed, &path) {
+                Ok(bytes) => println!("{}: {} bytes", path.display(), bytes),
+                Err(e) => {
+                    eprintln!("recording {name} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        (None, true) => match traces::record_all(&plan, dir) {
+            Ok(recorded) => {
+                for (name, bytes) in &recorded {
+                    println!(
+                        "{}: {} bytes",
+                        traces::trace_path(dir, name).display(),
+                        bytes
+                    );
+                }
+                println!("recorded {} traces to {}", recorded.len(), dir.display());
+            }
+            Err(e) => {
+                eprintln!("recording failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        _ => usage(),
+    }
+}
+
+/// `dol trace info`: print a file's header without decoding the body.
+fn cmd_trace_info(path: &str) {
+    let file = match File::open(path) {
+        Ok(f) => BufReader::new(f),
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match TraceReader::new(file) {
+        Ok(r) => {
+            let h = r.header();
+            let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            println!("{path}: dol-trace-v1");
+            println!("  workload: {}", h.name);
+            println!("  seed:     {}", h.seed);
+            println!("  insts:    {}", h.insts);
+            println!(
+                "  size:     {} bytes ({:.2} bytes/inst)",
+                size,
+                size as f64 / h.insts.max(1) as f64
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `dol trace verify`: full decode of each file, validating framing,
+/// checksums and instruction counts. Exits non-zero on the first bad
+/// file.
+fn cmd_trace_verify(paths: &[String]) {
+    if paths.is_empty() {
+        usage();
+    }
+    for path in paths {
+        let file = match File::open(path) {
+            Ok(f) => BufReader::new(f),
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match dol_trace::decode_workload(file) {
+            Ok((h, _, trace)) => {
+                println!("{path}: ok — {} ({} insts)", h.name, trace.len());
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// `dol trace run`: stream a trace file through the timing model without
+/// ever materializing the instruction stream.
+fn cmd_trace_run(a: Args) {
+    let (Some(path), Some(config)) = (a.trace.as_deref(), a.prefetcher.as_deref()) else {
+        usage()
+    };
+    let Some(mut p) = prefetchers::build(config) else {
+        eprintln!("unknown prefetcher `{config}`; try `dol list`");
+        std::process::exit(2);
+    };
+    let file = match File::open(path) {
+        Ok(f) => BufReader::new(f),
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut reader = match TraceReader::new(file) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The memory image feeds pointer-prefetch value callbacks; the
+    // instruction stream itself is decoded chunk by chunk during the run.
+    let memory = match reader.read_memory() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let header = reader.header().clone();
+    let sys = System::new(SystemConfig::isca2018(1));
+    let (r, source) = sys.run_source(ReplaySource::new(reader), &memory, &mut p);
+    if let Some(e) = source.error() {
+        eprintln!("{path}: replay stopped early: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "replayed {} ({} insts, seed {}) under {config}",
+        header.name, r.instructions, header.seed
+    );
+    println!(
+        "{} cycles (IPC {:.2}), {} L1 misses, {} DRAM lines, {} prefetches",
+        r.cycles,
+        r.ipc(),
+        r.stats.cores[0].l1_misses,
+        r.stats.dram.total_traffic_lines(),
+        r.stats.cores[0].prefetches
+    );
+}
+
+fn cmd_trace(argv: &[String]) {
+    match argv.first().map(String::as_str) {
+        Some("record") => cmd_trace_record(parse(&argv[1..])),
+        Some("info") => match argv.get(1) {
+            Some(path) => cmd_trace_info(path),
+            None => usage(),
+        },
+        Some("verify") => cmd_trace_verify(&argv[1..]),
+        Some("run") => cmd_trace_run(parse(&argv[1..])),
+        _ => usage(),
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(parse(&argv[1..])),
         Some("compare") => cmd_compare(parse(&argv[1..])),
+        Some("trace") => cmd_trace(&argv[1..]),
         _ => usage(),
     }
 }

@@ -1,13 +1,16 @@
 //! Regenerates every table and figure of the paper in one run.
 //!
 //! ```text
-//! run_all [--smoke] [--jobs N] [--bench-out PATH] [--bench-floor PATH]
+//! run_all [--smoke] [--jobs N] [--trace-dir DIR] [--bench-out PATH] [--bench-floor PATH]
 //! ```
 //!
 //! `--smoke` switches to [`RunPlan::smoke`] (tiny budget, first few
 //! workloads per suite, one mix) — the offline CI gate runs this.
 //! `--jobs N` shards workloads across N worker threads (`0` = one per
-//! core); output is byte-identical for any job count.
+//! core); output is byte-identical for any job count. `--trace-dir DIR`
+//! replays workload captures from `dol-trace-v1` files recorded with
+//! `dol trace record` instead of re-running the functional VM; replayed
+//! captures are bit-identical, so stdout is unchanged.
 //!
 //! Every driver is individually timed (wall clock + simulated-instruction
 //! delta). `--bench-out PATH` writes the measurements as a
@@ -18,10 +21,11 @@
 
 use std::time::Instant;
 
-use dol_harness::bench::{parse_floor, BenchReport, DriverBench};
+use dol_harness::bench::{parse_floor, BenchReport, DriverBench, TraceBench};
 use dol_harness::{experiments, RunPlan};
 
-const USAGE: &str = "usage: run_all [--smoke] [--jobs N] [--bench-out PATH] [--bench-floor PATH]";
+const USAGE: &str = "usage: run_all [--smoke] [--jobs N] [--trace-dir DIR] [--bench-out PATH] \
+                     [--bench-floor PATH]";
 
 /// Largest tolerated throughput drop vs the recorded floor.
 const MAX_REGRESSION: f64 = 0.30;
@@ -34,6 +38,7 @@ fn usage() -> ! {
 fn main() {
     let mut smoke = false;
     let mut jobs: Option<usize> = None;
+    let mut trace_dir: Option<String> = None;
     let mut bench_out: Option<String> = None;
     let mut bench_floor: Option<String> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +52,13 @@ fn main() {
             "--jobs" | "-j" => {
                 jobs = argv.get(i + 1).and_then(|v| v.parse().ok());
                 if jobs.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
+            "--trace-dir" => {
+                trace_dir = argv.get(i + 1).cloned();
+                if trace_dir.is_none() {
                     usage();
                 }
                 i += 2;
@@ -81,6 +93,9 @@ fn main() {
     if let Some(j) = jobs {
         plan.jobs = j;
     }
+    if let Some(dir) = &trace_dir {
+        plan.trace_dir = Some(dir.into());
+    }
     eprintln!(
         "running all experiments: {} insts/workload, {} mixes, {} jobs{} \
          (override with DOL_INSTS / DOL_MIXES / DOL_JOBS)",
@@ -94,7 +109,9 @@ fn main() {
         mode: if smoke { "smoke" } else { "full" },
         jobs: dol_harness::sweep::effective_jobs(plan.jobs),
         drivers: Vec::new(),
+        trace: None,
     };
+    let decode_before = dol_trace::telemetry::decode_totals();
     let mut deviations = 0;
     for (id, run) in experiments::drivers() {
         let insts_before = dol_cpu::telemetry::simulated_instructions();
@@ -120,6 +137,22 @@ fn main() {
         bench.wall_s(),
         bench.insts_per_s() / 1e6
     );
+    let decoded = dol_trace::telemetry::decode_totals().since(&decode_before);
+    if decoded.insts > 0 {
+        bench.trace = Some(TraceBench {
+            bytes: decoded.bytes,
+            insts: decoded.insts,
+            wall_s: decoded.wall_s(),
+        });
+        eprintln!(
+            "decoded {} trace insts ({} bytes) in {:.3}s — {:.1} MB/s, {:.2} M inst/s",
+            decoded.insts,
+            decoded.bytes,
+            decoded.wall_s(),
+            decoded.bytes_per_s() / 1e6,
+            decoded.insts_per_s() / 1e6
+        );
+    }
 
     if let Some(path) = &bench_out {
         std::fs::write(path, bench.to_json()).unwrap_or_else(|e| {

@@ -29,6 +29,7 @@ pub mod plan;
 pub mod prefetchers;
 pub mod runner;
 pub mod sweep;
+pub mod traces;
 
 pub use bands::Expectation;
 pub use plan::RunPlan;

@@ -1,7 +1,9 @@
 //! Run plans: instruction budgets, seeds and parallelism.
 
+use std::path::PathBuf;
+
 /// How much to simulate, and with how many workers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunPlan {
     /// Instructions simulated per workload (per core in multicore runs).
     pub insts: u64,
@@ -16,6 +18,10 @@ pub struct RunPlan {
     /// Cap on workloads taken from each suite (smoke mode); `None`
     /// runs every workload.
     pub max_workloads: Option<usize>,
+    /// When set, workload captures are decoded from `dol-trace-v1` files
+    /// in this directory (`<dir>/<name>.dolt`) instead of re-running the
+    /// functional VM. Replayed captures are bit-identical to live ones.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl RunPlan {
@@ -27,6 +33,7 @@ impl RunPlan {
             mix_count: 8,
             jobs: 1,
             max_workloads: None,
+            trace_dir: None,
         }
     }
 
@@ -50,6 +57,7 @@ impl RunPlan {
             mix_count: 1,
             jobs: 1,
             max_workloads: Some(3),
+            trace_dir: None,
         }
     }
 
@@ -70,6 +78,11 @@ impl RunPlan {
         if let Ok(v) = std::env::var("DOL_JOBS") {
             if let Ok(n) = v.parse::<usize>() {
                 plan.jobs = n.min(256);
+            }
+        }
+        if let Ok(v) = std::env::var("DOL_TRACE_DIR") {
+            if !v.is_empty() {
+                plan.trace_dir = Some(PathBuf::from(v));
             }
         }
         plan

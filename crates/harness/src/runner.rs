@@ -123,8 +123,21 @@ impl BaselineRun {
     }
 
     fn capture_uncached(spec: &Spec, plan: &RunPlan, sys: &System) -> Self {
-        let workload = Workload::capture(spec.build_vm(plan.seed), plan.insts)
-            .unwrap_or_else(|e| panic!("workload {} failed: {e}", spec.name));
+        let workload = match &plan.trace_dir {
+            // Replay path: decode the recorded trace instead of running
+            // the functional VM. The decoded workload is bit-identical
+            // to a live capture, so everything downstream (including the
+            // capture cache) is unchanged.
+            Some(dir) => crate::traces::load_workload(dir, spec.name, plan).unwrap_or_else(|e| {
+                panic!(
+                    "failed to load trace for {} from {}: {e}",
+                    spec.name,
+                    dir.display()
+                )
+            }),
+            None => Workload::capture(spec.build_vm(plan.seed), plan.insts)
+                .unwrap_or_else(|e| panic!("workload {} failed: {e}", spec.name)),
+        };
         let mut none = dol_core::NoPrefetcher;
         let mut sm = StreamingMetrics::new();
         let result = sys.run_with_sink(&workload, &mut none, &mut sm);

@@ -57,7 +57,7 @@ pub use inst::{AluOp, Cond, Inst, Operand};
 pub use memory::SparseMemory;
 pub use program::{Label, Program, ProgramBuilder, ProgramError, DEFAULT_BASE_PC};
 pub use reg::Reg;
-pub use trace::{InstKind, RetiredInst, Trace};
+pub use trace::{InstKind, InstSource, RetiredInst, Trace, TraceCursor};
 pub use vm::{Vm, VmError};
 
 /// Byte distance between consecutive instruction PCs.

@@ -60,6 +60,9 @@ impl Clone for SparseMemory {
 }
 
 impl SparseMemory {
+    /// 64-bit words per page (pages are 4 KiB).
+    pub const PAGE_WORDS: usize = WORDS_PER_PAGE;
+
     /// Creates an empty memory image.
     pub fn new() -> Self {
         Self::default()
@@ -128,6 +131,21 @@ impl SparseMemory {
     pub fn touched_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Every touched page as `(first byte address, words)`, sorted by
+    /// address — the deterministic order trace serialization relies on
+    /// (slot allocation order depends on access history; address order
+    /// does not).
+    pub fn pages_sorted(&self) -> Vec<(u64, &[u64; Self::PAGE_WORDS])> {
+        let mut out: Vec<(u64, &[u64; Self::PAGE_WORDS])> = self
+            .page_nums
+            .iter()
+            .zip(&self.pages)
+            .map(|(&num, page)| (num * PAGE_BYTES, &**page))
+            .collect();
+        out.sort_unstable_by_key(|&(addr, _)| addr);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +207,21 @@ mod tests {
         m.write_u64(0, 999);
         assert_eq!(c.read_u64(0), 0);
         assert_eq!(m.read_u64(0), 999);
+    }
+
+    #[test]
+    fn pages_sorted_is_address_ordered_regardless_of_write_order() {
+        let mut m = SparseMemory::new();
+        // Touch pages out of address order.
+        m.write_u64(5 * PAGE_BYTES, 50);
+        m.write_u64(PAGE_BYTES, 10);
+        m.write_u64(3 * PAGE_BYTES + 8, 30);
+        let pages = m.pages_sorted();
+        let addrs: Vec<u64> = pages.iter().map(|&(a, _)| a).collect();
+        assert_eq!(addrs, vec![PAGE_BYTES, 3 * PAGE_BYTES, 5 * PAGE_BYTES]);
+        assert_eq!(pages[0].1[0], 10);
+        assert_eq!(pages[1].1[1], 30);
+        assert_eq!(pages[2].1[0], 50);
     }
 
     #[test]

@@ -121,6 +121,48 @@ impl RetiredInst {
     }
 }
 
+/// A pull-based stream of retired instructions: the timing model's input
+/// edge.
+///
+/// The simulator's per-retire loop is its hottest path, so consumers
+/// (notably `dol_cpu::System::run`) are generic over this trait and
+/// monomorphize a direct call per source — an in-memory [`Trace`] via
+/// [`TraceCursor`] and a streaming on-disk trace (`dol-trace-v1`) compile
+/// to the same devirtualized edge, with no `dyn` dispatch per
+/// instruction.
+///
+/// A source that fails mid-stream (e.g. a corrupt trace file) ends the
+/// stream by returning `None` and reports the failure through its own
+/// API after the run; this trait itself is infallible by design.
+pub trait InstSource {
+    /// The next retired instruction, or `None` at end of stream.
+    fn next_inst(&mut self) -> Option<RetiredInst>;
+}
+
+/// An [`InstSource`] over an in-memory instruction slice.
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'a> {
+    insts: &'a [RetiredInst],
+    pos: usize,
+}
+
+impl<'a> TraceCursor<'a> {
+    /// Creates a cursor at the start of `insts`.
+    #[inline]
+    pub fn new(insts: &'a [RetiredInst]) -> Self {
+        TraceCursor { insts, pos: 0 }
+    }
+}
+
+impl InstSource for TraceCursor<'_> {
+    #[inline]
+    fn next_inst(&mut self) -> Option<RetiredInst> {
+        let inst = *self.insts.get(self.pos)?;
+        self.pos += 1;
+        Some(inst)
+    }
+}
+
 /// A retired-instruction trace: the functional execution of one workload.
 ///
 /// Traces are produced once per workload by [`crate::Vm::run`] and replayed
@@ -240,6 +282,19 @@ mod tests {
         };
         assert!(!not_taken.is_backward_branch());
         assert_eq!(not_taken.control_target(), None);
+    }
+
+    #[test]
+    fn cursor_streams_the_whole_slice() {
+        let t: Trace = (0..5u64).map(|i| load(0x100 + 4 * i, 0x8000)).collect();
+        let mut cur = TraceCursor::new(t.as_slice());
+        let mut n = 0;
+        while let Some(inst) = cur.next_inst() {
+            assert_eq!(inst, t.as_slice()[n]);
+            n += 1;
+        }
+        assert_eq!(n, t.len());
+        assert_eq!(cur.next_inst(), None);
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Process-wide trace-decode throughput counters.
+//!
+//! Mirrors `dol_cpu::telemetry`: loaders add one relaxed atomic update
+//! per *decoded trace* (never per instruction), and harness binaries
+//! snapshot the totals around a run to report decode MB/s and inst/s
+//! alongside simulation throughput in the `dol-bench-v1` artifact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DECODE_BYTES: AtomicU64 = AtomicU64::new(0);
+static DECODE_INSTS: AtomicU64 = AtomicU64::new(0);
+static DECODE_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the decode counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecodeTotals {
+    /// Encoded bytes consumed.
+    pub bytes: u64,
+    /// Instructions decoded.
+    pub insts: u64,
+    /// Wall-clock nanoseconds spent decoding.
+    pub nanos: u64,
+}
+
+impl DecodeTotals {
+    /// Decode wall-clock time in seconds.
+    pub fn wall_s(&self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Decode throughput in bytes per second (0 when unmeasured).
+    pub fn bytes_per_s(&self) -> f64 {
+        if self.nanos == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.wall_s()
+        }
+    }
+
+    /// Decode throughput in instructions per second (0 when unmeasured).
+    pub fn insts_per_s(&self) -> f64 {
+        if self.nanos == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.wall_s()
+        }
+    }
+
+    /// Counter-wise difference against an earlier snapshot.
+    pub fn since(&self, earlier: &DecodeTotals) -> DecodeTotals {
+        DecodeTotals {
+            bytes: self.bytes - earlier.bytes,
+            insts: self.insts - earlier.insts,
+            nanos: self.nanos - earlier.nanos,
+        }
+    }
+}
+
+/// Adds one decoded trace to the process-wide totals.
+pub fn record_decode(bytes: u64, insts: u64, nanos: u64) {
+    DECODE_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    DECODE_INSTS.fetch_add(insts, Ordering::Relaxed);
+    DECODE_NANOS.fetch_add(nanos, Ordering::Relaxed);
+}
+
+/// Current totals (all threads, monotone, never reset).
+pub fn decode_totals() -> DecodeTotals {
+    DecodeTotals {
+        bytes: DECODE_BYTES.load(Ordering::Relaxed),
+        insts: DECODE_INSTS.load(Ordering::Relaxed),
+        nanos: DECODE_NANOS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let before = decode_totals();
+        record_decode(1000, 50, 2_000_000_000);
+        let delta = decode_totals().since(&before);
+        assert!(delta.bytes >= 1000 && delta.insts >= 50);
+        assert!(delta.bytes_per_s() > 0.0);
+        assert!(delta.insts_per_s() > 0.0);
+        assert_eq!(DecodeTotals::default().bytes_per_s(), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! LEB128 varints and zigzag signed mapping.
+//!
+//! Encoding appends to an in-memory chunk buffer; decoding reads from a
+//! checksum-validated chunk slice, so a varint running off the end is
+//! *corruption* (the chunk lied about its contents), not truncation.
+
+use crate::TraceError;
+
+/// Appends `v` as an LEB128 varint (1–10 bytes).
+#[inline]
+pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `buf` at `*pos`, advancing it.
+#[inline]
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(TraceError::Corrupt("varint runs off chunk end".into()));
+        };
+        *pos += 1;
+        // The 10th byte of a u64 varint may only carry the top bit.
+        if shift == 63 && byte > 1 {
+            return Err(TraceError::Corrupt("varint overflows u64".into()));
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(TraceError::Corrupt("varint longer than 10 bytes".into()));
+        }
+    }
+}
+
+/// Maps a signed delta onto small unsigned values (zigzag).
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_representative_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes map to small codes (one-byte varints).
+        assert!(zigzag(-3) < 8);
+        assert!(zigzag(3) < 8);
+    }
+
+    #[test]
+    fn truncated_varint_is_corrupt() {
+        let buf = [0x80u8, 0x80];
+        let mut pos = 0;
+        assert!(matches!(
+            read_u64(&buf, &mut pos),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn overlong_varint_is_corrupt() {
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(matches!(
+            read_u64(&buf, &mut pos),
+            Err(TraceError::Corrupt(_))
+        ));
+    }
+}
