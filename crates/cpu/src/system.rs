@@ -87,6 +87,13 @@ impl MultiRunResult {
             .map(|&(c, i)| if c == 0 { 0.0 } else { i as f64 / c as f64 })
             .collect()
     }
+
+    /// Instructions retired across all cores — the denominator for
+    /// throughput accounting (a 4-core run does 4× the simulation work
+    /// of a single-core run of the same length, and is reported so).
+    pub fn total_instructions(&self) -> u64 {
+        self.cores.iter().map(|&(_, i)| i).sum()
+    }
 }
 
 struct CoreRt<'a, S: InstSource> {
@@ -235,25 +242,30 @@ impl System {
     /// Runs one workload per core (sharing L3 and DRAM), one prefetcher
     /// per core.
     ///
+    /// Generic over the prefetcher type: pass `&mut [&mut dyn Prefetcher]`
+    /// for heterogeneous boxed designs, or a slice of a concrete type
+    /// (e.g. the harness's `Built` enum) to keep the per-retire edge
+    /// statically dispatched even in multi-core runs.
+    ///
     /// # Panics
     ///
     /// Panics if `workloads` and `prefetchers` lengths differ or exceed
     /// the configured core count.
-    pub fn run_multi(
+    pub fn run_multi<P: Prefetcher + ?Sized>(
         &self,
         workloads: &[Workload],
-        prefetchers: &mut [&mut dyn Prefetcher],
+        prefetchers: &mut [&mut P],
     ) -> MultiRunResult {
         self.run_multi_with_sink(workloads, prefetchers, &mut NullSink)
     }
 
     /// Like [`run_multi`](Self::run_multi), streaming metric events from
     /// all cores into `sink`.
-    pub fn run_multi_with_sink(
+    pub fn run_multi_with_sink<P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
         &self,
         workloads: &[Workload],
-        prefetchers: &mut [&mut dyn Prefetcher],
-        sink: &mut dyn EventSink,
+        prefetchers: &mut [&mut P],
+        sink: &mut S,
     ) -> MultiRunResult {
         let sources: Vec<(TraceCursor<'_>, &SparseMemory)> = workloads
             .iter()
@@ -263,6 +275,33 @@ impl System {
         result
     }
 
+    /// Monomorphized `N`-core co-run: one workload and one prefetcher of
+    /// a single concrete type per core. The array sizes tie core count to
+    /// the type system, and the concrete `P` keeps static dispatch on the
+    /// hot per-retire edge — the multi-core counterpart of
+    /// [`run_with_sink`](Self::run_with_sink).
+    pub fn run_corun<const N: usize, P: Prefetcher, S: EventSink + ?Sized>(
+        &self,
+        workloads: &[Workload; N],
+        prefetchers: &mut [P; N],
+        sink: &mut S,
+    ) -> MultiRunResult {
+        let sources: Vec<(TraceCursor<'_>, &SparseMemory)> = workloads
+            .iter()
+            .map(|w| (TraceCursor::new(w.trace.as_slice()), &w.memory))
+            .collect();
+        let mut refs: Vec<&mut P> = prefetchers.iter_mut().collect();
+        let (result, _) = self.run_inner(sources, &mut refs, sink);
+        result
+    }
+
+    /// The shared scheduling loop. Core arbitration is deterministic
+    /// round-robin by timestamp: each iteration steps the non-finished
+    /// core with the smallest dispatch cycle, ties broken by lowest core
+    /// index (`min_by_key` keeps the first minimum). Shared-hierarchy
+    /// state therefore updates in a reproducible order independent of
+    /// caller threading — the byte-identity guarantee the CI determinism
+    /// gate checks across `--jobs` settings.
     fn run_inner<'a, I: InstSource, P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
         &self,
         sources: Vec<(I, &'a SparseMemory)>,
@@ -713,6 +752,37 @@ mod tests {
         // Both cores miss in their own L1s.
         assert!(r.stats.cores[0].l1_misses > 0);
         assert!(r.stats.cores[1].l1_misses > 0);
+    }
+
+    #[test]
+    fn run_corun_matches_run_multi_and_counts_all_cores() {
+        let w1 = stream_workload(3000);
+        let w2 = chase_workload(2000);
+        let sys = System::new(SystemConfig::tiny(2));
+        let mut d1 = Tpc::full();
+        let mut d2 = Tpc::full();
+        let dyn_r = sys.run_multi(
+            &[w1.clone(), w2.clone()],
+            &mut [
+                &mut d1 as &mut dyn Prefetcher,
+                &mut d2 as &mut dyn Prefetcher,
+            ],
+        );
+        let before = crate::telemetry::simulated_instructions();
+        let mut ps = [Tpc::full(), Tpc::full()];
+        let r = sys.run_corun(&[w1.clone(), w2.clone()], &mut ps, &mut NullSink);
+        // Static dispatch must reproduce the dyn path exactly.
+        assert_eq!(r.cores, dyn_r.cores);
+        assert_eq!(r.stats, dyn_r.stats);
+        // The throughput denominator counts per-core retired
+        // instructions: both cores' traces, not one "run".
+        assert_eq!(
+            r.total_instructions() as usize,
+            w1.trace.len() + w2.trace.len()
+        );
+        // >= because other tests may add to the global counter in
+        // parallel; the co-run's own contribution is the full sum.
+        assert!(crate::telemetry::simulated_instructions() >= before + r.total_instructions());
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! to report simulated instructions per wall-clock second (the
 //! `BENCH_sim.json` artifact). One relaxed atomic add per *run* — not
 //! per instruction — so the hot loop is untouched.
+//!
+//! Multi-core runs add the *sum of per-core retired instructions*: a
+//! 4-core co-run contributes 4× the instructions of a single-core run
+//! of the same length, so single- and multi-core inst/s denominators
+//! stay comparable (the simulator did do that much per-core work).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

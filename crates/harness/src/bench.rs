@@ -177,7 +177,23 @@ impl BenchReport {
 /// a tiny purpose-built scanner, not a general JSON parser.
 pub fn parse_floor(json: &str) -> Option<f64> {
     let total = json.split("\"total\"").nth(1)?;
-    let after = total.split("\"insts_per_s\"").nth(1)?;
+    scan_rate(total)
+}
+
+/// Extracts one driver's `insts_per_s` from a `dol-bench-v1` document by
+/// its stable id ("fig08", "multicore", …). Returns `None` when the
+/// driver is absent — floors recorded before a driver existed simply
+/// don't gate it.
+pub fn parse_driver_floor(json: &str, id: &str) -> Option<f64> {
+    let needle = format!("\"id\": \"{id}\"");
+    // Driver records serialize one per line, so the rate belongs to this
+    // driver iff it appears before the record's closing newline.
+    let line = json.split(&needle).nth(1)?.split('\n').next()?;
+    scan_rate(line)
+}
+
+fn scan_rate(fragment: &str) -> Option<f64> {
+    let after = fragment.split("\"insts_per_s\"").nth(1)?;
     let num: String = after
         .chars()
         .skip_while(|c| *c == ':' || c.is_whitespace())
@@ -272,6 +288,18 @@ mod tests {
         assert_eq!(parse_floor(""), None);
         assert_eq!(parse_floor("{\"total\": {}}"), None);
         assert_eq!(parse_floor("not json at all"), None);
+    }
+
+    #[test]
+    fn driver_floor_reads_the_right_record() {
+        let json = report().to_json();
+        let table1 = parse_driver_floor(&json, "table1").expect("present");
+        assert!((table1 - 2_000_000.0).abs() < 0.5);
+        let fig08 = parse_driver_floor(&json, "fig08").expect("present");
+        assert!((fig08 - 3_333_333.3).abs() < 0.5);
+        // Absent drivers don't gate.
+        assert_eq!(parse_driver_floor(&json, "multicore"), None);
+        assert_eq!(parse_driver_floor("", "fig08"), None);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use std::time::Instant;
 
-use dol_harness::bench::{parse_floor, BenchReport, DriverBench, TraceBench};
+use dol_harness::bench::{parse_driver_floor, parse_floor, BenchReport, DriverBench, TraceBench};
 use dol_harness::{experiments, RunPlan};
 
 const USAGE: &str = "usage: run_all [--smoke] [--jobs N] [--trace-dir DIR] [--bench-out PATH] \
@@ -182,6 +182,27 @@ fn main() {
         if measured < limit {
             eprintln!("THROUGHPUT REGRESSION: more than 30% below the recorded floor");
             std::process::exit(1);
+        }
+        // The multi-core co-run driver gets its own floor entry: its
+        // shared-hierarchy hot path is disjoint enough from the
+        // single-core drivers that a regression there can hide inside
+        // the total. Floors recorded before the driver existed (no
+        // "multicore" record) simply don't gate it.
+        let mc = bench.drivers.iter().find(|d| d.id == "multicore");
+        if let (Some(mc_floor), Some(d)) = (parse_driver_floor(&text, "multicore"), mc) {
+            let measured = d.insts_per_s();
+            let limit = mc_floor * (1.0 - MAX_REGRESSION);
+            eprintln!(
+                "multicore gate: measured {:.2} M inst/s vs floor {:.2} M inst/s \
+                 (fail below {:.2})",
+                measured / 1e6,
+                mc_floor / 1e6,
+                limit / 1e6
+            );
+            if !d.cached && measured < limit {
+                eprintln!("THROUGHPUT REGRESSION: multicore driver more than 30% below its floor");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -17,6 +17,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod matrix;
+pub mod multicore;
 pub mod table1;
 pub mod table2;
 
@@ -79,6 +80,10 @@ pub fn drivers() -> Vec<(&'static str, Driver)> {
         ("ablation_mpc", ablations::mpc),
         ("ablation_p1_double", ablations::p1_doubling),
         ("ablation_multi_extra", ablations::multi_extra),
+        // Appended last on purpose: earlier drivers' stdout is a stable
+        // prefix, so golden captures from before this driver existed
+        // still diff clean.
+        ("multicore", multicore::run),
     ]
 }
 

@@ -17,6 +17,9 @@ struct Line {
     ready_at: u64,
     /// Replacement stamp (monotone counter).
     stamp: u64,
+    /// Core on whose behalf the line was filled. Only meaningful for
+    /// shared caches; private caches leave it at zero.
+    owner: u8,
 }
 
 /// Result of a demand lookup.
@@ -47,6 +50,9 @@ pub struct EvictInfo {
     /// `Some(origin)` if the victim was a prefetched line that never
     /// served a demand access.
     pub unused_prefetch: Option<Origin>,
+    /// Core that filled the victim (zero unless the cache is shared and
+    /// was filled through [`Cache::fill_owned`]).
+    pub owner: u8,
 }
 
 /// Tag value marking an empty way in the packed tag array. Unreachable
@@ -182,6 +188,33 @@ impl Cache {
         dirty: bool,
         low_priority: bool,
     ) -> Option<EvictInfo> {
+        self.fill_impl(line, ready_at, origin, dirty, low_priority, 0)
+    }
+
+    /// Like [`fill`](Self::fill), recording `owner` as the core the fill
+    /// was performed for. Shared caches (the L3) use this so evictions
+    /// can be attributed across cores; private caches keep the plain
+    /// `fill` path and an all-zero owner.
+    pub fn fill_owned(
+        &mut self,
+        line: u64,
+        ready_at: u64,
+        origin: Option<Origin>,
+        dirty: bool,
+        owner: u8,
+    ) -> Option<EvictInfo> {
+        self.fill_impl(line, ready_at, origin, dirty, false, owner)
+    }
+
+    fn fill_impl(
+        &mut self,
+        line: u64,
+        ready_at: u64,
+        origin: Option<Origin>,
+        dirty: bool,
+        low_priority: bool,
+        owner: u8,
+    ) -> Option<EvictInfo> {
         let stamp = self.next_stamp();
         // Refresh an existing copy.
         if let Some(i) = self.find(line) {
@@ -210,6 +243,7 @@ impl Cache {
                 line: l.tag,
                 dirty: l.dirty,
                 unused_prefetch: if l.used { None } else { l.prefetch },
+                owner: l.owner,
             })
         } else {
             None
@@ -222,6 +256,7 @@ impl Cache {
             prefetch: origin,
             ready_at,
             stamp,
+            owner,
         };
         self.tags[victim_at] = line;
         evicted
@@ -427,6 +462,22 @@ mod tests {
         assert_eq!(c.invalidate(0), Some(true));
         assert!(!c.probe(0));
         assert_eq!(c.invalidate(0), None);
+    }
+
+    #[test]
+    fn fill_owned_attributes_victims_to_their_filler() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.fill_owned(0, 0, Some(Origin(7)), false, 2);
+        c.fill_owned(2, 0, None, false, 1);
+        let ev = c.fill_owned(4, 1, None, false, 3).expect("eviction");
+        assert_eq!((ev.line, ev.owner), (0, 2));
+        assert_eq!(ev.unused_prefetch, Some(Origin(7)));
+        // The plain fill path reports an all-zero owner.
+        let mut p = tiny(ReplacementPolicy::Lru);
+        p.fill(0, 0, None, false);
+        p.fill(2, 0, None, false);
+        let ev = p.fill(4, 1, None, false).expect("eviction");
+        assert_eq!(ev.owner, 0);
     }
 
     #[test]

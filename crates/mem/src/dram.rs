@@ -52,6 +52,14 @@ pub struct DramStats {
     pub row_hits: u64,
     /// Row-buffer misses (activations).
     pub row_misses: u64,
+    /// Row misses that also had to precharge an occupied row buffer —
+    /// the bank-conflict subset of `row_misses`, the paper's multicore
+    /// contention signal.
+    pub bank_conflicts: u64,
+    /// Demands or writebacks that arrived at a full channel queue and
+    /// had to wait for a slot (prefetches are shed instead, counted in
+    /// `dropped_prefetches`).
+    pub queue_full_waits: u64,
 }
 
 impl DramStats {
@@ -181,6 +189,7 @@ impl Dram {
             }
         } else if occupancy >= capacity {
             // Demands and writebacks wait for a queue slot.
+            self.stats.queue_full_waits += 1;
             let earliest = self.channels[ch_idx]
                 .inflight
                 .iter()
@@ -203,6 +212,7 @@ impl Dram {
             self.stats.row_misses += 1;
             let victim = bank.lru;
             let overhead = if bank.rows[victim].is_some() {
+                self.stats.bank_conflicts += 1;
                 self.cfg.t_precharge + self.cfg.t_activate
             } else {
                 self.cfg.t_activate
@@ -286,6 +296,8 @@ mod tests {
             30_000 + 41 + 41 + 60,
             "conflict pays precharge + activate"
         );
+        assert_eq!(d.stats().bank_conflicts, 1, "only the precharge counts");
+        assert_eq!(d.stats().row_misses, 3);
     }
 
     /// Lines that all route to channel 0 (any bank), distinct.
@@ -332,10 +344,11 @@ mod tests {
             .request(lines[cap], DramRequest::PrefetchRead { confidence: 255 }, 0)
             .is_none());
         assert_eq!(d.stats().dropped_prefetches, 1);
-        // Demands still get in (by waiting).
+        // Demands still get in (by waiting) — and the wait is counted.
         assert!(d
             .request(lines[cap + 1], DramRequest::DemandRead, 0)
             .is_some());
+        assert_eq!(d.stats().queue_full_waits, 1);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::cache::LookupOutcome;
 use crate::dram::DramRequest;
 use crate::{
     line_of, Cache, CacheLevel, Dram, DramStats, DropReason, EventSink, HierarchyConfig, MemEvent,
-    MshrFile, Origin, ShadowTags,
+    MshrFile, MshrStats, Origin, ShadowTags,
 };
 
 /// Outcome of a demand access.
@@ -63,6 +63,51 @@ pub struct CoreStats {
     pub latency_sum: u64,
 }
 
+/// Shared-resource contention counters for a (possibly multi-core) run.
+///
+/// Per-core vectors are indexed by core id. All LLC attribution relies on
+/// the owner tag the shared L3 records at fill time; on a single-core
+/// system every fill and victim share owner 0, so the cross-eviction
+/// counters stay at zero and single-core results are unaffected.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SharedStats {
+    /// Per issuing core: prefetched lines inserted into the shared LLC.
+    pub llc_prefetch_fills: Vec<u64>,
+    /// Per filling core: LLC victims that another core had filled —
+    /// cross-core displacement in the shared cache.
+    pub llc_cross_evictions: Vec<u64>,
+    /// Subset of `llc_cross_evictions` where the incoming fill was a
+    /// prefetch: shared-LLC pollution charged to the issuing core.
+    pub llc_prefetch_cross_evictions: Vec<u64>,
+    /// Per-core private L1 demand-MSHR contention.
+    pub core_l1_mshr: Vec<MshrStats>,
+    /// Per-core private L2 demand-MSHR contention.
+    pub core_l2_mshr: Vec<MshrStats>,
+    /// Shared L3 demand-MSHR contention (all cores compete here).
+    pub l3_mshr: MshrStats,
+    /// Shared L3 prefetch-queue contention.
+    pub pf_l3: MshrStats,
+}
+
+impl SharedStats {
+    /// Total cross-core LLC displacements caused by prefetches, summed
+    /// over issuing cores — the headline shared-LLC pollution figure.
+    pub fn total_prefetch_pollution(&self) -> u64 {
+        self.llc_prefetch_cross_evictions.iter().sum()
+    }
+
+    /// Total demand-MSHR stall cycles across private files plus the
+    /// shared L3 file.
+    pub fn total_mshr_stall_cycles(&self) -> u64 {
+        self.core_l1_mshr
+            .iter()
+            .chain(self.core_l2_mshr.iter())
+            .map(|m| m.stall_cycles)
+            .sum::<u64>()
+            + self.l3_mshr.stall_cycles
+    }
+}
+
 /// Aggregate statistics for the whole memory system.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SystemStats {
@@ -70,6 +115,8 @@ pub struct SystemStats {
     pub cores: Vec<CoreStats>,
     /// DRAM counters (shared).
     pub dram: DramStats,
+    /// Shared-resource contention counters.
+    pub shared: SharedStats,
 }
 
 /// Private L1D and L2 per core, shared L3 and DRAM.
@@ -100,6 +147,12 @@ pub struct MemorySystem {
     pf_l3: MshrFile,
     dram: Dram,
     stats: Vec<CoreStats>,
+    /// Per issuing core: prefetched lines inserted into the shared L3.
+    llc_prefetch_fills: Vec<u64>,
+    /// Per filling core: L3 victims owned by a different core.
+    llc_cross_evictions: Vec<u64>,
+    /// Subset of the above where the incoming fill was a prefetch.
+    llc_prefetch_cross_evictions: Vec<u64>,
 }
 
 impl MemorySystem {
@@ -120,6 +173,9 @@ impl MemorySystem {
             pf_l3: MshrFile::new(cfg.l3.mshrs),
             dram: Dram::new(cfg.dram),
             stats: vec![CoreStats::default(); n],
+            llc_prefetch_fills: vec![0; n],
+            llc_cross_evictions: vec![0; n],
+            llc_prefetch_cross_evictions: vec![0; n],
             cfg,
         }
     }
@@ -134,6 +190,15 @@ impl MemorySystem {
         SystemStats {
             cores: self.stats.clone(),
             dram: *self.dram.stats(),
+            shared: SharedStats {
+                llc_prefetch_fills: self.llc_prefetch_fills.clone(),
+                llc_cross_evictions: self.llc_cross_evictions.clone(),
+                llc_prefetch_cross_evictions: self.llc_prefetch_cross_evictions.clone(),
+                core_l1_mshr: self.l1_mshr.iter().map(|m| m.stats()).collect(),
+                core_l2_mshr: self.l2_mshr.iter().map(|m| m.stats()).collect(),
+                l3_mshr: self.l3_mshr.stats(),
+                pf_l3: self.pf_l3.stats(),
+            },
         }
     }
 
@@ -308,7 +373,7 @@ impl MemorySystem {
                         pc,
                     });
                     let t2 = self.l2_mshr[core].next_free(t);
-                    data_ready = self.fetch_from_l3(core, line, t2, false, 255, sink);
+                    data_ready = self.fetch_from_l3(core, line, t2, false, 255, None, sink);
                     self.l2_mshr[core].allocate(line, t2, data_ready);
                     self.fill_level(core, CacheLevel::L2, line, data_ready, None, sink);
                 }
@@ -333,7 +398,10 @@ impl MemorySystem {
     }
 
     /// Looks up L3 (then DRAM) starting at cycle `t`; returns data-ready
-    /// time and fills L3 on a DRAM fetch.
+    /// time and fills L3 on a DRAM fetch. Prefetch requests pass their
+    /// `origin` so the L3 copy is tagged as prefetched — the basis for
+    /// shared-LLC pollution attribution; demands pass `None`.
+    #[allow(clippy::too_many_arguments)] // mirrors the request fields
     fn fetch_from_l3<S: EventSink + ?Sized>(
         &mut self,
         core: usize,
@@ -341,6 +409,7 @@ impl MemorySystem {
         t: u64,
         is_prefetch: bool,
         confidence: u8,
+        origin: Option<Origin>,
         sink: &mut S,
     ) -> u64 {
         let t = t + self.cfg.l3.latency;
@@ -386,7 +455,7 @@ impl MemorySystem {
                             None => return u64::MAX,
                         };
                     self.pf_l3.allocate(line, t, done);
-                    self.fill_level(core, CacheLevel::L3, line, done, None, sink);
+                    self.fill_level(core, CacheLevel::L3, line, done, origin, sink);
                     return done;
                 }
                 let t = self.l3_mshr.next_free(t);
@@ -420,12 +489,19 @@ impl MemorySystem {
                 self.l1[core].fill_with_priority(line, ready_at, origin, false, low)
             }
             CacheLevel::L2 => self.l2[core].fill(line, ready_at, origin, false),
-            CacheLevel::L3 => self.l3.fill(line, ready_at, origin, false),
+            CacheLevel::L3 => self.fill_l3_shared(core, line, ready_at, origin, false),
         };
         let Some(ev) = evicted else { return };
         if let Some(origin) = ev.unused_prefetch {
             sink.emit(MemEvent::PrefetchUnused {
-                core: core as u32,
+                // The shared L3 charges the eviction to the core that
+                // filled the victim (the prefetch's issuer); private
+                // levels belong to the accessing core anyway.
+                core: if level == CacheLevel::L3 {
+                    ev.owner as u32
+                } else {
+                    core as u32
+                },
                 level,
                 line: ev.line,
                 origin,
@@ -449,6 +525,34 @@ impl MemorySystem {
                 }
             }
         }
+    }
+
+    /// Fills the shared L3 on behalf of `core`, recording ownership and
+    /// cross-core displacement. All L3 insertions funnel through here so
+    /// the shared-LLC attribution counters see every fill.
+    fn fill_l3_shared(
+        &mut self,
+        core: usize,
+        line: u64,
+        ready_at: u64,
+        origin: Option<Origin>,
+        dirty: bool,
+    ) -> Option<crate::EvictInfo> {
+        if origin.is_some() {
+            self.llc_prefetch_fills[core] += 1;
+        }
+        let evicted = self
+            .l3
+            .fill_owned(line, ready_at, origin, dirty, core as u8);
+        if let Some(ev) = evicted {
+            if ev.owner as usize != core {
+                self.llc_cross_evictions[core] += 1;
+                if origin.is_some() {
+                    self.llc_prefetch_cross_evictions[core] += 1;
+                }
+            }
+        }
+        evicted
     }
 
     fn handle_l2_victim<S: EventSink + ?Sized>(
@@ -480,10 +584,10 @@ impl MemorySystem {
     ) {
         if self.l3.probe(line) {
             self.l3.demand_access(line, now, true);
-        } else if let Some(ev3) = self.l3.fill(line, now, None, true) {
+        } else if let Some(ev3) = self.fill_l3_shared(core, line, now, None, true) {
             if let Some(origin) = ev3.unused_prefetch {
                 sink.emit(MemEvent::PrefetchUnused {
-                    core: core as u32,
+                    core: ev3.owner as u32,
                     level: CacheLevel::L3,
                     line: ev3.line,
                     origin,
@@ -562,7 +666,15 @@ impl MemorySystem {
                         } else if !self.pf_l2[core].has_free(t) {
                             return rejected(sink, DropReason::NoMshr);
                         } else {
-                            let done = self.fetch_from_l3(core, line, t, true, confidence, sink);
+                            let done = self.fetch_from_l3(
+                                core,
+                                line,
+                                t,
+                                true,
+                                confidence,
+                                Some(origin),
+                                sink,
+                            );
                             if done == u64::MAX {
                                 return rejected(sink, DropReason::QueueFull);
                             }
@@ -574,7 +686,8 @@ impl MemorySystem {
                 }
             }
             CacheLevel::L2 => {
-                let done = self.fetch_from_l3(core, line, now, true, confidence, sink);
+                let done =
+                    self.fetch_from_l3(core, line, now, true, confidence, Some(origin), sink);
                 if done == u64::MAX {
                     return rejected(sink, DropReason::QueueFull);
                 }
@@ -795,6 +908,66 @@ mod tests {
             MemEvent::PrefetchUnused {
                 level: CacheLevel::L1,
                 origin: Origin(5),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn shared_stats_attribute_llc_evictions_across_cores() {
+        let mut m = MemorySystem::new(HierarchyConfig::tiny(2));
+        let mut sink = CollectSink::new();
+        let mut t = 0;
+        // Core 0 fills the tiny L3 (64 KiB = 1024 lines) with its lines.
+        for i in 0..2048u64 {
+            let out = m.demand_access(0, i * LINE_BYTES, false, t, 0x400, &mut sink);
+            t += out.latency + 1;
+        }
+        // Core 1 then streams a disjoint region, displacing core 0.
+        for i in 0..2048u64 {
+            let out = m.demand_access(1, (1 << 30) + i * LINE_BYTES, false, t, 0x400, &mut sink);
+            t += out.latency + 1;
+        }
+        let s = m.stats();
+        assert!(
+            s.shared.llc_cross_evictions[1] > 0,
+            "core 1 must displace core 0's LLC lines"
+        );
+        assert_eq!(
+            s.shared.llc_cross_evictions[0], 0,
+            "core 0 only ever evicted its own lines"
+        );
+        assert_eq!(s.shared.core_l1_mshr.len(), 2);
+        assert_eq!(s.shared.core_l2_mshr.len(), 2);
+        assert!(s.shared.l3_mshr.peak_occupancy >= 1);
+    }
+
+    #[test]
+    fn l3_prefetch_fills_carry_origin_and_issuer() {
+        let mut m = MemorySystem::new(HierarchyConfig::tiny(2));
+        let mut sink = CollectSink::new();
+        // Core 0 prefetches one line into L2 (and thus L3), never uses it.
+        let p = m.prefetch(0, 0x4_0000, CacheLevel::L2, Origin(6), 255, 0, &mut sink);
+        assert!(p.accepted);
+        let mut t = p.completes_at + 1;
+        // Core 1 floods the L3 until core 0's prefetched line is evicted.
+        for i in 0..4096u64 {
+            let out = m.demand_access(1, (1 << 30) + i * LINE_BYTES, false, t, 0x400, &mut sink);
+            t += out.latency + 1;
+        }
+        let s = m.stats();
+        assert_eq!(s.shared.llc_prefetch_fills[0], 1);
+        assert!(s.shared.llc_cross_evictions[1] > 0);
+        assert!(s.shared.total_prefetch_pollution() <= s.shared.llc_cross_evictions[1]);
+        // The L3 eviction is charged to the issuing core (0), not the
+        // core whose fill displaced it (1).
+        let events = sink.into_events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            MemEvent::PrefetchUnused {
+                core: 0,
+                level: CacheLevel::L3,
+                origin: Origin(6),
                 ..
             }
         )));

@@ -40,8 +40,8 @@ pub use cache::{Cache, EvictInfo, LookupOutcome};
 pub use config::{CacheConfig, DramConfig, HierarchyConfig, ReplacementPolicy};
 pub use dram::{Dram, DramRequest, DramStats, DropPolicy};
 pub use events::{CollectSink, DropReason, EventSink, MemEvent, NullSink, Origin};
-pub use hierarchy::{DemandOutcome, MemorySystem, PrefetchOutcome, SystemStats};
-pub use mshr::MshrFile;
+pub use hierarchy::{DemandOutcome, MemorySystem, PrefetchOutcome, SharedStats, SystemStats};
+pub use mshr::{MshrFile, MshrStats};
 pub use shadow::ShadowTags;
 
 /// Bytes per cache line throughout the study.

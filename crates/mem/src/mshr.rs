@@ -1,5 +1,22 @@
 //! Miss-status holding registers.
 
+/// Contention counters for one MSHR file.
+///
+/// Stalls are counted at [`MshrFile::next_free`]: each query that finds
+/// every register busy is one stall event, and the cycles until the
+/// earliest completion are the wait it reported. Peak occupancy is
+/// sampled at allocation time, so `peak_occupancy == capacity` means the
+/// file actually filled up at least once during the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MshrStats {
+    /// Queries that found every register busy and had to report a wait.
+    pub stall_events: u64,
+    /// Total cycles of waiting reported by those queries.
+    pub stall_cycles: u64,
+    /// Highest occupancy observed immediately after an allocation.
+    pub peak_occupancy: u32,
+}
+
 /// A file of miss-status holding registers for one cache.
 ///
 /// Tracks lines with fetches in flight. A request for a line already in
@@ -24,6 +41,7 @@ pub struct MshrFile {
     capacity: usize,
     /// `(line, completes_at)` for in-flight fetches.
     inflight: Vec<(u64, u64)>,
+    stats: MshrStats,
 }
 
 impl MshrFile {
@@ -33,7 +51,18 @@ impl MshrFile {
         MshrFile {
             capacity: capacity as usize,
             inflight: Vec::with_capacity(capacity as usize),
+            stats: MshrStats::default(),
         }
+    }
+
+    /// Number of registers in the file.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Contention counters so far.
+    pub fn stats(&self) -> MshrStats {
+        self.stats
     }
 
     /// Drops entries that have completed by `now`.
@@ -79,11 +108,15 @@ impl MshrFile {
         if self.inflight.len() < self.capacity {
             now
         } else {
-            self.inflight
+            let t = self
+                .inflight
                 .iter()
                 .map(|&(_, t)| t)
                 .min()
-                .expect("file is full")
+                .expect("file is full");
+            self.stats.stall_events += 1;
+            self.stats.stall_cycles += t - now;
+            t
         }
     }
 
@@ -97,6 +130,7 @@ impl MshrFile {
         self.expire(now);
         assert!(self.inflight.len() < self.capacity, "MSHR file full");
         self.inflight.push((line, completes_at));
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.inflight.len() as u32);
     }
 
     /// Number of in-flight fetches at `now`.
@@ -130,6 +164,27 @@ mod tests {
         m.allocate(3, 20, 99);
         assert_eq!(m.occupancy(20), 2);
         assert_eq!(m.occupancy(30), 1);
+    }
+
+    #[test]
+    fn stall_counters_track_full_file_waits_and_peak() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.capacity(), 2);
+        m.allocate(1, 0, 30);
+        assert_eq!(m.stats().peak_occupancy, 1);
+        m.allocate(2, 0, 20);
+        assert_eq!(m.stats().peak_occupancy, 2);
+        // Free registers: next_free is not a stall.
+        assert_eq!(m.next_free(25), 25);
+        assert_eq!(m.stats().stall_events, 0);
+        m.allocate(3, 25, 99);
+        // Two full-file queries at t=26: each waits until t=30.
+        assert_eq!(m.next_free(26), 30);
+        assert_eq!(m.next_free(26), 30);
+        let s = m.stats();
+        assert_eq!(s.stall_events, 2);
+        assert_eq!(s.stall_cycles, 8);
+        assert_eq!(s.peak_occupancy, 2);
     }
 
     #[test]

@@ -34,5 +34,5 @@ pub use classify::{classify_trace, Category, Classifier};
 pub use scatter::{accuracy_scope_plot, ScatterPoint};
 pub use scope::{footprint, prefetched_lines, scope, Footprint};
 pub use stats::{geomean, normalize_to, weighted_speedup, WeightedPoint};
-pub use stream::StreamingMetrics;
+pub use stream::{CoreCells, StreamingMetrics};
 pub use table::TextTable;

@@ -135,6 +135,21 @@ impl Accounting {
     }
 }
 
+/// Per-core accounting cells for multi-core runs.
+///
+/// Events are bucketed by the core they are charged to: demand-side
+/// events (misses, avoided/induced misses, useful hits) carry the
+/// accessing core, and shared-LLC `PrefetchUnused` evictions carry the
+/// *issuing* core (the memory system attributes L3 victims to the core
+/// that filled them). Single-core runs put everything in cell 0.
+#[derive(Debug, Clone, Default)]
+pub struct CoreCells {
+    /// Per-level effective-accuracy cells charged to this core.
+    pub acc: [EffectiveAccuracy; 3],
+    /// Primary demand misses observed per level.
+    pub demand_misses: [u64; 3],
+}
+
 /// All of the crate's metrics, accumulated online from a run's event
 /// stream.
 ///
@@ -159,6 +174,8 @@ pub struct StreamingMetrics {
     /// Per-level × per-category accounting (present with a classifier).
     classifier: Option<Arc<Classifier>>,
     by_category: [[EffectiveAccuracy; 3]; 3],
+    /// Per-core accounting (indexed by core id, grown on demand).
+    per_core: Vec<CoreCells>,
 }
 
 impl StreamingMetrics {
@@ -189,6 +206,7 @@ impl StreamingMetrics {
         if let Some((region, acc)) = self.region.as_mut() {
             acc.observe(ev, Some(region));
         }
+        self.observe_per_core(ev);
         match ev {
             MemEvent::DemandMiss { level, line, .. } => {
                 self.footprints[level_idx(*level)].add_miss(*line);
@@ -234,6 +252,78 @@ impl StreamingMetrics {
                 _ => {}
             }
         }
+    }
+
+    fn observe_per_core(&mut self, ev: &MemEvent) {
+        let core = match ev {
+            MemEvent::PrefetchIssued { core, .. }
+            | MemEvent::PrefetchDropped { core, .. }
+            | MemEvent::PrefetchUseful { core, .. }
+            | MemEvent::PrefetchUnused { core, .. }
+            | MemEvent::AvoidedMiss { core, .. }
+            | MemEvent::InducedMiss { core, .. }
+            | MemEvent::DemandMiss { core, .. } => *core as usize,
+        };
+        if self.per_core.len() <= core {
+            self.per_core.resize_with(core + 1, CoreCells::default);
+        }
+        let cell = &mut self.per_core[core];
+        match ev {
+            MemEvent::PrefetchIssued { dest, .. } => {
+                for lvl in LEVELS {
+                    if *dest <= lvl {
+                        cell.acc[level_idx(lvl)].issued += 1;
+                    }
+                }
+            }
+            MemEvent::PrefetchUseful { level, .. } => {
+                cell.acc[level_idx(*level)].useful += 1;
+            }
+            MemEvent::PrefetchUnused { level, .. } => {
+                cell.acc[level_idx(*level)].unused += 1;
+            }
+            MemEvent::AvoidedMiss { level, .. } => {
+                cell.acc[level_idx(*level)].avoided += 1;
+            }
+            MemEvent::InducedMiss { level, .. } => {
+                // Whole-event charge to the suffering core (the blame
+                // split across origins stays in the origin accounting).
+                cell.acc[level_idx(*level)].induced += 1.0;
+            }
+            MemEvent::DemandMiss { level, .. } => {
+                cell.demand_misses[level_idx(*level)] += 1;
+            }
+            MemEvent::PrefetchDropped { .. } => {}
+        }
+    }
+
+    /// Number of distinct cores that have appeared in the event stream
+    /// (more precisely: one past the highest core id seen).
+    pub fn cores_observed(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// Per-core accounting cells, indexed by core id. Cores that never
+    /// emitted an event below `cores_observed()` hold all-zero cells.
+    pub fn per_core(&self) -> &[CoreCells] {
+        &self.per_core
+    }
+
+    /// This core's effective-accuracy cells at `level` (all-zero for a
+    /// core never seen in the stream).
+    pub fn core_accuracy(&self, core: usize, level: CacheLevel) -> EffectiveAccuracy {
+        self.per_core
+            .get(core)
+            .map(|c| c.acc[level_idx(level)])
+            .unwrap_or_default()
+    }
+
+    /// This core's primary demand misses at `level`.
+    pub fn core_demand_misses(&self, core: usize, level: CacheLevel) -> u64 {
+        self.per_core
+            .get(core)
+            .map(|c| c.demand_misses[level_idx(level)])
+            .unwrap_or_default()
     }
 
     /// Effective-accuracy accounting at `level`, optionally restricted
@@ -475,6 +565,35 @@ mod tests {
         sm.emit(issued(1, 5, CacheLevel::L1));
         assert_eq!(sm.accuracy_at(CacheLevel::L1, None).issued, 1);
         assert!(sm.prefetched_lines_all().contains(&1));
+    }
+
+    #[test]
+    fn per_core_cells_bucket_by_event_core() {
+        let mut sm = StreamingMetrics::new();
+        sm.observe(&issued(1, 5, CacheLevel::L1));
+        sm.observe(&MemEvent::PrefetchUseful {
+            core: 2,
+            level: CacheLevel::L2,
+            line: 1,
+            origin: Origin(5),
+        });
+        sm.observe(&MemEvent::DemandMiss {
+            core: 2,
+            level: CacheLevel::L1,
+            line: 9,
+            pc: 0x10,
+        });
+        sm.observe(&induced(4, CacheLevel::L1, vec![Origin(5), Origin(6)]));
+        assert_eq!(sm.cores_observed(), 3);
+        assert_eq!(sm.core_accuracy(0, CacheLevel::L1).issued, 1);
+        assert_eq!(sm.core_accuracy(2, CacheLevel::L2).useful, 1);
+        assert_eq!(sm.core_demand_misses(2, CacheLevel::L1), 1);
+        // The induced miss is charged whole to the suffering core 0.
+        assert!((sm.core_accuracy(0, CacheLevel::L1).induced - 1.0).abs() < 1e-12);
+        // Core 1 never appeared: all-zero cells, in and out of range.
+        assert_eq!(sm.core_accuracy(1, CacheLevel::L1).issued, 0);
+        assert_eq!(sm.core_demand_misses(7, CacheLevel::L1), 0);
+        assert_eq!(sm.per_core().len(), 3);
     }
 
     #[test]
