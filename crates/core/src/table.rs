@@ -128,7 +128,6 @@ impl Geometry {
 struct Slot<V> {
     tag: u64,
     valid: bool,
-    stamp: u64,
     value: V,
 }
 
@@ -156,7 +155,6 @@ impl<V: Default + Clone> DirectTable<V> {
             Slot {
                 tag: 0,
                 valid: false,
-                stamp: 0,
                 value: V::default()
             };
             geom.sets
@@ -287,10 +285,25 @@ impl<V: Default + Clone> DirectTable<V> {
 ///
 /// Age is a monotonic stamp bumped on every touching access; the
 /// victim is the invalid way if any, else the least-recently-stamped.
+///
+/// Storage is structure-of-arrays: probes scan a packed tag vector
+/// (one host cache line covers a whole set) against a per-set validity
+/// bitmask, building the hit mask branch-free in a single pass; stamps
+/// and payloads live in parallel vectors touched only on the hit way.
+/// Keys are arbitrary `u64` (e.g. `pc ^ ras_top` hashes), so unlike the
+/// cache-line tables no tag value can serve as an in-band invalid
+/// sentinel — validity is the explicit bitmask.
 #[derive(Debug, Clone)]
 pub struct AssocTable<V> {
     geom: Geometry,
-    slots: Vec<Slot<V>>,
+    /// Packed tags per way (stale values persist in invalid ways).
+    tags: Vec<u64>,
+    /// Per-set validity bitmask; bit `w` set ⇔ way `w` is live.
+    valid: Vec<u32>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    /// Payloads parallel to `tags`.
+    values: Vec<V>,
     clock: u64,
     live: usize,
 }
@@ -299,37 +312,45 @@ impl<V: Default + Clone> AssocTable<V> {
     /// Allocates the table; all ways start invalid.
     pub fn new(geom: Geometry) -> Self {
         geom.assert_valid();
-        let slots = vec![
-            Slot {
-                tag: 0,
-                valid: false,
-                stamp: 0,
-                value: V::default()
-            };
-            geom.entries()
-        ];
+        assert!(geom.ways <= 32, "validity bitmask is u32 per set");
         AssocTable {
+            tags: vec![0; geom.entries()],
+            valid: vec![0; geom.sets],
+            stamps: vec![0; geom.entries()],
+            values: vec![V::default(); geom.entries()],
             geom,
-            slots,
             clock: 0,
             live: 0,
         }
     }
 
+    /// Slot index of the live way holding `key`, plus the set index.
+    /// The tag compare is a branch-free all-ways pass: live ways have
+    /// unique tags within a set, so the lowest set bit of the masked
+    /// compare result is *the* match — identical to the old first-match
+    /// scan over `(valid, tag)` records.
     #[inline(always)]
-    fn set_range(&self, key: u64) -> std::ops::Range<usize> {
-        let base = self.geom.set_of(key) * self.geom.ways;
-        base..base + self.geom.ways
+    fn find(&self, key: u64) -> (usize, Option<usize>) {
+        let set = self.geom.set_of(key);
+        let base = set * self.geom.ways;
+        let tags = &self.tags[base..base + self.geom.ways];
+        let mut mask = 0u32;
+        for (i, &t) in tags.iter().enumerate() {
+            mask |= ((t == key) as u32) << i;
+        }
+        mask &= self.valid[set];
+        let hit = if mask == 0 {
+            None
+        } else {
+            Some(base + mask.trailing_zeros() as usize)
+        };
+        (set, hit)
     }
 
     /// Read-only lookup (does not refresh recency).
     #[inline(always)]
     pub fn peek(&self, key: u64) -> Option<&V> {
-        let r = self.set_range(key);
-        self.slots[r]
-            .iter()
-            .find(|s| s.valid && s.tag == key)
-            .map(|s| &s.value)
+        self.find(key).1.map(|i| &self.values[i])
     }
 
     /// Mutable lookup; refreshes the entry's LRU stamp on a hit.
@@ -337,20 +358,17 @@ impl<V: Default + Clone> AssocTable<V> {
     pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
         self.clock += 1;
         let clock = self.clock;
-        let r = self.set_range(key);
-        self.slots[r]
-            .iter_mut()
-            .find(|s| s.valid && s.tag == key)
-            .map(|s| {
-                s.stamp = clock;
-                &mut s.value
-            })
+        let (_, hit) = self.find(key);
+        hit.map(|i| {
+            self.stamps[i] = clock;
+            &mut self.values[i]
+        })
     }
 
     /// `true` if `key` currently hits.
     #[inline(always)]
     pub fn contains(&self, key: u64) -> bool {
-        self.peek(key).is_some()
+        self.find(key).1.is_some()
     }
 
     /// Inserts `key -> value`, touching LRU state. Returns the evicted
@@ -358,40 +376,47 @@ impl<V: Default + Clone> AssocTable<V> {
     pub fn insert(&mut self, key: u64, value: V) -> Option<(u64, V)> {
         self.clock += 1;
         let clock = self.clock;
-        let r = self.set_range(key);
+        let (set, hit) = self.find(key);
         // Hit: overwrite in place.
-        if let Some(s) = self.slots[r.clone()]
-            .iter_mut()
-            .find(|s| s.valid && s.tag == key)
-        {
-            s.stamp = clock;
-            s.value = value;
+        if let Some(i) = hit {
+            self.stamps[i] = clock;
+            self.values[i] = value;
             return None;
         }
-        // Miss: fill an invalid way, else evict LRU.
-        let victim = match self.slots[r.clone()].iter().position(|s| !s.valid) {
-            Some(off) => r.start + off,
-            None => {
-                let off = self.slots[r.clone()]
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, s)| s.stamp)
-                    .map(|(i, _)| i)
-                    .unwrap_or(0);
-                r.start + off
-            }
+        let base = set * self.geom.ways;
+        let live_mask = self.valid[set];
+        let all = if self.geom.ways == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.geom.ways) - 1
         };
-        let s = &mut self.slots[victim];
-        let evicted = if s.valid {
-            Some((s.tag, std::mem::take(&mut s.value)))
+        // Miss: fill the lowest invalid way, else evict LRU (first
+        // minimum stamp, matching the old `min_by_key` scan).
+        let victim = if live_mask != all {
+            base + (!live_mask).trailing_zeros() as usize
+        } else {
+            let stamps = &self.stamps[base..base + self.geom.ways];
+            let mut off = 0usize;
+            let mut best = u64::MAX;
+            for (i, &s) in stamps.iter().enumerate() {
+                if s < best {
+                    best = s;
+                    off = i;
+                }
+            }
+            base + off
+        };
+        let way = victim - base;
+        let evicted = if live_mask & (1 << way) != 0 {
+            Some((self.tags[victim], std::mem::take(&mut self.values[victim])))
         } else {
             self.live += 1;
+            self.valid[set] |= 1 << way;
             None
         };
-        s.tag = key;
-        s.valid = true;
-        s.stamp = clock;
-        s.value = value;
+        self.tags[victim] = key;
+        self.stamps[victim] = clock;
+        self.values[victim] = value;
         evicted
     }
 
@@ -407,10 +432,10 @@ impl<V: Default + Clone> AssocTable<V> {
 
     /// Invalidates `key` on a hit; returns whether it hit.
     pub fn remove(&mut self, key: u64) -> bool {
-        let r = self.set_range(key);
-        if let Some(s) = self.slots[r].iter_mut().find(|s| s.valid && s.tag == key) {
-            s.valid = false;
-            s.value = V::default();
+        let (set, hit) = self.find(key);
+        if let Some(i) = hit {
+            self.valid[set] &= !(1 << (i - set * self.geom.ways));
+            self.values[i] = V::default();
             self.live -= 1;
             true
         } else {
@@ -430,18 +455,15 @@ impl<V: Default + Clone> AssocTable<V> {
 
     /// Iterates live `(key, value)` pairs in slot order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
-        self.slots
-            .iter()
-            .filter(|s| s.valid)
-            .map(|s| (s.tag, &s.value))
+        (0..self.geom.entries())
+            .filter(|&i| self.valid[i / self.geom.ways] & (1 << (i % self.geom.ways)) != 0)
+            .map(|i| (self.tags[i], &self.values[i]))
     }
 
     /// Invalidates every entry.
     pub fn clear(&mut self) {
-        for s in &mut self.slots {
-            s.valid = false;
-            s.value = V::default();
-        }
+        self.valid.iter_mut().for_each(|m| *m = 0);
+        self.values.iter_mut().for_each(|v| *v = V::default());
         self.live = 0;
     }
 

@@ -1,0 +1,109 @@
+//! Thread-local arenas for per-run transient state.
+//!
+//! Every [`crate::System`] run used to allocate its working set from the
+//! global allocator: the `CoreRt` collections (ROB/LSQ rings, RAS,
+//! pending-value heap, retry queues), the prefetch-request out buffer,
+//! and — by far the largest — a full [`dol_mem::MemorySystem`] whose
+//! cache arrays run to megabytes and were memset on every workload. The
+//! figure drivers run thousands of short workload×config combinations,
+//! so the allocator and the fresh-page memsets showed up prominently in
+//! profiles.
+//!
+//! This module keeps that state in thread-local pools instead. Core
+//! scratch collections are recycled empty-but-warm (capacity retained).
+//! Memory systems are recycled through [`dol_mem::MemorySystem::reset`],
+//! which restores the exact post-construction state in O(touched lines)
+//! — byte-identity of simulation output is therefore preserved, which
+//! the reset-equivalence tests in `dol_mem` and the golden-output CI
+//! diffs both check.
+//!
+//! Pools are thread-local on purpose: the sweep runner shards work
+//! across threads, and per-thread pools need no locking and no
+//! cross-thread state that could perturb run order.
+
+use std::cell::RefCell;
+
+use dol_core::PrefetchRequest;
+use dol_mem::{HierarchyConfig, MemorySystem};
+
+/// Recycled backing storage for one `CoreRt`.
+#[derive(Default)]
+pub(crate) struct CoreScratch {
+    pub(crate) rob: std::collections::VecDeque<u64>,
+    pub(crate) lsq: std::collections::VecDeque<u64>,
+    pub(crate) ras: Vec<u64>,
+    pub(crate) pending: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, u16)>>,
+    pub(crate) retries: Vec<(u64, u8, PrefetchRequest)>,
+    pub(crate) retry_scratch: Vec<(u8, PrefetchRequest)>,
+}
+
+/// Upper bound on pooled entries per thread; beyond this, returned state
+/// is simply dropped. Runs use one memory system and a handful of core
+/// scratches at a time, so a small pool already gives a 100% hit rate.
+const POOL_CAP: usize = 8;
+
+thread_local! {
+    static CORE_SCRATCH: RefCell<Vec<CoreScratch>> = const { RefCell::new(Vec::new()) };
+    static OUT_BUFS: RefCell<Vec<Vec<PrefetchRequest>>> = const { RefCell::new(Vec::new()) };
+    static MEM_POOL: RefCell<Vec<MemorySystem>> = const { RefCell::new(Vec::new()) };
+}
+
+pub(crate) fn acquire_core_scratch() -> CoreScratch {
+    CORE_SCRATCH.with(|p| p.borrow_mut().pop().unwrap_or_default())
+}
+
+pub(crate) fn release_core_scratch(mut s: CoreScratch) {
+    s.rob.clear();
+    s.lsq.clear();
+    s.ras.clear();
+    s.pending.clear();
+    s.retries.clear();
+    s.retry_scratch.clear();
+    CORE_SCRATCH.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < POOL_CAP {
+            p.push(s);
+        }
+    });
+}
+
+pub(crate) fn acquire_out_buf() -> Vec<PrefetchRequest> {
+    OUT_BUFS.with(|p| {
+        p.borrow_mut()
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(32))
+    })
+}
+
+pub(crate) fn release_out_buf(mut b: Vec<PrefetchRequest>) {
+    b.clear();
+    OUT_BUFS.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < POOL_CAP {
+            p.push(b);
+        }
+    });
+}
+
+/// A memory system for `cfg`: pooled (pristine, reset) when one with the
+/// same configuration is available, freshly built otherwise.
+pub(crate) fn acquire_memory_system(cfg: HierarchyConfig) -> MemorySystem {
+    MEM_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        match p.iter().position(|m| *m.config() == cfg) {
+            Some(i) => p.swap_remove(i),
+            None => MemorySystem::new(cfg),
+        }
+    })
+}
+
+/// Returns a memory system to the pool, reset to its pristine state.
+pub(crate) fn release_memory_system(mut m: MemorySystem) {
+    MEM_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < POOL_CAP {
+            m.reset();
+            p.push(m);
+        }
+    });
+}

@@ -1,8 +1,8 @@
 //! Core and system configuration.
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
+use dol_isa::DetHashSet;
 use dol_mem::HierarchyConfig;
 
 /// Out-of-order core parameters (the paper's Table I).
@@ -62,7 +62,8 @@ pub enum DestinationPolicy {
     /// Oracle stratification: requests whose target line is in the set
     /// (the offline LHF lines) go to L1, everything else to L2. Line
     /// addresses are in the workload's own (untranslated) address space.
-    StratifiedByLine(Arc<HashSet<u64>>),
+    /// Probed once per issued prefetch request, hence the fast hasher.
+    StratifiedByLine(Arc<DetHashSet<u64>>),
 }
 
 /// Full system configuration.

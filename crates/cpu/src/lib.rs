@@ -21,6 +21,7 @@
 //! [`dol_isa::Trace`] per workload is replayed through the timing model
 //! under every prefetcher configuration.
 
+mod arena;
 mod branch;
 mod config;
 mod system;

@@ -4,7 +4,9 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use dol_core::{AccessInfo, CompletedPrefetch, PrefetchRequest, Prefetcher, RetireInfo};
-use dol_isa::{InstKind, InstSource, RetiredInst, SparseMemory, Trace, TraceCursor, Vm, VmError};
+use dol_isa::{
+    InstBlock, InstKind, InstSource, RetiredInst, SparseMemory, Trace, TraceCursor, Vm, VmError,
+};
 use dol_mem::{line_of, CacheLevel, DropReason, EventSink, MemorySystem, NullSink, SystemStats};
 
 use crate::{BranchPredictor, DestinationPolicy, SystemConfig};
@@ -123,33 +125,52 @@ struct CoreRt<'a, S: InstSource> {
     /// keep rejected requests in their request queues rather than
     /// silently losing coverage.
     retries: Vec<(u64, u8, PrefetchRequest)>,
+    /// Reusable scratch for [`System::drain_retries`] (no per-drain
+    /// allocation).
+    retry_scratch: Vec<(u8, PrefetchRequest)>,
 }
 
 impl<'a, S: InstSource> CoreRt<'a, S> {
     fn new(mut source: S, memory: &'a SparseMemory, gshare_bits: u32) -> Self {
         let next = source.next_inst();
+        let scratch = crate::arena::acquire_core_scratch();
         CoreRt {
             source,
             next,
             memory,
             regs: [0; dol_isa::Reg::COUNT],
-            rob: VecDeque::new(),
-            lsq: VecDeque::new(),
+            rob: scratch.rob,
+            lsq: scratch.lsq,
             dispatch: 0,
             dispatched: 0,
             last_retire: 0,
-            ras: Vec::new(),
+            ras: scratch.ras,
             bp: BranchPredictor::new(gshare_bits),
             mispredicts: 0,
             insts: 0,
             stalls: [0; 3],
-            pending: BinaryHeap::new(),
-            retries: Vec::new(),
+            pending: scratch.pending,
+            retries: scratch.retries,
+            retry_scratch: scratch.retry_scratch,
         }
     }
 
     fn done(&self) -> bool {
         self.next.is_none()
+    }
+
+    /// Returns the per-run collections to the thread-local arena and
+    /// yields the drained source.
+    fn into_source(self) -> S {
+        crate::arena::release_core_scratch(crate::arena::CoreScratch {
+            rob: self.rob,
+            lsq: self.lsq,
+            ras: self.ras,
+            pending: self.pending,
+            retries: self.retries,
+            retry_scratch: self.retry_scratch,
+        });
+        self.source
     }
 }
 
@@ -302,41 +323,89 @@ impl System {
     /// state therefore updates in a reproducible order independent of
     /// caller threading — the byte-identity guarantee the CI determinism
     /// gate checks across `--jobs` settings.
-    fn run_inner<'a, I: InstSource, P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
+    ///
+    /// A single-core run has no arbitration to do, so it takes the
+    /// block-oriented fast path instead: the source decodes into a
+    /// 64-instruction [`InstBlock`] (a bulk copy for in-memory traces)
+    /// and the core retires the whole block in a tight loop, hoisting
+    /// the per-instruction source call, `Option` lookahead juggling, and
+    /// telemetry bucketing out of the retire edge. Both paths retire
+    /// through the same [`retire_one`](Self::retire_one), so they
+    /// perform identical operations in identical order — blocks are a
+    /// throughput vehicle, never a semantic boundary (the
+    /// block-boundary equivalence proptests pin this).
+    fn run_inner<I: InstSource, P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
+        &self,
+        sources: Vec<(I, &SparseMemory)>,
+        prefetchers: &mut [&mut P],
+        sink: &mut S,
+    ) -> (MultiRunResult, Vec<I>) {
+        self.run_inner_blocked(sources, prefetchers, sink, dol_isa::BLOCK_INSTS)
+    }
+
+    /// [`run_inner`](Self::run_inner) with an explicit single-core block
+    /// capacity — exposed (hidden) so block-boundary tests can pin that
+    /// sizes 1, 7, and 64 all reproduce the stepwise schedule exactly.
+    #[doc(hidden)]
+    pub fn run_inner_blocked<'a, I: InstSource, P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
         &self,
         sources: Vec<(I, &'a SparseMemory)>,
         prefetchers: &mut [&mut P],
         sink: &mut S,
+        block_cap: usize,
     ) -> (MultiRunResult, Vec<I>) {
         assert_eq!(sources.len(), prefetchers.len(), "one prefetcher per core");
         assert!(
             sources.len() <= self.cfg.hierarchy.cores as usize,
             "more workloads than configured cores"
         );
-        let mut mem = MemorySystem::new(self.cfg.hierarchy);
+        let mut mem = crate::arena::acquire_memory_system(self.cfg.hierarchy);
         let mut cores: Vec<CoreRt<'a, I>> = sources
             .into_iter()
             .map(|(s, m)| CoreRt::new(s, m, self.cfg.core.gshare_bits))
             .collect();
-        let mut out_buf: Vec<PrefetchRequest> = Vec::with_capacity(32);
+        let mut out_buf = crate::arena::acquire_out_buf();
 
-        // Interleave cores by current dispatch cycle.
-        loop {
-            let next = cores
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| !c.done())
-                .min_by_key(|(_, c)| c.dispatch)
-                .map(|(i, _)| i);
-            let Some(i) = next else { break };
-            self.step_inst(
-                i,
-                &mut cores[i],
-                &mut *prefetchers[i],
-                &mut mem,
-                &mut out_buf,
-                sink,
-            );
+        if cores.len() == 1 {
+            // Single core: block-oriented retire (see the method docs).
+            let c = &mut cores[0];
+            let p = &mut *prefetchers[0];
+            let mut block = InstBlock::with_capacity(block_cap);
+            if let Some(first) = c.next.take() {
+                // The constructor's one-instruction lookahead retires
+                // first; everything after streams through blocks.
+                c.insts += 1;
+                self.retire_one(0, c, first, p, &mut mem, &mut out_buf, sink);
+                loop {
+                    c.source.next_block(&mut block);
+                    if block.is_empty() {
+                        break;
+                    }
+                    c.insts += block.len() as u64;
+                    for &inst in block.as_slice() {
+                        self.retire_one(0, c, inst, p, &mut mem, &mut out_buf, sink);
+                    }
+                }
+            }
+        } else {
+            // Multi-core: interleave cores by current dispatch cycle.
+            loop {
+                let next = cores
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| !c.done())
+                    .min_by_key(|(_, c)| c.dispatch)
+                    .map(|(i, _)| i);
+                let Some(i) = next else { break };
+                self.step_inst(
+                    i,
+                    &mut cores[i],
+                    &mut *prefetchers[i],
+                    &mut mem,
+                    &mut out_buf,
+                    sink,
+                );
+            }
         }
 
         let per_core: Vec<(u64, u64)> = cores.iter().map(|c| (c.last_retire, c.insts)).collect();
@@ -344,13 +413,15 @@ impl System {
         let stalls: Vec<[u64; 3]> = cores.iter().map(|c| c.stalls).collect();
         let stats = mem.stats();
         crate::telemetry::record_instructions(per_core.iter().map(|&(_, i)| i).sum());
+        crate::arena::release_out_buf(out_buf);
+        crate::arena::release_memory_system(mem);
         let result = MultiRunResult {
             cores: per_core,
             stalls,
             mispredicts,
             stats,
         };
-        (result, cores.into_iter().map(|c| c.source).collect())
+        (result, cores.into_iter().map(|c| c.into_source()).collect())
     }
 
     #[inline]
@@ -461,7 +532,7 @@ impl System {
             return;
         }
         let now = c.dispatch;
-        let mut due = Vec::new();
+        let mut due = std::mem::take(&mut c.retry_scratch);
         c.retries.retain(|&(t, a, req)| {
             if t <= now {
                 due.push((a, req));
@@ -470,11 +541,16 @@ impl System {
                 true
             }
         });
-        for (attempt, req) in due {
+        for &(attempt, req) in &due {
             self.issue_requests_attempt(core_idx, c, &[req], now, mem, attempt, sink);
         }
+        due.clear();
+        c.retry_scratch = due;
     }
 
+    /// Advances one instruction through the lookahead (multi-core path;
+    /// the single-core block path pulls whole [`InstBlock`]s instead and
+    /// calls [`retire_one`](Self::retire_one) directly).
     fn step_inst<I: InstSource, P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
         &self,
         core_idx: usize,
@@ -484,13 +560,32 @@ impl System {
         out: &mut Vec<PrefetchRequest>,
         sink: &mut S,
     ) {
-        let cfg = &self.cfg.core;
-        self.deliver_pending(core_idx, c, prefetcher, mem, out, sink);
-        self.drain_retries(core_idx, c, mem, sink);
-
         let inst = c.next.take().expect("step_inst on a drained core");
         c.next = c.source.next_inst();
         c.insts += 1;
+        self.retire_one(core_idx, c, inst, prefetcher, mem, out, sink);
+    }
+
+    /// Retires one instruction through the timing model: value-callback
+    /// delivery and retry drain at the current dispatch cycle, then
+    /// width/ROB/LSQ accounting, dependence-limited issue, the
+    /// per-kind completion model, and prefetcher training/issue. Both
+    /// the stepwise and block schedulers funnel through here, so block
+    /// boundaries cannot change simulated behavior.
+    #[allow(clippy::too_many_arguments)] // internal helper threading the run context
+    fn retire_one<I: InstSource, P: Prefetcher + ?Sized, S: EventSink + ?Sized>(
+        &self,
+        core_idx: usize,
+        c: &mut CoreRt<'_, I>,
+        inst: RetiredInst,
+        prefetcher: &mut P,
+        mem: &mut MemorySystem,
+        out: &mut Vec<PrefetchRequest>,
+        sink: &mut S,
+    ) {
+        let cfg = &self.cfg.core;
+        self.deliver_pending(core_idx, c, prefetcher, mem, out, sink);
+        self.drain_retries(core_idx, c, mem, sink);
 
         // Front-end width.
         if c.dispatched >= cfg.width {

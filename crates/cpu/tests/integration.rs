@@ -1,7 +1,6 @@
 //! Integration tests for the timing driver against real prefetchers and
 //! workload kernels.
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
 use dol_core::{NoPrefetcher, Prefetcher, Tpc};
@@ -27,7 +26,7 @@ fn stream_vm(n: i64) -> Vm {
 fn stratified_policy_splits_by_line_set() {
     let w = Workload::capture(stream_vm(8000), 100_000).unwrap();
     // Classify even-indexed lines as "LHF" (to L1), the rest to L2.
-    let lhf: HashSet<u64> = (0..10_000u64)
+    let lhf: dol_isa::DetHashSet<u64> = (0..10_000u64)
         .map(|i| line_of(0x10_0000 + i * 8))
         .filter(|l| l % 2 == 0)
         .collect();
@@ -116,7 +115,7 @@ fn mpc_distinguishes_call_sites_in_real_execution() {
     // cycle win is small; the suite-level `strided_calls` kernel shows
     // the 2x speedup. Here we check the mechanism, not the cycles.)
     // Prefetches must land on both arrays.
-    let lines: HashSet<u64> = sink
+    let lines: std::collections::HashSet<u64> = sink
         .events
         .iter()
         .filter_map(|e| match e {

@@ -1,10 +1,8 @@
 //! Event-level analyses beyond the generic metrics crate: line-filtered
 //! accuracy and per-category (LHF/MHF/HHF) credit assignment.
 
-use std::collections::HashSet;
-
 use dol_mem::{CacheLevel, MemEvent, Origin};
-use dol_metrics::{Category, Classifier, EffectiveAccuracy};
+use dol_metrics::{Category, Classifier, EffectiveAccuracy, LineSet};
 
 fn origin_ok(origin: Origin, filter: Option<&[Origin]>) -> bool {
     match filter {
@@ -13,7 +11,7 @@ fn origin_ok(origin: Origin, filter: Option<&[Origin]>) -> bool {
     }
 }
 
-fn line_ok(line: u64, filter: Option<&HashSet<u64>>) -> bool {
+fn line_ok(line: u64, filter: Option<&LineSet>) -> bool {
     match filter {
         Some(set) => set.contains(&line),
         None => true,
@@ -27,7 +25,7 @@ pub fn accuracy_within(
     events: &[MemEvent],
     level: CacheLevel,
     origins: Option<&[Origin]>,
-    lines: Option<&HashSet<u64>>,
+    lines: Option<&LineSet>,
 ) -> EffectiveAccuracy {
     let mut acc = EffectiveAccuracy::default();
     for e in events {
@@ -139,7 +137,7 @@ pub fn accuracy_by_category(
 /// baseline footprint attempted by the prefetcher.
 pub fn scope_by_category(
     fp: &dol_metrics::Footprint,
-    pfp: &HashSet<u64>,
+    pfp: &LineSet,
     classifier: &Classifier,
 ) -> [f64; 3] {
     let mut total = [0u64; 3];
@@ -192,7 +190,7 @@ mod tests {
                 origin: Origin(5),
             },
         ];
-        let only1: HashSet<u64> = [1u64].into_iter().collect();
+        let only1: LineSet = [1u64].into_iter().collect();
         let a = accuracy_within(&events, CacheLevel::L1, None, Some(&only1));
         assert_eq!(a.issued, 1);
         assert_eq!(a.effective_accuracy(), 1.0);

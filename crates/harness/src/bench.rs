@@ -94,6 +94,9 @@ pub struct BenchReport {
     pub mode: &'static str,
     /// Effective worker-thread count.
     pub jobs: usize,
+    /// Benchmark passes behind each record (`--bench-repeat`): every
+    /// driver entry is the best (highest inst/s) of this many runs.
+    pub repeat: usize,
     /// Per-driver records, in run order.
     pub drivers: Vec<DriverBench>,
     /// Trace-decode throughput, present when workloads were replayed
@@ -137,6 +140,7 @@ impl BenchReport {
         s.push_str("{\n  \"schema\": \"dol-bench-v1\",\n");
         s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
         s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!("  \"repeat\": {},\n", self.repeat));
         s.push_str(&format!(
             "  \"total\": {{\"wall_s\": {:.3}, \"sim_insts\": {}, \"insts_per_s\": {:.1}}},\n",
             self.wall_s(),
@@ -210,6 +214,7 @@ mod tests {
         BenchReport {
             mode: "smoke",
             jobs: 1,
+            repeat: 1,
             drivers: vec![
                 DriverBench {
                     id: "table1",
@@ -261,6 +266,7 @@ mod tests {
         let r = report();
         let json = r.to_json();
         assert!(json.contains("\"schema\": \"dol-bench-v1\""));
+        assert!(json.contains("\"repeat\": 1"));
         assert!(json.contains("\"id\": \"fig08\""));
         let floor = parse_floor(&json).expect("parsable");
         assert!((floor - 3_000_000.0).abs() < 0.5);

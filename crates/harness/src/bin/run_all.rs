@@ -18,6 +18,11 @@
 //! `--bench-floor PATH` additionally compares overall simulated
 //! instructions per second against a previously recorded report and exits
 //! non-zero on a drop of more than 30 % — the CI throughput gate.
+//! `--bench-repeat N` runs every driver N times (the run caches are
+//! cleared between passes so repeats re-simulate) and keeps each
+//! driver's best pass — best-of-N damps scheduler noise when recording
+//! a floor. Reports are printed on the first pass only, so stdout is
+//! byte-identical for any N.
 
 use std::time::Instant;
 
@@ -25,7 +30,7 @@ use dol_harness::bench::{parse_driver_floor, parse_floor, BenchReport, DriverBen
 use dol_harness::{experiments, RunPlan};
 
 const USAGE: &str = "usage: run_all [--smoke] [--jobs N] [--trace-dir DIR] [--bench-out PATH] \
-                     [--bench-floor PATH]";
+                     [--bench-floor PATH] [--bench-repeat N]";
 
 /// Largest tolerated throughput drop vs the recorded floor.
 const MAX_REGRESSION: f64 = 0.30;
@@ -41,6 +46,7 @@ fn main() {
     let mut trace_dir: Option<String> = None;
     let mut bench_out: Option<String> = None;
     let mut bench_floor: Option<String> = None;
+    let mut repeat: usize = 1;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -77,6 +83,13 @@ fn main() {
                 }
                 i += 2;
             }
+            "--bench-repeat" => {
+                match argv.get(i + 1).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => repeat = n,
+                    _ => usage(),
+                }
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -108,27 +121,49 @@ fn main() {
     let mut bench = BenchReport {
         mode: if smoke { "smoke" } else { "full" },
         jobs: dol_harness::sweep::effective_jobs(plan.jobs),
+        repeat,
         drivers: Vec::new(),
         trace: None,
     };
     let decode_before = dol_trace::telemetry::decode_totals();
     let mut deviations = 0;
-    for (id, run) in experiments::drivers() {
-        let insts_before = dol_cpu::telemetry::simulated_instructions();
-        let t0 = Instant::now();
-        let report = run(&plan);
-        let sim_insts = dol_cpu::telemetry::simulated_instructions() - insts_before;
-        bench.drivers.push(DriverBench {
-            id,
-            wall_s: t0.elapsed().as_secs_f64(),
-            sim_insts,
-            // A zero instruction delta means the driver was served
-            // entirely from the memoized run caches; keep it out of the
-            // throughput denominator.
-            cached: sim_insts == 0,
-        });
-        println!("{}", report.render());
-        deviations += report.deviations();
+    for pass in 0..repeat {
+        if pass > 0 {
+            // Repeats must re-simulate, not replay memoized runs.
+            dol_harness::runner::clear_run_caches();
+            eprintln!("bench repeat: pass {}/{repeat}", pass + 1);
+        }
+        let mut pass_drivers = Vec::new();
+        for (id, run) in experiments::drivers() {
+            let insts_before = dol_cpu::telemetry::simulated_instructions();
+            let t0 = Instant::now();
+            let report = run(&plan);
+            let sim_insts = dol_cpu::telemetry::simulated_instructions() - insts_before;
+            pass_drivers.push(DriverBench {
+                id,
+                wall_s: t0.elapsed().as_secs_f64(),
+                sim_insts,
+                // A zero instruction delta means the driver was served
+                // entirely from the memoized run caches; keep it out of
+                // the throughput denominator.
+                cached: sim_insts == 0,
+            });
+            // Reports are printed once; repeat passes only re-measure.
+            if pass == 0 {
+                println!("{}", report.render());
+                deviations += report.deviations();
+            }
+        }
+        if pass == 0 {
+            bench.drivers = pass_drivers;
+        } else {
+            for (best, again) in bench.drivers.iter_mut().zip(pass_drivers) {
+                assert_eq!(best.id, again.id, "driver order is fixed");
+                if !again.cached && (best.cached || again.insts_per_s() > best.insts_per_s()) {
+                    *best = again;
+                }
+            }
+        }
     }
     println!("total shape-check deviations: {deviations}");
     eprintln!(

@@ -1,10 +1,8 @@
 //! Figure 14 — existing prefetchers standalone vs as an extra TPC
 //! component, inside the region TPC does not cover.
 
-use std::collections::HashSet;
-
 use dol_mem::CacheLevel;
-use dol_metrics::{EffectiveAccuracy, StreamingMetrics, TextTable};
+use dol_metrics::{EffectiveAccuracy, LineSet, StreamingMetrics, TextTable};
 
 use crate::bands::Expectation;
 use crate::experiments::Report;
@@ -55,7 +53,7 @@ pub fn run(plan: &RunPlan) -> Report {
         // TPC's own attempt set defines the uncovered region.
         let tpc_run = AppRun::run(&base, "TPC", &sys);
         let tpc_pfp = tpc_run.metrics.prefetched_lines_all();
-        let region: HashSet<u64> = base
+        let region: LineSet = base
             .fp_l1
             .lines()
             .into_iter()

@@ -261,6 +261,20 @@ impl AppRun {
     }
 }
 
+/// Empties the process-wide capture and per-config run caches, so the
+/// next run re-simulates everything from scratch. Used by `run_all
+/// --bench-repeat`, where a repeat pass served from the caches would
+/// measure bookkeeping instead of simulation throughput.
+pub fn clear_run_caches() {
+    let mut cap = CAPTURE_CACHE.lock().expect("capture cache poisoned");
+    cap.held_insts = 0;
+    cap.entries.clear();
+    drop(cap);
+    let mut runs = APP_RUN_CACHE.lock().expect("app-run cache poisoned");
+    runs.held_insts = 0;
+    runs.entries.clear();
+}
+
 /// The standard single-core system of the paper's Table I.
 pub fn single_core() -> System {
     System::new(SystemConfig::isca2018(1))

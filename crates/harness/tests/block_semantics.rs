@@ -1,0 +1,183 @@
+//! Block-boundary equivalence for the single-core batched retire path.
+//!
+//! The timing model's single-core loop pulls instructions through
+//! [`InstSource::next_block`] in up-to-64-instruction chunks; blocks are
+//! a throughput vehicle, never a semantic boundary. These properties pin
+//! that claim end to end: for block capacities 1, 7, and 64, for both
+//! the in-memory [`TraceCursor`] (bulk-copy `next_block` override) and a
+//! round-tripped `dol-trace-v1` [`ReplaySource`] (default one-at-a-time
+//! `next_block`), every run must reproduce the one-instruction-at-a-time
+//! schedule exactly — identical cycle/instruction/stall/mispredict
+//! counts, an identical memory-event stream, and bit-identical
+//! [`StreamingMetrics`] accumulators.
+
+use std::io::Cursor;
+
+use dol_core::Tpc;
+use dol_cpu::{MultiRunResult, System, SystemConfig};
+use dol_isa::{InstSource, RetiredInst, SparseMemory, TraceCursor};
+use dol_mem::{CacheLevel, CollectSink, MemEvent};
+use dol_metrics::StreamingMetrics;
+use dol_trace::{encode_workload, ReplaySource, TraceHeader, TraceReader};
+use proptest::prelude::*;
+
+/// The workload archetypes the suite leans on: streaming, pointer
+/// chasing, scattered, and strided — different retire-edge behaviour
+/// (miss density, prefetch traffic) per archetype.
+const APPS: [&str; 4] = ["stream_sum", "listchase", "region_shuffle", "stride8_walk"];
+
+/// Wraps a [`TraceCursor`] but hides its bulk `next_block` override, so
+/// the trait's default one-at-a-time refill runs instead. The strictest
+/// stepwise reference: block capacity 1 through this source retires one
+/// instruction per block with no bulk copies anywhere.
+struct Stepwise<'a>(TraceCursor<'a>);
+
+impl InstSource for Stepwise<'_> {
+    fn next_inst(&mut self) -> Option<RetiredInst> {
+        self.0.next_inst()
+    }
+}
+
+/// Runs `source` through the hidden block-capacity entry point with a
+/// fresh TPC and returns everything observable.
+fn run_blocked<I: InstSource>(
+    sys: &System,
+    source: I,
+    memory: &SparseMemory,
+    cap: usize,
+) -> (MultiRunResult, Vec<MemEvent>) {
+    let mut p = Tpc::full();
+    let mut prefetchers: [&mut Tpc; 1] = [&mut p];
+    let mut sink = CollectSink::new();
+    let (result, _) =
+        sys.run_inner_blocked(vec![(source, memory)], &mut prefetchers, &mut sink, cap);
+    (result, sink.into_events())
+}
+
+fn assert_same_run(
+    a: &(MultiRunResult, Vec<MemEvent>),
+    b: &(MultiRunResult, Vec<MemEvent>),
+    what: &str,
+) {
+    assert_eq!(a.0.cores, b.0.cores, "{what}: cycles/instructions");
+    assert_eq!(a.0.stalls, b.0.stalls, "{what}: stall buckets");
+    assert_eq!(a.0.mispredicts, b.0.mispredicts, "{what}: mispredicts");
+    assert_eq!(a.0.stats, b.0.stats, "{what}: memory stats");
+    assert_eq!(a.1, b.1, "{what}: event stream");
+}
+
+fn capture(app: &str, seed: u64, insts: u64) -> dol_cpu::Workload {
+    let spec = dol_workloads::by_name(app).expect("known workload");
+    dol_cpu::Workload::capture(spec.build_vm(seed), insts).expect("capture fits")
+}
+
+/// Encodes the workload to a `dol-trace-v1` byte buffer and reopens it
+/// as a [`ReplaySource`] positioned at the instruction stream.
+fn replay_source(
+    w: &dol_cpu::Workload,
+    app: &str,
+    seed: u64,
+) -> (ReplaySource<Cursor<Vec<u8>>>, SparseMemory) {
+    let header = TraceHeader {
+        name: app.to_string(),
+        seed,
+        insts: w.trace.len() as u64,
+    };
+    let mut buf = Vec::new();
+    encode_workload(&mut buf, &header, &w.memory, w.trace.as_slice()).expect("encode");
+    let mut reader = TraceReader::new(Cursor::new(buf)).expect("header");
+    let memory = reader.read_memory().expect("memory image");
+    (ReplaySource::new(reader), memory)
+}
+
+proptest! {
+    /// In-memory source: block capacities 1, 7, and 64 (bulk-copy
+    /// refills) all match the stepwise schedule, as does the default
+    /// one-at-a-time refill at full capacity.
+    #[test]
+    fn block_capacity_never_changes_the_schedule(
+        app_idx in 0usize..4,
+        seed in 0u64..1 << 32,
+        insts in 1_500u64..4_000,
+    ) {
+        let app = APPS[app_idx];
+        let w = capture(app, seed, insts);
+        let sys = System::new(SystemConfig::isca2018(1));
+        let reference = run_blocked(&sys, Stepwise(TraceCursor::new(w.trace.as_slice())), &w.memory, 1);
+        prop_assert_eq!(reference.0.cores[0].1, w.trace.len() as u64);
+        for cap in [1usize, 7, 64] {
+            let blocked = run_blocked(&sys, TraceCursor::new(w.trace.as_slice()), &w.memory, cap);
+            assert_same_run(&reference, &blocked, &format!("{app}: cursor cap {cap}"));
+        }
+        let default_refill = run_blocked(&sys, Stepwise(TraceCursor::new(w.trace.as_slice())), &w.memory, 64);
+        assert_same_run(&reference, &default_refill, &format!("{app}: default next_block"));
+    }
+
+    /// Trace-file source: a round-tripped `dol-trace-v1` stream replayed
+    /// at capacities 1, 7, and 64 matches the in-memory stepwise run —
+    /// replay is bit-equal to live, independent of block geometry.
+    #[test]
+    fn trace_replay_matches_stepwise_at_any_capacity(
+        app_idx in 0usize..4,
+        seed in 0u64..1 << 32,
+        insts in 1_500u64..3_000,
+    ) {
+        let app = APPS[app_idx];
+        let w = capture(app, seed, insts);
+        let sys = System::new(SystemConfig::isca2018(1));
+        let reference = run_blocked(&sys, Stepwise(TraceCursor::new(w.trace.as_slice())), &w.memory, 1);
+        for cap in [1usize, 7, 64] {
+            let (source, memory) = replay_source(&w, app, seed);
+            let replayed = run_blocked(&sys, source, &memory, cap);
+            assert_same_run(&reference, &replayed, &format!("{app}: replay cap {cap}"));
+        }
+    }
+
+    /// Streaming accumulators observe per-retire events in order, so
+    /// they too must be bit-identical across block capacities.
+    #[test]
+    fn streaming_metrics_are_blind_to_block_geometry(
+        app_idx in 0usize..4,
+        seed in 0u64..1 << 32,
+        insts in 1_500u64..3_000,
+    ) {
+        let app = APPS[app_idx];
+        let w = capture(app, seed, insts);
+        let sys = System::new(SystemConfig::isca2018(1));
+        let run_sm = |cap: usize| {
+            let mut p = Tpc::full();
+            let mut prefetchers: [&mut Tpc; 1] = [&mut p];
+            let mut sm = StreamingMetrics::new();
+            sys.run_inner_blocked(
+                vec![(TraceCursor::new(w.trace.as_slice()), &w.memory)],
+                &mut prefetchers,
+                &mut sm,
+                cap,
+            );
+            sm
+        };
+        let reference = run_sm(1);
+        for cap in [7usize, 64] {
+            let sm = run_sm(cap);
+            for level in [CacheLevel::L1, CacheLevel::L2, CacheLevel::L3] {
+                let (a, b) = (reference.footprint(level), sm.footprint(level));
+                prop_assert_eq!(a.unique_lines(), b.unique_lines(), "lines at {:?}", level);
+                prop_assert_eq!(a.total_weight(), b.total_weight(), "weight at {:?}", level);
+                let (ra, rb) = (reference.accuracy_at(level, None), sm.accuracy_at(level, None));
+                prop_assert_eq!(ra.issued, rb.issued, "issued at {:?}", level);
+                prop_assert_eq!(ra.useful, rb.useful, "useful at {:?}", level);
+                prop_assert_eq!(ra.unused, rb.unused, "unused at {:?}", level);
+                prop_assert_eq!(
+                    ra.induced.to_bits(),
+                    rb.induced.to_bits(),
+                    "induced at {:?}", level
+                );
+            }
+            prop_assert_eq!(
+                reference.prefetched_lines_all(),
+                sm.prefetched_lines_all(),
+                "prefetched line set"
+            );
+        }
+    }
+}

@@ -8,8 +8,6 @@
 //! through `f64::to_bits`, so "equivalent" means *bit*-identical, not
 //! approximately equal.
 
-use std::collections::HashSet;
-
 use dol_core::origins;
 use dol_harness::analysis::{accuracy_by_category, accuracy_within, scope_by_category};
 use dol_harness::runner::single_core;
@@ -69,7 +67,7 @@ fn check_app(app: &str) {
 
     // TPC run: region = half the baseline footprint, to exercise the
     // region-restricted accounting the fig14 driver uses.
-    let region: HashSet<u64> = fp_l1
+    let region: dol_metrics::LineSet = fp_l1
         .iter()
         .map(|(l, _)| l)
         .filter(|l| l % 2 == 0)

@@ -1,0 +1,162 @@
+//! Deterministic fast hashing for simulator-internal maps.
+//!
+//! The workspace's hot maps are keyed by small integers (page numbers,
+//! line addresses, PCs). `std`'s default `RandomState` hasher is SipHash
+//! with per-process random keys: cryptographically robust, but an order
+//! of magnitude slower than needed for trusted integer keys, and its
+//! per-process seeding means iteration order varies run to run — which
+//! is why every consumer in this workspace is already order-independent
+//! (sorted output or commutative reduction). [`DetHasher`] exploits
+//! exactly that: a fixed-seed multiply/xor mixer with a strong final
+//! avalanche, byte-identical across processes and platforms, and cheap
+//! enough to disappear from profiles.
+//!
+//! Not DoS-resistant by design — keys here come from the simulator
+//! itself, never from untrusted input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// `HashMap` with the deterministic fast hasher.
+pub type DetHashMap<K, V> = HashMap<K, V, DetState>;
+
+/// `HashSet` with the deterministic fast hasher.
+pub type DetHashSet<T> = HashSet<T, DetState>;
+
+/// Fixed hash seed (first 64 bits of π's fractional part, a
+/// nothing-up-my-sleeve constant).
+const SEED: u64 = 0x243f_6a88_85a3_08d3;
+
+/// Odd multiplier for the per-word mix (2⁶⁴/φ, the Fibonacci-hashing
+/// constant).
+const MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The deterministic hasher. One rotate-xor-multiply per 8-byte word,
+/// finished with the splitmix64 avalanche so both low and high result
+/// bits are well mixed (the table index uses the low bits, the control
+/// tag the high bits).
+#[derive(Debug, Clone)]
+pub struct DetHasher {
+    state: u64,
+}
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut z = self.state;
+        z ^= z >> 30;
+        z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^= z >> 27;
+        z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.state = (self.state.rotate_left(26) ^ n).wrapping_mul(MIX);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.write_u64(n as u64);
+        self.write_u64((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// Fixed-seed [`BuildHasher`] for [`DetHasher`] — the drop-in
+/// replacement for `RandomState` on simulator-internal maps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetState;
+
+impl BuildHasher for DetState {
+    type Hasher = DetHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> DetHasher {
+        DetHasher { state: SEED }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_one(x: u64) -> u64 {
+        let mut h = DetState.build_hasher();
+        h.write_u64(x);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_one(42), hash_one(42));
+        let mut a = DetHashMap::default();
+        a.insert(7u64, "x");
+        let mut b = DetHashMap::default();
+        b.insert(7u64, "x");
+        assert_eq!(a.get(&7), b.get(&7));
+    }
+
+    #[test]
+    fn distinct_keys_avalanche() {
+        // Sequential and stride-64 keys (line addresses) must not
+        // collide in the low bits the table index uses.
+        let mut low: DetHashSet<u64> = DetHashSet::default();
+        for i in 0..4096u64 {
+            low.insert(hash_one(i * 64) & 0xfff);
+        }
+        assert!(low.len() > 2500, "low-bit spread too weak: {}", low.len());
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_aligned_input() {
+        let mut a = DetState.build_hasher();
+        a.write(&0xdead_beef_u64.to_le_bytes());
+        let mut b = DetState.build_hasher();
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: DetHashMap<u64, u64> = DetHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 4096, i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 4096)), Some(&i));
+        }
+        let s: DetHashSet<u64> = (0..1000u64).collect();
+        assert_eq!(s.len(), 1000);
+        assert!(s.contains(&999));
+    }
+}

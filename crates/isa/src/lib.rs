@@ -46,6 +46,7 @@
 //! assert_eq!(trace.iter().filter(|r| r.is_load()).count(), 64);
 //! ```
 
+mod hash;
 mod inst;
 mod memory;
 mod program;
@@ -53,11 +54,12 @@ mod reg;
 mod trace;
 mod vm;
 
+pub use hash::{DetHashMap, DetHashSet, DetHasher, DetState};
 pub use inst::{AluOp, Cond, Inst, Operand};
 pub use memory::SparseMemory;
 pub use program::{Label, Program, ProgramBuilder, ProgramError, DEFAULT_BASE_PC};
 pub use reg::Reg;
-pub use trace::{InstKind, InstSource, RetiredInst, Trace, TraceCursor};
+pub use trace::{InstBlock, InstKind, InstSource, RetiredInst, Trace, TraceCursor, BLOCK_INSTS};
 pub use vm::{Vm, VmError};
 
 /// Byte distance between consecutive instruction PCs.

@@ -1,7 +1,8 @@
 //! Sparse, paged data memory for the functional VM.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hash::DetHashMap;
 
 const PAGE_BYTES: u64 = 4096;
 const WORDS_PER_PAGE: usize = (PAGE_BYTES / 8) as usize;
@@ -31,8 +32,9 @@ pub struct SparseMemory {
     pages: Vec<Box<[u64; WORDS_PER_PAGE]>>,
     /// Page number of each slot (parallel to `pages`).
     page_nums: Vec<u64>,
-    /// Page number → slot in `pages`.
-    index: HashMap<u64, u32>,
+    /// Page number → slot in `pages` (deterministic fast hasher — the
+    /// VM's load/store stream hits this on every page-cache miss).
+    index: DetHashMap<u64, u32>,
     /// Slot of the last page touched, [`NO_SLOT`] when empty.
     last: AtomicU64,
 }
@@ -42,7 +44,7 @@ impl Default for SparseMemory {
         SparseMemory {
             pages: Vec::new(),
             page_nums: Vec::new(),
-            index: HashMap::new(),
+            index: DetHashMap::default(),
             last: AtomicU64::new(NO_SLOT),
         }
     }

@@ -60,6 +60,43 @@ pub struct EvictInfo {
 /// [`crate::LINE_SHIFT`], so they never reach `u64::MAX`.
 const NO_TAG: u64 = u64::MAX;
 
+/// Replacement-state seed for the deterministic xorshift64* stream.
+const RNG_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Compares all `W` tags of a set against `line` in one pass, building a
+/// hit bitmask, then extracts the matching way with `trailing_zeros`.
+/// Equivalent to `iter().position(..)` because tags within a set are
+/// unique (at most one way can match), but compiles to straight-line
+/// compare/or code with no early-out branch per way — the common miss
+/// case runs no mispredicted exits, and small `W` unrolls fully.
+#[inline]
+fn scan_ways<const W: usize>(tags: &[u64], line: u64) -> Option<usize> {
+    let tags: &[u64; W] = tags[..W].try_into().expect("set has W ways");
+    let mut mask = 0u32;
+    for (i, &t) in tags.iter().enumerate() {
+        mask |= ((t == line) as u32) << i;
+    }
+    if mask == 0 {
+        None
+    } else {
+        Some(mask.trailing_zeros() as usize)
+    }
+}
+
+/// [`scan_ways`] for a runtime way count (uncommon geometries).
+#[inline]
+fn scan_dyn(tags: &[u64], line: u64) -> Option<usize> {
+    let mut mask = 0u32;
+    for (i, &t) in tags.iter().enumerate() {
+        mask |= ((t == line) as u32) << i;
+    }
+    if mask == 0 {
+        None
+    } else {
+        Some(mask.trailing_zeros() as usize)
+    }
+}
+
 /// A set-associative cache.
 ///
 /// Tags store full line addresses; geometry comes from [`CacheConfig`].
@@ -80,6 +117,13 @@ pub struct Cache {
     lines: Vec<Line>,
     /// Packed tags, parallel to `lines` ([`NO_TAG`] when invalid).
     tags: Vec<u64>,
+    /// Indices of slots that have ever been filled since construction or
+    /// the last [`reset`](Self::reset) — the only slots `reset` must
+    /// rewrite, making it O(touched) instead of O(capacity). A slot is
+    /// recorded exactly once: [`fill_impl`](Self::fill_impl) is the sole
+    /// `valid := true` site and pushes only when overwriting an invalid
+    /// slot (invalidated slots stay recorded).
+    touched: Vec<u32>,
     clock: u64,
     rng: u64,
 }
@@ -94,9 +138,23 @@ impl Cache {
             ways: cfg.ways as usize,
             lines: vec![Line::default(); (sets * cfg.ways as u64) as usize],
             tags: vec![NO_TAG; (sets * cfg.ways as u64) as usize],
+            touched: Vec::new(),
             clock: 0,
-            rng: 0x9e37_79b9_7f4a_7c15,
+            rng: RNG_SEED,
         }
+    }
+
+    /// Restores the exact post-[`new`](Self::new) state (empty lines,
+    /// zero clock, reseeded replacement RNG) without reallocating,
+    /// rewriting only the slots that were ever filled.
+    pub fn reset(&mut self) {
+        for &i in &self.touched {
+            self.lines[i as usize] = Line::default();
+            self.tags[i as usize] = NO_TAG;
+        }
+        self.touched.clear();
+        self.clock = 0;
+        self.rng = RNG_SEED;
     }
 
     /// The cache's configuration.
@@ -117,16 +175,23 @@ impl Cache {
     }
 
     /// Index into `lines`/`tags` of the way holding `line`, if present.
+    /// Dispatches to a const-generic branch-free scan for the standard
+    /// associativities so the per-way loop fully unrolls.
     #[inline]
     fn find(&self, line: u64) -> Option<usize> {
         let range = self.set_range(line);
-        self.tags[range.clone()]
-            .iter()
-            .position(|&t| t == line)
-            .map(|i| range.start + i)
+        let tags = &self.tags[range.clone()];
+        let hit = match self.ways {
+            4 => scan_ways::<4>(tags, line),
+            8 => scan_ways::<8>(tags, line),
+            16 => scan_ways::<16>(tags, line),
+            _ => scan_dyn(tags, line),
+        };
+        hit.map(|i| range.start + i)
     }
 
     /// Whether the line is present, without disturbing replacement state.
+    #[inline]
     pub fn probe(&self, line: u64) -> bool {
         self.find(line).is_some()
     }
@@ -246,8 +311,10 @@ impl Cache {
                 owner: l.owner,
             })
         } else {
+            self.touched.push(victim_at as u32);
             None
         };
+        let l = &mut self.lines[victim_at];
         *l = Line {
             tag: line,
             valid: true,

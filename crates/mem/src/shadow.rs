@@ -2,12 +2,9 @@
 
 use crate::{CacheConfig, ReplacementPolicy};
 
-#[derive(Debug, Clone, Copy, Default)]
-struct ShadowLine {
-    tag: u64,
-    valid: bool,
-    stamp: u64,
-}
+/// Sentinel marking an empty way. Unreachable as a real tag (line
+/// addresses are byte addresses right-shifted by [`crate::LINE_SHIFT`]).
+const NO_TAG: u64 = u64::MAX;
 
 /// A tag-only replica of a cache, updated **only by demand accesses**.
 ///
@@ -20,11 +17,23 @@ struct ShadowLine {
 /// * real miss, shadow hit → **prefetch-induced miss** (−1, split among
 ///   the prefetched lines in the real set),
 /// * both hit or both miss → prefetching changed nothing.
+///
+/// Storage is structure-of-arrays: a packed tag vector scanned on every
+/// access (one host cache line per set) and a parallel stamp vector
+/// touched only on the hit/install way. Validity is encoded in-band:
+/// [`NO_TAG`] in `tags`, stamp 0 in `stamps` (real stamps start at 1).
 #[derive(Debug, Clone)]
 pub struct ShadowTags {
     set_mask: u64,
     ways: usize,
-    lines: Vec<ShadowLine>,
+    /// Packed tags per way ([`NO_TAG`] when the way is empty).
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags` (0 when the way is empty).
+    stamps: Vec<u64>,
+    /// Slots ever installed since construction/reset (see [`Cache`'s
+    /// touched list](crate::Cache::reset) for the same O(touched)
+    /// reset scheme).
+    touched: Vec<u32>,
     clock: u64,
 }
 
@@ -41,9 +50,22 @@ impl ShadowTags {
         ShadowTags {
             set_mask: sets - 1,
             ways: cfg.ways as usize,
-            lines: vec![ShadowLine::default(); (sets * cfg.ways as u64) as usize],
+            tags: vec![NO_TAG; (sets * cfg.ways as u64) as usize],
+            stamps: vec![0; (sets * cfg.ways as u64) as usize],
+            touched: Vec::new(),
             clock: 0,
         }
+    }
+
+    /// Restores the exact post-[`new`](Self::new) state without
+    /// reallocating, rewriting only slots that were ever installed.
+    pub fn reset(&mut self) {
+        for &i in &self.touched {
+            self.tags[i as usize] = NO_TAG;
+            self.stamps[i as usize] = 0;
+        }
+        self.touched.clear();
+        self.clock = 0;
     }
 
     #[inline]
@@ -58,31 +80,39 @@ impl ShadowTags {
         self.clock += 1;
         let stamp = self.clock;
         let range = self.set_range(line);
-        for l in &mut self.lines[range.clone()] {
-            if l.valid && l.tag == line {
-                l.stamp = stamp;
-                return true;
+        let tags = &self.tags[range.clone()];
+        let mut mask = 0u32;
+        for (i, &t) in tags.iter().enumerate() {
+            mask |= ((t == line) as u32) << i;
+        }
+        if mask != 0 {
+            self.stamps[range.start + mask.trailing_zeros() as usize] = stamp;
+            return true;
+        }
+        // LRU victim = first minimum stamp. Empty ways carry stamp 0 and
+        // real stamps start at 1, so empties win first — exactly the old
+        // `min_by_key(if valid { stamp } else { 0 })` ordering.
+        let stamps = &self.stamps[range.clone()];
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        for (i, &s) in stamps.iter().enumerate() {
+            if s < best {
+                best = s;
+                victim = i;
             }
         }
-        let victim = self.lines[range.clone()]
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| if l.valid { l.stamp } else { 0 })
-            .map(|(i, _)| range.start + i)
-            .expect("non-empty set");
-        self.lines[victim] = ShadowLine {
-            tag: line,
-            valid: true,
-            stamp,
-        };
+        let victim = range.start + victim;
+        if best == 0 {
+            self.touched.push(victim as u32);
+        }
+        self.tags[victim] = line;
+        self.stamps[victim] = stamp;
         false
     }
 
     /// Whether the line is resident in the no-prefetch reality (no update).
     pub fn probe(&self, line: u64) -> bool {
-        self.lines[self.set_range(line)]
-            .iter()
-            .any(|l| l.valid && l.tag == line)
+        self.tags[self.set_range(line)].contains(&line)
     }
 }
 

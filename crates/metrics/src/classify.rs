@@ -11,9 +11,7 @@
 //!   spatial locality (more than 6 of a region's 16 lines touched);
 //! * **HHF**: everything else.
 
-use std::collections::HashMap;
-
-use dol_isa::{InstKind, Trace};
+use dol_isa::{DetHashMap, InstKind, Trace};
 use dol_mem::{line_of, region_of};
 
 /// The three difficulty categories.
@@ -40,8 +38,8 @@ impl std::fmt::Display for Category {
 /// The offline classification of one workload trace.
 #[derive(Debug, Clone, Default)]
 pub struct Classifier {
-    pc_cat: HashMap<u64, Category>,
-    line_cat: HashMap<u64, Category>,
+    pc_cat: DetHashMap<u64, Category>,
+    line_cat: DetHashMap<u64, Category>,
 }
 
 impl Classifier {
@@ -58,7 +56,7 @@ impl Classifier {
     }
 
     /// Lines belonging to one category.
-    pub fn lines_in(&self, cat: Category) -> std::collections::HashSet<u64> {
+    pub fn lines_in(&self, cat: Category) -> crate::scope::LineSet {
         self.line_cat
             .iter()
             .filter(|(_, c)| **c == cat)
@@ -88,8 +86,8 @@ struct PcStats {
 /// accesses they receive: LHF if any strided instruction touches them,
 /// else MHF if the containing region is dense, else HHF.
 pub fn classify_trace(trace: &Trace) -> Classifier {
-    let mut pcs: HashMap<u64, PcStats> = HashMap::new();
-    let mut region_lines: HashMap<u64, u16> = HashMap::new();
+    let mut pcs: DetHashMap<u64, PcStats> = DetHashMap::default();
+    let mut region_lines: DetHashMap<u64, u16> = DetHashMap::default();
     // First pass: per-instruction stride stats and region density.
     // Instructions are keyed by `mPC = PC ^ RAS.top`, mirroring the
     // hardware's call-site disambiguation — one static load invoked from
@@ -126,7 +124,7 @@ pub fn classify_trace(trace: &Trace) -> Classifier {
         let bit = 1u16 << (line_of(addr) % dol_mem::REGION_LINES);
         *region_lines.entry(region_of(addr)).or_insert(0) |= bit;
     }
-    let pc_cat: HashMap<u64, Category> = pcs
+    let pc_cat: DetHashMap<u64, Category> = pcs
         .iter()
         .map(|(&pc, s)| {
             let cat = if s.seen >= 8 && s.repeats * 4 >= (s.seen - 1) * 3 {
@@ -139,7 +137,7 @@ pub fn classify_trace(trace: &Trace) -> Classifier {
         .collect();
 
     // Second pass: label lines.
-    let mut line_cat: HashMap<u64, Category> = HashMap::new();
+    let mut line_cat: DetHashMap<u64, Category> = DetHashMap::default();
     let mut ras: Vec<u64> = Vec::new();
     for inst in trace {
         match inst.kind {
@@ -185,7 +183,7 @@ pub fn classify_trace(trace: &Trace) -> Classifier {
     // Upgrade MHF pcs: a non-strided pc whose accesses mostly land in
     // dense regions.
     let mut pc_cat = pc_cat;
-    let mut pc_dense: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut pc_dense: DetHashMap<u64, (u64, u64)> = DetHashMap::default();
     let mut ras: Vec<u64> = Vec::new();
     for inst in trace {
         match inst.kind {

@@ -32,6 +32,7 @@ pub mod table;
 pub use accounting::{accuracy_at, coverage, EffectiveAccuracy};
 pub use classify::{classify_trace, Category, Classifier};
 pub use scatter::{accuracy_scope_plot, ScatterPoint};
+pub use scope::LineSet;
 pub use scope::{footprint, prefetched_lines, scope, Footprint};
 pub use stats::{geomean, normalize_to, weighted_speedup, WeightedPoint};
 pub use stream::{CoreCells, StreamingMetrics};

@@ -1,15 +1,19 @@
 //! Prefetching scope `S(P)` (the paper's Sec. III).
 
-use std::collections::{HashMap, HashSet};
-
+use dol_isa::{DetHashMap, DetHashSet};
 use dol_mem::{CacheLevel, MemEvent, Origin};
+
+/// A set of cache-line addresses (footprints, prefetch footprints,
+/// regions), backed by the workspace's deterministic fast hasher — these
+/// sets sit on the per-event hot path.
+pub type LineSet = DetHashSet<u64>;
 
 /// The baseline miss footprint of one cache level: unique miss lines with
 /// their miss counts as weights (secondary misses are already excluded by
 /// the memory system).
 #[derive(Debug, Clone, Default)]
 pub struct Footprint {
-    weights: HashMap<u64, u64>,
+    weights: DetHashMap<u64, u64>,
 }
 
 impl Footprint {
@@ -34,7 +38,7 @@ impl Footprint {
     }
 
     /// The set of lines.
-    pub fn lines(&self) -> HashSet<u64> {
+    pub fn lines(&self) -> LineSet {
         self.weights.keys().copied().collect()
     }
 
@@ -47,7 +51,7 @@ impl Footprint {
 /// Extracts the miss footprint at `level` from a *baseline* (no-prefetch)
 /// run's events.
 pub fn footprint(events: &[MemEvent], level: CacheLevel) -> Footprint {
-    let mut weights = HashMap::new();
+    let mut weights = DetHashMap::default();
     for e in events {
         if let MemEvent::DemandMiss { level: l, line, .. } = e {
             if *l == level {
@@ -66,7 +70,7 @@ pub fn footprint(events: &[MemEvent], level: CacheLevel) -> Footprint {
 /// queue space, …) — the paper's scope definition explicitly counts a
 /// line "as long as the prefetcher has attempted to prefetch the line",
 /// without regard to the outcome.
-pub fn prefetched_lines(events: &[MemEvent], origins: Option<&[Origin]>) -> HashSet<u64> {
+pub fn prefetched_lines(events: &[MemEvent], origins: Option<&[Origin]>) -> LineSet {
     events
         .iter()
         .filter_map(|e| match e {
@@ -84,7 +88,7 @@ pub fn prefetched_lines(events: &[MemEvent], origins: Option<&[Origin]>) -> Hash
 /// `S(P) = Σ_{A ∈ FP ∩ PFP} W(A) / Σ_{A ∈ FP} W(A)`.
 ///
 /// Returns 0 for an empty footprint.
-pub fn scope(fp: &Footprint, pfp: &HashSet<u64>) -> f64 {
+pub fn scope(fp: &Footprint, pfp: &LineSet) -> f64 {
     let total = fp.total_weight();
     if total == 0 {
         return 0.0;
@@ -100,7 +104,7 @@ pub fn scope(fp: &Footprint, pfp: &HashSet<u64>) -> f64 {
 /// Scope restricted to a sub-region of the footprint (the paper's Fig. 14
 /// looks at the region TPC does *not* cover): only lines in `region`
 /// participate in both numerator and denominator.
-pub fn scope_within(fp: &Footprint, pfp: &HashSet<u64>, region: &HashSet<u64>) -> f64 {
+pub fn scope_within(fp: &Footprint, pfp: &LineSet, region: &LineSet) -> f64 {
     let total: u64 = fp
         .iter()
         .filter(|(l, _)| region.contains(l))
@@ -198,8 +202,8 @@ mod tests {
     fn scope_within_region_restricts_both_sides() {
         let base = vec![miss(1), miss(2), miss(3), miss(3)];
         let fp = footprint(&base, CacheLevel::L1);
-        let pfp: HashSet<u64> = [2u64, 3].into_iter().collect();
-        let region: HashSet<u64> = [1u64, 2].into_iter().collect();
+        let pfp: LineSet = [2u64, 3].into_iter().collect();
+        let region: LineSet = [1u64, 2].into_iter().collect();
         // Inside region {1,2}: total weight 2, covered weight 1.
         assert_eq!(scope_within(&fp, &pfp, &region), 0.5);
         // Full scope for contrast: (1 + 2) / 4.
@@ -209,6 +213,6 @@ mod tests {
     #[test]
     fn empty_footprint_scope_is_zero() {
         let fp = Footprint::default();
-        assert_eq!(scope(&fp, &HashSet::new()), 0.0);
+        assert_eq!(scope(&fp, &LineSet::default()), 0.0);
     }
 }

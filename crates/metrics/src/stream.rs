@@ -12,14 +12,14 @@
 //! — only the induced-miss blame shares are non-integral — happens in
 //! event order per accounting cell, exactly as the replay loop would.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use dol_mem::{CacheLevel, EventSink, MemEvent, Origin};
 
 use crate::accounting::EffectiveAccuracy;
 use crate::classify::{Category, Classifier};
-use crate::scope::Footprint;
+use crate::scope::{Footprint, LineSet};
 
 #[inline]
 fn level_idx(level: CacheLevel) -> usize {
@@ -47,7 +47,7 @@ struct Accounting {
 }
 
 impl Accounting {
-    fn observe(&mut self, ev: &MemEvent, lines: Option<&HashSet<u64>>) {
+    fn observe(&mut self, ev: &MemEvent, lines: Option<&LineSet>) {
         let line_ok = |line: u64| lines.map(|s| s.contains(&line)).unwrap_or(true);
         match ev {
             MemEvent::PrefetchIssued {
@@ -164,13 +164,13 @@ pub struct StreamingMetrics {
     acc: Accounting,
     /// Region-restricted accounting: only events whose line is in the
     /// region participate (both filtered and unfiltered queries).
-    region: Option<(HashSet<u64>, Accounting)>,
+    region: Option<(LineSet, Accounting)>,
     /// Per-level demand-miss footprints.
     footprints: [Footprint; 3],
     /// Lines attempted by any origin (issued or dropped).
-    pfp_all: HashSet<u64>,
+    pfp_all: LineSet,
     /// Lines attempted per origin.
-    pfp_by_origin: BTreeMap<Origin, HashSet<u64>>,
+    pfp_by_origin: BTreeMap<Origin, LineSet>,
     /// Per-level × per-category accounting (present with a classifier).
     classifier: Option<Arc<Classifier>>,
     by_category: [[EffectiveAccuracy; 3]; 3],
@@ -194,7 +194,7 @@ impl StreamingMetrics {
     /// Enables a second accounting restricted to `region` lines (the
     /// paper's Figure 14 looks inside the footprint TPC leaves
     /// uncovered).
-    pub fn with_region(mut self, region: HashSet<u64>) -> Self {
+    pub fn with_region(mut self, region: LineSet) -> Self {
         self.region = Some((region, Accounting::default()));
         self
     }
@@ -367,13 +367,13 @@ impl StreamingMetrics {
     /// Lines attempted by any origin (issued or dropped) — the
     /// streaming equivalent of [`crate::prefetched_lines`] with no
     /// filter.
-    pub fn prefetched_lines_all(&self) -> &HashSet<u64> {
+    pub fn prefetched_lines_all(&self) -> &LineSet {
         &self.pfp_all
     }
 
     /// Lines attempted by the given origins (union).
-    pub fn prefetched_lines_of(&self, origins: &[Origin]) -> HashSet<u64> {
-        let mut out = HashSet::new();
+    pub fn prefetched_lines_of(&self, origins: &[Origin]) -> LineSet {
+        let mut out = LineSet::default();
         for o in origins {
             if let Some(s) = self.pfp_by_origin.get(o) {
                 out.extend(s.iter().copied());
@@ -534,7 +534,7 @@ mod tests {
     #[test]
     fn region_accounting_filters_lines() {
         let events = sample_events();
-        let region: HashSet<u64> = [1u64, 9].into_iter().collect();
+        let region: LineSet = [1u64, 9].into_iter().collect();
         let mut sm = StreamingMetrics::new().with_region(region.clone());
         for e in &events {
             sm.observe(e);
