@@ -87,6 +87,67 @@ impl TraceBench {
     }
 }
 
+/// One concurrency level of the `dol serve` saturation benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeLevel {
+    /// Concurrent clients issuing requests.
+    pub clients: usize,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests the server rejected with backpressure (`Busy`).
+    pub rejected: u64,
+    /// Wall-clock seconds for the whole level.
+    pub wall_s: f64,
+    /// Median completed-request latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile completed-request latency in milliseconds.
+    pub p99_ms: f64,
+}
+
+impl ServeLevel {
+    /// Completed requests per second across the level.
+    pub fn req_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.completed as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The `dol serve` saturation benchmark (`run_all --bench-serve`): one
+/// resident server, increasing numbers of concurrent clients each
+/// issuing warm smoke-sweep requests.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// Resident scheduler worker threads.
+    pub workers: usize,
+    /// Job-queue capacity.
+    pub queue_cap: usize,
+    /// Wall seconds for the first (cold-cache) request.
+    pub cold_wall_s: f64,
+    /// Instructions the cold request simulated (> 0 by construction).
+    pub cold_sim_insts: u64,
+    /// Wall seconds for the second (warm-cache) request.
+    pub warm_wall_s: f64,
+    /// Instructions the warm request simulated — the resident caches
+    /// make this strictly smaller than the cold delta.
+    pub warm_sim_insts: u64,
+    /// Saturation sweep, one entry per client count.
+    pub levels: Vec<ServeLevel>,
+}
+
+impl ServeBench {
+    /// Peak completed-requests-per-second across the levels — the
+    /// headline rate the serve floor gates on.
+    pub fn peak_req_per_s(&self) -> f64 {
+        self.levels
+            .iter()
+            .map(ServeLevel::req_per_s)
+            .fold(0.0, f64::max)
+    }
+}
+
 /// A full `run_all` timing report.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -102,6 +163,8 @@ pub struct BenchReport {
     /// Trace-decode throughput, present when workloads were replayed
     /// from `dol-trace-v1` files rather than captured live.
     pub trace: Option<TraceBench>,
+    /// `dol serve` saturation results, present when `--bench-serve` ran.
+    pub serve: Option<ServeBench>,
 }
 
 impl BenchReport {
@@ -158,6 +221,35 @@ impl BenchReport {
                 t.insts_per_s()
             ));
         }
+        if let Some(sv) = &self.serve {
+            s.push_str(&format!(
+                "  \"serve\": {{\"workers\": {}, \"queue_cap\": {}, \
+                 \"cold_wall_s\": {:.3}, \"cold_sim_insts\": {}, \
+                 \"warm_wall_s\": {:.3}, \"warm_sim_insts\": {}, \"levels\": [\n",
+                sv.workers,
+                sv.queue_cap,
+                sv.cold_wall_s,
+                sv.cold_sim_insts,
+                sv.warm_wall_s,
+                sv.warm_sim_insts
+            ));
+            for (i, l) in sv.levels.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"clients\": {}, \"completed\": {}, \"rejected\": {}, \
+                     \"wall_s\": {:.3}, \"req_per_s\": {:.2}, \"p50_ms\": {:.2}, \
+                     \"p99_ms\": {:.2}}}{}\n",
+                    l.clients,
+                    l.completed,
+                    l.rejected,
+                    l.wall_s,
+                    l.req_per_s(),
+                    l.p50_ms,
+                    l.p99_ms,
+                    if i + 1 < sv.levels.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("  ]},\n");
+        }
         s.push_str("  \"drivers\": [\n");
         for (i, d) in self.drivers.iter().enumerate() {
             s.push_str(&format!(
@@ -196,6 +288,33 @@ pub fn parse_driver_floor(json: &str, id: &str) -> Option<f64> {
     scan_rate(line)
 }
 
+/// Extracts the peak serve-saturation `req_per_s` from a `dol-bench-v1`
+/// document. Returns `None` when the document has no `serve` object —
+/// floors recorded before the serve benchmark existed simply don't gate
+/// it.
+pub fn parse_serve_floor(json: &str) -> Option<f64> {
+    let serve = json.split("\"serve\"").nth(1)?;
+    // Stop at the drivers array so a rate can never leak in from a later
+    // section; `req_per_s` only appears in serve levels anyway.
+    let serve = serve.split("\"drivers\"").next()?;
+    serve
+        .split("\"req_per_s\"")
+        .skip(1)
+        .filter_map(|frag| {
+            let num: String = frag
+                .chars()
+                .skip_while(|c| *c == ':' || c.is_whitespace())
+                .take_while(|c| {
+                    c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+'
+                })
+                .collect();
+            num.parse::<f64>().ok()
+        })
+        .fold(None, |best: Option<f64>, rate| {
+            Some(best.map_or(rate, |b| b.max(rate)))
+        })
+}
+
 fn scan_rate(fragment: &str) -> Option<f64> {
     let after = fragment.split("\"insts_per_s\"").nth(1)?;
     let num: String = after
@@ -230,6 +349,7 @@ mod tests {
                 },
             ],
             trace: None,
+            serve: None,
         }
     }
 
@@ -287,6 +407,53 @@ mod tests {
         // The floor scanner still picks up the *total* rate, not the
         // trace-decode rate.
         assert!((parse_floor(&json).unwrap() - 3_000_000.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn serve_section_serializes_and_floors_on_the_peak_rate() {
+        let mut r = report();
+        r.serve = Some(ServeBench {
+            workers: 4,
+            queue_cap: 16,
+            cold_wall_s: 2.0,
+            cold_sim_insts: 1_000_000,
+            warm_wall_s: 0.2,
+            warm_sim_insts: 0,
+            levels: vec![
+                ServeLevel {
+                    clients: 1,
+                    completed: 8,
+                    rejected: 0,
+                    wall_s: 2.0,
+                    p50_ms: 240.0,
+                    p99_ms: 300.0,
+                },
+                ServeLevel {
+                    clients: 4,
+                    completed: 16,
+                    rejected: 2,
+                    wall_s: 2.0,
+                    p50_ms: 400.0,
+                    p99_ms: 900.0,
+                },
+            ],
+        });
+        assert_eq!(r.serve.as_ref().unwrap().peak_req_per_s(), 8.0);
+        let json = r.to_json();
+        assert!(json.contains("\"serve\": {\"workers\": 4"));
+        assert!(json.contains("\"clients\": 4"));
+        assert!(json.contains("\"rejected\": 2"));
+        // The serve floor picks the peak level's rate...
+        assert!((parse_serve_floor(&json).unwrap() - 8.0).abs() < 1e-9);
+        // ...without disturbing the existing total / driver floors.
+        assert!((parse_floor(&json).unwrap() - 3_000_000.0).abs() < 0.5);
+        assert!(parse_driver_floor(&json, "fig08").is_some());
+    }
+
+    #[test]
+    fn serve_floor_is_absent_without_a_serve_section() {
+        assert_eq!(parse_serve_floor(&report().to_json()), None);
+        assert_eq!(parse_serve_floor(""), None);
     }
 
     #[test]

@@ -8,18 +8,30 @@
 //! dol trace info <file.dolt>                   # header + size summary
 //! dol trace verify <file.dolt>...              # full decode, checksums checked
 //! dol trace run --trace <file.dolt> --prefetcher TPC   # streaming replay
+//! dol serve [--socket PATH] [--jobs N] [--queue-cap N]   # resident service
+//! dol client <ping|sweep|run|replay|cancel|shutdown> [--socket PATH] ...
 //! ```
+//!
+//! `dol serve` keeps one process resident behind a Unix socket
+//! (`dol-rpc-v1`); `dol client` talks to it. A client sweep streams the
+//! same bytes to stdout that `run_all` with the same plan prints —
+//! asserted by CI — but repeated requests are served from the resident
+//! caches.
 
 use std::fs::File;
-use std::io::BufReader;
-use std::path::Path;
+use std::io::{BufReader, Write};
+use std::path::{Path, PathBuf};
 
 use dol_core::NoPrefetcher;
 use dol_cpu::{System, SystemConfig, Workload};
+use dol_harness::serve::client as rpc;
+use dol_harness::serve::ops;
+use dol_harness::serve::protocol::{ReplayRequest, Request, RunRequest, SweepRequest};
+use dol_harness::serve::server::{ServeOptions, Server, DEFAULT_QUEUE_CAP};
 use dol_harness::{prefetchers, traces, RunPlan};
 use dol_mem::{CacheLevel, NullSink};
-use dol_metrics::{scope, StreamingMetrics, TextTable};
-use dol_trace::{ReplaySource, TraceReader};
+use dol_metrics::{StreamingMetrics, TextTable};
+use dol_trace::{ReadAhead, TraceReader};
 
 fn usage() -> ! {
     eprintln!(
@@ -27,7 +39,13 @@ fn usage() -> ! {
          [--insts N] [--seed S]\n  dol compare --workload <name> [--insts N] [--seed S]\n  \
          dol trace record (--workload <name> | --all) --dir <dir> [--insts N] [--seed S] \
          [--smoke]\n  dol trace info <file.dolt>\n  dol trace verify <file.dolt>...\n  \
-         dol trace run --trace <file.dolt> --prefetcher <config>\n\
+         dol trace run --trace <file.dolt> --prefetcher <config>\n  \
+         dol serve [--socket PATH] [--jobs N] [--queue-cap N]\n  \
+         dol client ping|shutdown [--socket PATH]\n  \
+         dol client sweep [--socket PATH] [--smoke] [--jobs N] [--bench-out PATH]\n  \
+         dol client run --workload <name> --prefetcher <config> [--insts N] [--seed S]\n  \
+         dol client replay --trace <file.dolt> --prefetcher <config>\n  \
+         dol client cancel --job <id> [--socket PATH]\n\
          \nconfigs: none, TPC, T2, P1, C1, T2+P1, TPC-plainPC, {} and TPC+<mono> / TPC|<mono>",
         dol_baselines::registry::MONOLITHIC_NAMES.join(", ")
     );
@@ -43,6 +61,23 @@ struct Args {
     trace: Option<String>,
     all: bool,
     smoke: bool,
+    socket: Option<String>,
+    jobs: Option<usize>,
+    queue_cap: Option<usize>,
+    job: Option<u64>,
+    bench_out: Option<String>,
+}
+
+impl Args {
+    /// `--socket`, else `DOL_SOCKET`, else a per-user default under the
+    /// system temp dir.
+    fn socket_path(&self) -> PathBuf {
+        self.socket
+            .clone()
+            .or_else(|| std::env::var("DOL_SOCKET").ok())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("dol-serve.sock"))
+    }
 }
 
 fn parse(args: &[String]) -> Args {
@@ -55,6 +90,11 @@ fn parse(args: &[String]) -> Args {
         trace: None,
         all: false,
         smoke: false,
+        socket: None,
+        jobs: None,
+        queue_cap: None,
+        job: None,
+        bench_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -97,6 +137,35 @@ fn parse(args: &[String]) -> Args {
                 out.smoke = true;
                 i += 1;
             }
+            "--socket" => {
+                out.socket = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--jobs" | "-j" => {
+                out.jobs = args.get(i + 1).and_then(|v| v.parse().ok());
+                if out.jobs.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
+            "--queue-cap" => {
+                out.queue_cap = args.get(i + 1).and_then(|v| v.parse().ok());
+                if out.queue_cap.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
+            "--job" => {
+                out.job = args.get(i + 1).and_then(|v| v.parse().ok());
+                if out.job.is_none() {
+                    usage();
+                }
+                i += 2;
+            }
+            "--bench-out" => {
+                out.bench_out = args.get(i + 1).cloned();
+                i += 2;
+            }
             _ => usage(),
         }
     }
@@ -125,49 +194,15 @@ fn cmd_run(a: Args) {
     let (Some(workload), Some(config)) = (a.workload.as_deref(), a.prefetcher.as_deref()) else {
         usage()
     };
-    let w = capture(workload, a.insts, a.seed);
-    let sys = System::new(SystemConfig::isca2018(1));
-    let mut base_sm = StreamingMetrics::new();
-    let base = sys.run_with_sink(&w, &mut NoPrefetcher, &mut base_sm);
-    let Some(mut p) = prefetchers::build(config) else {
-        eprintln!("unknown prefetcher `{config}`; try `dol list`");
-        std::process::exit(2);
-    };
-    let mut sm = StreamingMetrics::new();
-    let r = sys.run_with_sink(&w, &mut p, &mut sm);
-    let fp = base_sm.footprint(CacheLevel::L1);
-    let pfp = sm.prefetched_lines_all();
-    let acc = sm.accuracy_at(CacheLevel::L1, None);
-    println!(
-        "workload {workload}: {} insts, seed {}",
-        r.instructions, a.seed
-    );
-    println!(
-        "baseline: {} cycles (IPC {:.2}), {} L1 misses, {} DRAM lines",
-        base.cycles,
-        base.ipc(),
-        base.stats.cores[0].l1_misses,
-        base.stats.dram.total_traffic_lines()
-    );
-    println!(
-        "{config}: {} cycles (IPC {:.2}), {} L1 misses, {} DRAM lines",
-        r.cycles,
-        r.ipc(),
-        r.stats.cores[0].l1_misses,
-        r.stats.dram.total_traffic_lines()
-    );
-    println!(
-        "speedup {:.3}x | traffic {:.3}x | scope {:.2} | eff. accuracy {:.2} \
-         ({} issued / {} useful / {} unused)",
-        base.cycles as f64 / r.cycles as f64,
-        r.stats.dram.total_traffic_lines() as f64
-            / base.stats.dram.total_traffic_lines().max(1) as f64,
-        scope(fp, pfp),
-        acc.effective_accuracy(),
-        acc.issued,
-        acc.useful,
-        acc.unused
-    );
+    // Shared with `dol serve`: the server renders the identical report
+    // for a `dol client run` of the same workload/config/budget.
+    match ops::render_run(workload, config, a.insts, a.seed) {
+        Ok(text) => print!("{text}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn cmd_compare(a: Args) {
@@ -294,8 +329,10 @@ fn cmd_trace_verify(paths: &[String]) {
         usage();
     }
     for path in paths {
+        // Full decode is throughput-bound: overlap file I/O with chunk
+        // decode via the double-buffered read-ahead.
         let file = match File::open(path) {
-            Ok(f) => BufReader::new(f),
+            Ok(f) => ReadAhead::new(f),
             Err(e) => {
                 eprintln!("cannot open {path}: {e}");
                 std::process::exit(1);
@@ -314,57 +351,171 @@ fn cmd_trace_verify(paths: &[String]) {
 }
 
 /// `dol trace run`: stream a trace file through the timing model without
-/// ever materializing the instruction stream.
+/// ever materializing the instruction stream. Shared with `dol serve`
+/// (`dol client replay` renders the identical report).
 fn cmd_trace_run(a: Args) {
     let (Some(path), Some(config)) = (a.trace.as_deref(), a.prefetcher.as_deref()) else {
         usage()
     };
-    let Some(mut p) = prefetchers::build(config) else {
-        eprintln!("unknown prefetcher `{config}`; try `dol list`");
-        std::process::exit(2);
-    };
-    let file = match File::open(path) {
-        Ok(f) => BufReader::new(f),
-        Err(e) => {
-            eprintln!("cannot open {path}: {e}");
-            std::process::exit(1);
+    match ops::render_replay(path, config) {
+        Ok(text) => print!("{text}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg.starts_with("unknown") { 2 } else { 1 });
         }
-    };
-    let mut reader = match TraceReader::new(file) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("{path}: {e}");
-            std::process::exit(1);
-        }
-    };
-    // The memory image feeds pointer-prefetch value callbacks; the
-    // instruction stream itself is decoded chunk by chunk during the run.
-    let memory = match reader.read_memory() {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("{path}: {e}");
-            std::process::exit(1);
-        }
-    };
-    let header = reader.header().clone();
-    let sys = System::new(SystemConfig::isca2018(1));
-    let (r, source) = sys.run_source(ReplaySource::new(reader), &memory, &mut p);
-    if let Some(e) = source.error() {
-        eprintln!("{path}: replay stopped early: {e}");
-        std::process::exit(1);
     }
-    println!(
-        "replayed {} ({} insts, seed {}) under {config}",
-        header.name, r.instructions, header.seed
+}
+
+/// `dol serve`: bind the socket and stay resident until a client sends
+/// `shutdown`.
+fn cmd_serve(a: Args) {
+    let socket = a.socket_path();
+    let server = match Server::start(ServeOptions {
+        socket: socket.clone(),
+        workers: a.jobs,
+        queue_cap: a.queue_cap.unwrap_or(DEFAULT_QUEUE_CAP),
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot serve on {}: {e}", socket.display());
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "dol serve: listening on {} ({} workers, queue {}); stop with `dol client shutdown`",
+        socket.display(),
+        server.workers(),
+        a.queue_cap.unwrap_or(DEFAULT_QUEUE_CAP)
     );
-    println!(
-        "{} cycles (IPC {:.2}), {} L1 misses, {} DRAM lines, {} prefetches",
-        r.cycles,
-        r.ipc(),
-        r.stats.cores[0].l1_misses,
-        r.stats.dram.total_traffic_lines(),
-        r.stats.cores[0].prefetches
+    server.join();
+    eprintln!("dol serve: drained and stopped");
+}
+
+fn rpc_fail(e: dol_harness::serve::protocol::RpcError) -> ! {
+    eprintln!("dol client: {e}");
+    std::process::exit(1);
+}
+
+fn cmd_client_ping(a: &Args) {
+    match rpc::ping(&a.socket_path()) {
+        Ok(p) => println!(
+            "pong: dol-rpc-v{} — {} workers, queue {}/{} (active {}), {} jobs done",
+            p.version, p.workers, p.queued, p.queue_cap, p.active, p.jobs_done
+        ),
+        Err(e) => rpc_fail(e),
+    }
+}
+
+fn cmd_client_sweep(a: &Args) {
+    let mut plan = if a.smoke {
+        RunPlan::smoke()
+    } else {
+        RunPlan::from_env()
+    };
+    if let Some(j) = a.jobs {
+        plan.jobs = j;
+    }
+    let mut req = SweepRequest::from_plan(&plan, a.smoke);
+    req.bench = a.bench_out.is_some();
+    let stdout = std::io::stdout();
+    let summary = match rpc::stream(&a.socket_path(), &Request::Sweep(req), |chunk| {
+        let mut out = stdout.lock();
+        let _ = out.write_all(chunk);
+        let _ = out.flush();
+    }) {
+        Ok(s) => s,
+        Err(e) => rpc_fail(e),
+    };
+    eprintln!(
+        "job {}: {} deviations, {} insts simulated server-side",
+        summary.job, summary.done.deviations, summary.done.sim_insts
     );
+    if let Some(path) = &a.bench_out {
+        let report = dol_harness::bench::BenchReport {
+            mode: if a.smoke { "smoke" } else { "full" },
+            jobs: dol_harness::sweep::effective_jobs(plan.jobs),
+            repeat: 1,
+            drivers: summary.bench.iter().map(driver_bench).collect(),
+            trace: None,
+            serve: None,
+        };
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write bench report to {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("bench report written to {path}");
+    }
+}
+
+/// Reconnects a streamed bench record to its driver's static id.
+fn driver_bench(r: &dol_harness::serve::protocol::BenchRecord) -> dol_harness::bench::DriverBench {
+    let id = dol_harness::experiments::drivers()
+        .iter()
+        .map(|(id, _)| *id)
+        .find(|id| *id == r.id)
+        // Unknown ids can only come from a newer server; keep the record.
+        .unwrap_or_else(|| Box::leak(r.id.clone().into_boxed_str()));
+    dol_harness::bench::DriverBench {
+        id,
+        wall_s: r.wall_s,
+        sim_insts: r.sim_insts,
+        cached: r.cached,
+    }
+}
+
+fn cmd_client_streamed(a: &Args, req: Request) {
+    let stdout = std::io::stdout();
+    match rpc::stream(&a.socket_path(), &req, |chunk| {
+        let mut out = stdout.lock();
+        let _ = out.write_all(chunk);
+        let _ = out.flush();
+    }) {
+        Ok(_) => {}
+        Err(e) => rpc_fail(e),
+    }
+}
+
+fn cmd_client(argv: &[String]) {
+    let Some(verb) = argv.first().map(String::as_str) else {
+        usage()
+    };
+    let a = parse(&argv[1..]);
+    match verb {
+        "ping" => cmd_client_ping(&a),
+        "shutdown" => match rpc::shutdown(&a.socket_path()) {
+            Ok(()) => eprintln!("server drained and stopped"),
+            Err(e) => rpc_fail(e),
+        },
+        "cancel" => {
+            let Some(job) = a.job else { usage() };
+            match rpc::cancel(&a.socket_path(), job) {
+                Ok(()) => eprintln!("job {job} cancelled"),
+                Err(e) => rpc_fail(e),
+            }
+        }
+        "sweep" => cmd_client_sweep(&a),
+        "run" => {
+            let (Some(workload), Some(config)) = (a.workload.clone(), a.prefetcher.clone()) else {
+                usage()
+            };
+            cmd_client_streamed(
+                &a,
+                Request::Run(RunRequest {
+                    workload,
+                    config,
+                    insts: a.insts,
+                    seed: a.seed,
+                }),
+            );
+        }
+        "replay" => {
+            let (Some(path), Some(config)) = (a.trace.clone(), a.prefetcher.clone()) else {
+                usage()
+            };
+            cmd_client_streamed(&a, Request::Replay(ReplayRequest { path, config }));
+        }
+        _ => usage(),
+    }
 }
 
 fn cmd_trace(argv: &[String]) {
@@ -387,6 +538,8 @@ fn main() {
         Some("run") => cmd_run(parse(&argv[1..])),
         Some("compare") => cmd_compare(parse(&argv[1..])),
         Some("trace") => cmd_trace(&argv[1..]),
+        Some("serve") => cmd_serve(parse(&argv[1..])),
+        Some("client") => cmd_client(&argv[1..]),
         _ => usage(),
     }
 }

@@ -26,11 +26,13 @@
 
 use std::time::Instant;
 
-use dol_harness::bench::{parse_driver_floor, parse_floor, BenchReport, DriverBench, TraceBench};
+use dol_harness::bench::{
+    parse_driver_floor, parse_floor, parse_serve_floor, BenchReport, DriverBench, TraceBench,
+};
 use dol_harness::{experiments, RunPlan};
 
 const USAGE: &str = "usage: run_all [--smoke] [--jobs N] [--trace-dir DIR] [--bench-out PATH] \
-                     [--bench-floor PATH] [--bench-repeat N]";
+                     [--bench-floor PATH] [--bench-repeat N] [--bench-serve]";
 
 /// Largest tolerated throughput drop vs the recorded floor.
 const MAX_REGRESSION: f64 = 0.30;
@@ -47,6 +49,7 @@ fn main() {
     let mut bench_out: Option<String> = None;
     let mut bench_floor: Option<String> = None;
     let mut repeat: usize = 1;
+    let mut bench_serve = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -90,6 +93,10 @@ fn main() {
                 }
                 i += 2;
             }
+            "--bench-serve" => {
+                bench_serve = true;
+                i += 1;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -124,6 +131,7 @@ fn main() {
         repeat,
         drivers: Vec::new(),
         trace: None,
+        serve: None,
     };
     let decode_before = dol_trace::telemetry::decode_totals();
     let mut deviations = 0;
@@ -189,6 +197,41 @@ fn main() {
         );
     }
 
+    if bench_serve {
+        // All serve-bench chatter goes to stderr: stdout stays
+        // byte-identical with and without the flag.
+        eprintln!("serve bench: starting saturation sweep (clients 1/2/4/8)");
+        match dol_harness::serve::bench::saturation() {
+            Ok(sv) => {
+                eprintln!(
+                    "serve bench: cold {:.2}s ({} insts), warm {:.2}s ({} insts), \
+                     peak {:.2} req/s across {} workers",
+                    sv.cold_wall_s,
+                    sv.cold_sim_insts,
+                    sv.warm_wall_s,
+                    sv.warm_sim_insts,
+                    sv.peak_req_per_s(),
+                    sv.workers
+                );
+                // The whole point of a resident server: the second
+                // identical request must be served from warm caches.
+                if sv.warm_sim_insts >= sv.cold_sim_insts {
+                    eprintln!(
+                        "SERVE CACHE REGRESSION: warm request simulated {} insts, \
+                         cold simulated {}",
+                        sv.warm_sim_insts, sv.cold_sim_insts
+                    );
+                    std::process::exit(1);
+                }
+                bench.serve = Some(sv);
+            }
+            Err(e) => {
+                eprintln!("serve bench failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if let Some(path) = &bench_out {
         std::fs::write(path, bench.to_json()).unwrap_or_else(|e| {
             eprintln!("cannot write bench report to {path}: {e}");
@@ -236,6 +279,20 @@ fn main() {
             );
             if !d.cached && measured < limit {
                 eprintln!("THROUGHPUT REGRESSION: multicore driver more than 30% below its floor");
+                std::process::exit(1);
+            }
+        }
+        // The serve saturation rate gates only when both this run
+        // measured it (--bench-serve) and the floor recorded one.
+        if let (Some(serve_floor), Some(sv)) = (parse_serve_floor(&text), &bench.serve) {
+            let measured = sv.peak_req_per_s();
+            let limit = serve_floor * (1.0 - MAX_REGRESSION);
+            eprintln!(
+                "serve gate: measured {measured:.2} req/s vs floor {serve_floor:.2} req/s \
+                 (fail below {limit:.2})"
+            );
+            if measured < limit {
+                eprintln!("THROUGHPUT REGRESSION: serve peak rate more than 30% below its floor");
                 std::process::exit(1);
             }
         }

@@ -28,6 +28,7 @@ pub mod experiments;
 pub mod plan;
 pub mod prefetchers;
 pub mod runner;
+pub mod serve;
 pub mod sweep;
 pub mod traces;
 

@@ -75,10 +75,8 @@ impl RunPlan {
                 plan.mix_count = n.clamp(1, 64);
             }
         }
-        if let Ok(v) = std::env::var("DOL_JOBS") {
-            if let Ok(n) = v.parse::<usize>() {
-                plan.jobs = n.min(256);
-            }
+        if let Some(n) = crate::sweep::env_jobs() {
+            plan.jobs = n;
         }
         if let Ok(v) = std::env::var("DOL_TRACE_DIR") {
             if !v.is_empty() {

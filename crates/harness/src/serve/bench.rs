@@ -1,0 +1,151 @@
+//! The `dol serve` saturation benchmark (`run_all --bench-serve`).
+//!
+//! Starts an in-process server on a scratch socket, measures a cold and
+//! a warm smoke-sweep request (the warm one must simulate strictly less
+//! — that's the resident caches working), then drives the server with
+//! 1/2/4/8 concurrent clients and records completed requests per second
+//! and p50/p99 latency per level. The result is the `serve` object of a
+//! `dol-bench-v1` report; CI gates on the peak rate.
+
+use std::path::{Path, PathBuf};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use super::client;
+use super::protocol::{Request, RpcError, SweepRequest};
+use super::server::{ServeOptions, Server, DEFAULT_QUEUE_CAP};
+use crate::bench::{ServeBench, ServeLevel};
+
+/// Client counts exercised by the saturation sweep.
+pub const LEVELS: &[usize] = &[1, 2, 4, 8];
+
+/// Warm requests each client issues per level.
+const ROUNDS_PER_CLIENT: usize = 4;
+
+/// A scratch socket path unique to this process.
+pub fn scratch_socket() -> PathBuf {
+    std::env::temp_dir().join(format!("dol-serve-bench-{}.sock", std::process::id()))
+}
+
+/// Runs the full saturation benchmark against a private in-process
+/// server. The run caches are cleared first so the cold request is
+/// honestly cold. Returns an error string on any RPC failure.
+pub fn saturation() -> Result<ServeBench, String> {
+    let socket = scratch_socket();
+    crate::runner::clear_run_caches();
+    let server = Server::start(ServeOptions {
+        socket: socket.clone(),
+        workers: None,
+        queue_cap: DEFAULT_QUEUE_CAP,
+    })
+    .map_err(|e| format!("cannot start bench server on {}: {e}", socket.display()))?;
+    let workers = server.workers();
+
+    // Jobs run their internal sweep single-threaded so scheduler-level
+    // concurrency is what the level sweep measures.
+    let mut sweep = SweepRequest::smoke();
+    sweep.jobs = 1;
+    let req = Request::Sweep(sweep);
+
+    let result = (|| {
+        let t0 = Instant::now();
+        let cold = client::stream(&socket, &req, |_| {}).map_err(|e| format!("cold sweep: {e}"))?;
+        let cold_wall_s = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let warm = client::stream(&socket, &req, |_| {}).map_err(|e| format!("warm sweep: {e}"))?;
+        let warm_wall_s = t0.elapsed().as_secs_f64();
+
+        let mut levels = Vec::with_capacity(LEVELS.len());
+        for &clients in LEVELS {
+            levels.push(run_level(&socket, clients, &req)?);
+        }
+        Ok(ServeBench {
+            workers,
+            queue_cap: DEFAULT_QUEUE_CAP,
+            cold_wall_s,
+            cold_sim_insts: cold.done.sim_insts,
+            warm_wall_s,
+            warm_sim_insts: warm.done.sim_insts,
+            levels,
+        })
+    })();
+
+    let _ = client::shutdown(&socket);
+    server.join();
+    result
+}
+
+/// Drives `clients` concurrent connections, each issuing
+/// [`ROUNDS_PER_CLIENT`] requests, and aggregates latency percentiles.
+fn run_level(socket: &Path, clients: usize, req: &Request) -> Result<ServeLevel, String> {
+    let barrier = Barrier::new(clients);
+    let t0 = Instant::now();
+    let per_client: Vec<Result<(Vec<f64>, u64), String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut latencies_ms = Vec::with_capacity(ROUNDS_PER_CLIENT);
+                    let mut rejected = 0u64;
+                    barrier.wait();
+                    for _ in 0..ROUNDS_PER_CLIENT {
+                        let t = Instant::now();
+                        match client::stream(socket, req, |_| {}) {
+                            Ok(_) => latencies_ms.push(t.elapsed().as_secs_f64() * 1e3),
+                            // Backpressure is an expected outcome at
+                            // saturation — count it, don't fail.
+                            Err(RpcError::Rejected(_)) => rejected += 1,
+                            Err(e) => return Err(format!("{clients}-client level: {e}")),
+                        }
+                    }
+                    Ok((latencies_ms, rejected))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let mut latencies = Vec::new();
+    let mut rejected = 0u64;
+    for r in per_client {
+        let (lats, rej) = r?;
+        latencies.extend(lats);
+        rejected += rej;
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    Ok(ServeLevel {
+        clients,
+        completed: latencies.len() as u64,
+        rejected,
+        wall_s,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+    })
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (0 if empty).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&s, 0.50), 50.0);
+        assert_eq!(percentile(&s, 0.99), 99.0);
+        assert_eq!(percentile(&s, 1.0), 100.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! The `dol client` side of `dol-rpc-v1`: connect, send one request,
+//! stream the response frames.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use super::protocol::{self, BenchRecord, DoneSummary, Pong, Request, Response, RpcError};
+
+/// A connected client. One request per connection, matching the server.
+pub struct RpcClient {
+    reader: BufReader<UnixStream>,
+    writer: BufWriter<UnixStream>,
+    greeted: bool,
+}
+
+/// Everything a completed streaming job reported.
+#[derive(Debug, Clone)]
+pub struct StreamSummary {
+    /// The job id assigned by the server (usable with `cancel`).
+    pub job: u64,
+    /// Terminal summary (deviations + simulated-instruction delta).
+    pub done: DoneSummary,
+    /// Per-driver timing records, when the request asked for them.
+    pub bench: Vec<BenchRecord>,
+}
+
+impl RpcClient {
+    /// Connects to the server at `socket` and sends the greeting.
+    pub fn connect(socket: &Path) -> Result<RpcClient, RpcError> {
+        let stream = UnixStream::connect(socket)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        protocol::write_hello(&mut writer)?;
+        Ok(RpcClient {
+            reader,
+            writer,
+            greeted: false,
+        })
+    }
+
+    /// Sends the connection's one request.
+    pub fn send(&mut self, req: &Request) -> Result<(), RpcError> {
+        protocol::send_request(&mut self.writer, req)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next response frame (validating the server greeting
+    /// first on the initial call).
+    pub fn recv(&mut self) -> Result<Response, RpcError> {
+        if !self.greeted {
+            protocol::read_hello(&mut self.reader)?;
+            self.greeted = true;
+        }
+        protocol::read_response(&mut self.reader)
+    }
+}
+
+/// Pings the server at `socket`.
+pub fn ping(socket: &Path) -> Result<Pong, RpcError> {
+    let mut c = RpcClient::connect(socket)?;
+    c.send(&Request::Ping)?;
+    match c.recv()? {
+        Response::Pong(p) => Ok(p),
+        Response::Error(e) => Err(e.into_rpc_error()),
+        other => Err(unexpected(&other)),
+    }
+}
+
+/// Asks the server to drain all jobs and stop. Returns once the server
+/// confirms the drain is complete.
+pub fn shutdown(socket: &Path) -> Result<(), RpcError> {
+    let mut c = RpcClient::connect(socket)?;
+    c.send(&Request::Shutdown)?;
+    match c.recv()? {
+        Response::Done(_) => Ok(()),
+        Response::Error(e) => Err(e.into_rpc_error()),
+        other => Err(unexpected(&other)),
+    }
+}
+
+/// Cancels job `job` (obtained from an `Accepted` frame on another
+/// connection).
+pub fn cancel(socket: &Path, job: u64) -> Result<(), RpcError> {
+    let mut c = RpcClient::connect(socket)?;
+    c.send(&Request::Cancel { job })?;
+    match c.recv()? {
+        Response::Done(_) => Ok(()),
+        Response::Error(e) => Err(e.into_rpc_error()),
+        other => Err(unexpected(&other)),
+    }
+}
+
+/// Sends a job-producing request and streams the response: every
+/// `Output` chunk is handed to `on_output` as it arrives. Returns the
+/// terminal summary, or the typed error the server reported.
+pub fn stream(
+    socket: &Path,
+    req: &Request,
+    mut on_output: impl FnMut(&[u8]),
+) -> Result<StreamSummary, RpcError> {
+    let mut c = RpcClient::connect(socket)?;
+    c.send(req)?;
+    let mut job = 0u64;
+    let mut bench = Vec::new();
+    loop {
+        match c.recv()? {
+            Response::Accepted { job: id } => job = id,
+            Response::Output(chunk) => on_output(&chunk),
+            Response::Bench(record) => bench.push(record),
+            Response::Done(done) => {
+                return Ok(StreamSummary { job, done, bench });
+            }
+            Response::Error(e) => return Err(e.into_rpc_error()),
+            Response::Pong(_) => {
+                return Err(RpcError::Corrupt("unsolicited pong in job stream".into()))
+            }
+        }
+    }
+}
+
+fn unexpected(rsp: &Response) -> RpcError {
+    RpcError::Corrupt(format!("unexpected response frame: {rsp:?}"))
+}

@@ -1,0 +1,35 @@
+//! `dol serve`: a resident simulation service.
+//!
+//! Every `dol`/`run_all` invocation pays the same startup tax: captures
+//! are re-run, the memoized run caches start empty, and the arena pools
+//! are cold. `dol serve` keeps one process resident: it listens on a
+//! Unix domain socket, speaks the framed [`protocol`] (`dol-rpc-v1`),
+//! and executes sweep/run/trace-replay requests on a persistent
+//! [`scheduler`] whose workers share the process-wide capture/run caches
+//! (`dol_harness::runner`) and thread-local arena pools across requests
+//! — the second request is served warm.
+//!
+//! The division of labor inside the module:
+//!
+//! * [`protocol`] — wire format: framing, CRC, typed errors, request and
+//!   response codecs. Pure; no I/O policy.
+//! * [`scheduler`] — a persistent bounded job queue with ids,
+//!   cancellation and graceful drain, generalizing the scoped
+//!   work-stealing pool of [`crate::sweep`] to long-lived workers.
+//! * [`ops`] — request execution shared between the CLI (`dol run`,
+//!   `dol trace run`) and the server, so both render identical text.
+//! * [`server`] / [`client`] — the socket endpoints.
+//! * [`bench`] — the saturation benchmark (`run_all --bench-serve`):
+//!   requests/s and p50/p99 latency at increasing client counts,
+//!   recorded as the `serve` object of a `dol-bench-v1` report.
+
+pub mod bench;
+pub mod client;
+pub mod ops;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+// Frame payloads are checksummed with the same CRC-32 (IEEE) as
+// `dol-trace-v1` files.
+pub(crate) use dol_trace::crc32;

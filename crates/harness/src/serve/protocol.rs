@@ -1,0 +1,713 @@
+//! `dol-rpc-v1`: the framed wire protocol spoken over the `dol serve`
+//! Unix domain socket.
+//!
+//! Both directions open with an 8-byte magic and a `u32` LE version,
+//! then carry a sequence of frames:
+//!
+//! ```text
+//! stream := magic version frame*
+//! magic  := "DOLRPCV1"                        (8 bytes)
+//! frame  := tag u8 | payload_len u32 LE | crc32 u32 LE | payload
+//! ```
+//!
+//! Every payload is covered by a CRC-32 (IEEE) — the same framing
+//! discipline as `dol-trace-v1`, and the same typed error taxonomy:
+//! truncation (the stream died before the bytes it promised), checksum
+//! mismatch, version skew, and structural corruption are distinct
+//! [`RpcError`] variants, never a panic or a silent misparse.
+//!
+//! A client sends exactly one request frame per connection; the server
+//! answers with a stream of response frames ending in `Done` or `Error`
+//! and closes. Job-producing requests (`Sweep`/`Run`/`Replay`) are
+//! answered with `Accepted {job}` first, then incremental `Output` (and
+//! optionally `Bench`) frames as each driver completes — a slow consumer
+//! never buffers a whole report server-side.
+
+use std::io::{Read, Write};
+
+use crate::plan::RunPlan;
+
+/// The 8-byte stream magic.
+pub const MAGIC: [u8; 8] = *b"DOLRPCV1";
+
+/// The protocol version this crate speaks.
+pub const VERSION: u32 = 1;
+
+/// Upper bound on a single frame's payload; anything larger is treated
+/// as corruption rather than allocated.
+pub const MAX_FRAME_BYTES: u32 = 16 << 20;
+
+// Request frame tags.
+const REQ_PING: u8 = b'P';
+const REQ_SWEEP: u8 = b'S';
+const REQ_RUN: u8 = b'R';
+const REQ_REPLAY: u8 = b'T';
+const REQ_CANCEL: u8 = b'C';
+const REQ_SHUTDOWN: u8 = b'X';
+
+// Response frame tags.
+const RSP_PONG: u8 = b'G';
+const RSP_ACCEPTED: u8 = b'A';
+const RSP_OUTPUT: u8 = b'O';
+const RSP_BENCH: u8 = b'B';
+const RSP_DONE: u8 = b'D';
+const RSP_ERROR: u8 = b'E';
+
+// Wire error codes (payload of an `Error` frame).
+const EC_BUSY: u8 = 1;
+const EC_SHUTTING_DOWN: u8 = 2;
+const EC_CANCELLED: u8 = 3;
+const EC_APP: u8 = 4;
+const EC_BAD_REQUEST: u8 = 5;
+const EC_UNSUPPORTED_VERSION: u8 = 6;
+
+/// Why the server refused to queue a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reject {
+    /// The job queue is at capacity — explicit backpressure. Retry
+    /// later; nothing was executed.
+    Busy,
+    /// The server is draining for shutdown and accepts no new jobs.
+    ShuttingDown,
+}
+
+/// Everything that can go wrong on a `dol-rpc-v1` exchange, mirroring
+/// `dol_trace::TraceError`'s discipline.
+#[derive(Debug)]
+pub enum RpcError {
+    /// Underlying socket failure (not a protocol problem).
+    Io(std::io::Error),
+    /// The peer's stream does not start with the `DOLRPCV1` magic.
+    BadMagic,
+    /// The peer speaks a protocol version this build does not.
+    UnsupportedVersion(u32),
+    /// The stream ended before the bytes it promised. The context names
+    /// what was being read.
+    Truncated(&'static str),
+    /// A frame's payload does not match its recorded CRC-32.
+    ChecksumMismatch {
+        /// CRC recorded in the frame.
+        expect: u32,
+        /// CRC computed over the payload.
+        got: u32,
+    },
+    /// Structurally invalid content: unknown tag, oversized frame, or a
+    /// payload that does not decode.
+    Corrupt(String),
+    /// The server refused the request (backpressure or shutdown).
+    Rejected(Reject),
+    /// The job was cancelled before it completed.
+    Cancelled,
+    /// The request was understood but failed server-side (unknown
+    /// workload, unreadable trace file, …).
+    App(String),
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Io(e) => write!(f, "rpc I/O error: {e}"),
+            RpcError::BadMagic => write!(f, "not a dol-rpc stream (bad magic)"),
+            RpcError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported dol-rpc version {v} (this build speaks {VERSION})"
+                )
+            }
+            RpcError::Truncated(ctx) => write!(f, "truncated rpc stream: {ctx}"),
+            RpcError::ChecksumMismatch { expect, got } => write!(
+                f,
+                "rpc frame checksum mismatch: recorded {expect:#010x}, computed {got:#010x}"
+            ),
+            RpcError::Corrupt(msg) => write!(f, "corrupt rpc frame: {msg}"),
+            RpcError::Rejected(Reject::Busy) => {
+                write!(f, "server busy: job queue at capacity, retry later")
+            }
+            RpcError::Rejected(Reject::ShuttingDown) => {
+                write!(f, "server is shutting down and accepts no new jobs")
+            }
+            RpcError::Cancelled => write!(f, "job cancelled"),
+            RpcError::App(msg) => write!(f, "request failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RpcError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RpcError {
+    fn from(e: std::io::Error) -> Self {
+        RpcError::Io(e)
+    }
+}
+
+/// A sweep request: the full [`RunPlan`] a `run_all` invocation would
+/// build, so the streamed output can be byte-identical to the in-process
+/// run by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepRequest {
+    /// Instructions per workload.
+    pub insts: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Multi-core mix count.
+    pub mix_count: u32,
+    /// Worker threads *inside* the job's sweep pool (`0` = auto).
+    pub jobs: u32,
+    /// Per-suite workload cap (smoke mode).
+    pub max_workloads: Option<u32>,
+    /// Replay captures from this server-side `dol-trace-v1` directory.
+    pub trace_dir: Option<String>,
+    /// Label for the bench report ("smoke" vs "full"); presentation
+    /// only.
+    pub smoke_label: bool,
+    /// Stream a `Bench` record after each driver.
+    pub bench: bool,
+}
+
+impl SweepRequest {
+    /// The request equivalent of `run_all --smoke`.
+    pub fn smoke() -> Self {
+        SweepRequest::from_plan(&RunPlan::smoke(), true)
+    }
+
+    /// Encodes `plan` as a request.
+    pub fn from_plan(plan: &RunPlan, smoke_label: bool) -> Self {
+        SweepRequest {
+            insts: plan.insts,
+            seed: plan.seed,
+            mix_count: plan.mix_count as u32,
+            jobs: plan.jobs as u32,
+            max_workloads: plan.max_workloads.map(|n| n as u32),
+            trace_dir: plan
+                .trace_dir
+                .as_ref()
+                .map(|p| p.to_string_lossy().into_owned()),
+            smoke_label,
+            bench: false,
+        }
+    }
+
+    /// The [`RunPlan`] this request describes.
+    pub fn plan(&self) -> RunPlan {
+        RunPlan {
+            insts: self.insts,
+            seed: self.seed,
+            mix_count: self.mix_count as usize,
+            jobs: self.jobs as usize,
+            max_workloads: self.max_workloads.map(|n| n as usize),
+            trace_dir: self.trace_dir.as_ref().map(std::path::PathBuf::from),
+        }
+    }
+}
+
+/// A single-workload run request (`dol client run`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRequest {
+    /// Workload name.
+    pub workload: String,
+    /// Prefetcher configuration name.
+    pub config: String,
+    /// Instruction budget.
+    pub insts: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// A trace-replay request (`dol client replay`): stream a server-side
+/// `dol-trace-v1` file through the timing model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayRequest {
+    /// Server-side path of the `.dolt` file.
+    pub path: String,
+    /// Prefetcher configuration name.
+    pub config: String,
+}
+
+/// One client request (one per connection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness + stats probe; answered inline, never queued.
+    Ping,
+    /// Run every figure/table driver, streaming output per driver.
+    Sweep(SweepRequest),
+    /// Run one workload under one configuration.
+    Run(RunRequest),
+    /// Replay a server-side trace file under one configuration.
+    Replay(ReplayRequest),
+    /// Cancel a queued or running job by id.
+    Cancel {
+        /// The job to cancel (from an `Accepted` frame).
+        job: u64,
+    },
+    /// Drain all queued/running jobs, then stop the server.
+    Shutdown,
+}
+
+/// The `Pong` reply to a [`Request::Ping`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pong {
+    /// Server protocol version.
+    pub version: u32,
+    /// Resident scheduler worker threads (the one `DOL_JOBS`-consistent
+    /// resolution — see `dol_harness::sweep::resolve_jobs`).
+    pub workers: u32,
+    /// Bounded job-queue capacity (backpressure threshold).
+    pub queue_cap: u32,
+    /// Jobs waiting in the queue right now.
+    pub queued: u32,
+    /// Jobs currently executing.
+    pub active: u32,
+    /// Jobs completed since the server started.
+    pub jobs_done: u64,
+}
+
+/// Per-driver timing streamed after each completed driver when
+/// [`SweepRequest::bench`] is set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Driver id ("fig08", "multicore", …).
+    pub id: String,
+    /// Wall-clock seconds inside the driver, measured server-side.
+    pub wall_s: f64,
+    /// Simulated-instruction delta attributed to the driver.
+    pub sim_insts: u64,
+    /// Whether the driver was served from the memoized run caches.
+    pub cached: bool,
+}
+
+/// Terminal summary of a successful job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoneSummary {
+    /// Total failed paper-shape checks across the job.
+    pub deviations: u64,
+    /// Simulated-instruction delta across the whole request — `0` means
+    /// the request was served entirely from the resident caches (the
+    /// warm-path assertion the saturation benchmark checks).
+    pub sim_insts: u64,
+}
+
+/// One server response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to `Ping`.
+    Pong(Pong),
+    /// The request was queued as this job.
+    Accepted {
+        /// Job id (usable with [`Request::Cancel`]).
+        job: u64,
+    },
+    /// A chunk of the job's stdout stream (UTF-8).
+    Output(Vec<u8>),
+    /// Per-driver timing (only when requested).
+    Bench(BenchRecord),
+    /// The job (or inline request) completed.
+    Done(DoneSummary),
+    /// The request failed or was refused; terminal.
+    Error(WireError),
+}
+
+/// The encoded form of a server-reported error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    code: u8,
+    aux: u32,
+    msg: String,
+}
+
+impl WireError {
+    /// Encodes an error for the wire. Transport errors (`Io`,
+    /// `Truncated`, …) are reported as `BAD_REQUEST` with the display
+    /// text — the peer's local decode errors are typed on their side.
+    pub fn from_error(e: &RpcError) -> Self {
+        match e {
+            RpcError::Rejected(Reject::Busy) => WireError {
+                code: EC_BUSY,
+                aux: 0,
+                msg: String::new(),
+            },
+            RpcError::Rejected(Reject::ShuttingDown) => WireError {
+                code: EC_SHUTTING_DOWN,
+                aux: 0,
+                msg: String::new(),
+            },
+            RpcError::Cancelled => WireError {
+                code: EC_CANCELLED,
+                aux: 0,
+                msg: String::new(),
+            },
+            RpcError::App(msg) => WireError {
+                code: EC_APP,
+                aux: 0,
+                msg: msg.clone(),
+            },
+            RpcError::UnsupportedVersion(v) => WireError {
+                code: EC_UNSUPPORTED_VERSION,
+                aux: *v,
+                msg: String::new(),
+            },
+            other => WireError {
+                code: EC_BAD_REQUEST,
+                aux: 0,
+                msg: other.to_string(),
+            },
+        }
+    }
+
+    /// Decodes the wire error back into the typed [`RpcError`].
+    pub fn into_rpc_error(self) -> RpcError {
+        match self.code {
+            EC_BUSY => RpcError::Rejected(Reject::Busy),
+            EC_SHUTTING_DOWN => RpcError::Rejected(Reject::ShuttingDown),
+            EC_CANCELLED => RpcError::Cancelled,
+            EC_APP => RpcError::App(self.msg),
+            EC_UNSUPPORTED_VERSION => RpcError::UnsupportedVersion(self.aux),
+            _ => RpcError::Corrupt(format!("peer reported: {}", self.msg)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload primitives.
+
+fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    debug_assert!(bytes.len() <= u16::MAX as usize);
+    buf.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+fn get_u8(buf: &[u8], pos: &mut usize) -> Result<u8, RpcError> {
+    let b = *buf
+        .get(*pos)
+        .ok_or_else(|| RpcError::Corrupt("payload shorter than declared".into()))?;
+    *pos += 1;
+    Ok(b)
+}
+
+fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32, RpcError> {
+    let end = *pos + 4;
+    let bytes = buf
+        .get(*pos..end)
+        .ok_or_else(|| RpcError::Corrupt("payload shorter than declared".into()))?;
+    *pos = end;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64, RpcError> {
+    let end = *pos + 8;
+    let bytes = buf
+        .get(*pos..end)
+        .ok_or_else(|| RpcError::Corrupt("payload shorter than declared".into()))?;
+    *pos = end;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+fn take_bytes(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>, RpcError> {
+    let len = {
+        let end = *pos + 2;
+        let bytes = buf
+            .get(*pos..end)
+            .ok_or_else(|| RpcError::Corrupt("payload shorter than declared".into()))?;
+        *pos = end;
+        u16::from_le_bytes(bytes.try_into().expect("2 bytes")) as usize
+    };
+    let end = *pos + len;
+    let bytes = buf
+        .get(*pos..end)
+        .ok_or_else(|| RpcError::Corrupt("payload shorter than declared".into()))?;
+    *pos = end;
+    Ok(bytes.to_vec())
+}
+
+fn take_string(buf: &[u8], pos: &mut usize) -> Result<String, RpcError> {
+    String::from_utf8(take_bytes(buf, pos)?)
+        .map_err(|_| RpcError::Corrupt("string field is not UTF-8".into()))
+}
+
+fn expect_consumed(buf: &[u8], pos: usize) -> Result<(), RpcError> {
+    if pos != buf.len() {
+        return Err(RpcError::Corrupt(format!(
+            "payload has {} trailing bytes",
+            buf.len() - pos
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Request encode/decode.
+
+impl Request {
+    /// Serializes to `(frame tag, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut p = Vec::new();
+        let tag = match self {
+            Request::Ping => REQ_PING,
+            Request::Sweep(s) => {
+                p.extend_from_slice(&s.insts.to_le_bytes());
+                p.extend_from_slice(&s.seed.to_le_bytes());
+                p.extend_from_slice(&s.mix_count.to_le_bytes());
+                p.extend_from_slice(&s.jobs.to_le_bytes());
+                p.extend_from_slice(&s.max_workloads.map_or(u32::MAX, |n| n).to_le_bytes());
+                put_bytes(&mut p, s.trace_dir.as_deref().unwrap_or("").as_bytes());
+                p.push(u8::from(s.smoke_label) | (u8::from(s.bench) << 1));
+                REQ_SWEEP
+            }
+            Request::Run(r) => {
+                put_bytes(&mut p, r.workload.as_bytes());
+                put_bytes(&mut p, r.config.as_bytes());
+                p.extend_from_slice(&r.insts.to_le_bytes());
+                p.extend_from_slice(&r.seed.to_le_bytes());
+                REQ_RUN
+            }
+            Request::Replay(r) => {
+                put_bytes(&mut p, r.path.as_bytes());
+                put_bytes(&mut p, r.config.as_bytes());
+                REQ_REPLAY
+            }
+            Request::Cancel { job } => {
+                p.extend_from_slice(&job.to_le_bytes());
+                REQ_CANCEL
+            }
+            Request::Shutdown => REQ_SHUTDOWN,
+        };
+        (tag, p)
+    }
+
+    /// Decodes a request frame.
+    pub fn decode(tag: u8, payload: &[u8]) -> Result<Request, RpcError> {
+        let mut pos = 0;
+        let req = match tag {
+            REQ_PING => Request::Ping,
+            REQ_SWEEP => {
+                let insts = get_u64(payload, &mut pos)?;
+                let seed = get_u64(payload, &mut pos)?;
+                let mix_count = get_u32(payload, &mut pos)?;
+                let jobs = get_u32(payload, &mut pos)?;
+                let max_raw = get_u32(payload, &mut pos)?;
+                let trace_dir = take_string(payload, &mut pos)?;
+                let flags = get_u8(payload, &mut pos)?;
+                Request::Sweep(SweepRequest {
+                    insts,
+                    seed,
+                    mix_count,
+                    jobs,
+                    max_workloads: (max_raw != u32::MAX).then_some(max_raw),
+                    trace_dir: (!trace_dir.is_empty()).then_some(trace_dir),
+                    smoke_label: flags & 1 != 0,
+                    bench: flags & 2 != 0,
+                })
+            }
+            REQ_RUN => Request::Run(RunRequest {
+                workload: take_string(payload, &mut pos)?,
+                config: take_string(payload, &mut pos)?,
+                insts: get_u64(payload, &mut pos)?,
+                seed: get_u64(payload, &mut pos)?,
+            }),
+            REQ_REPLAY => Request::Replay(ReplayRequest {
+                path: take_string(payload, &mut pos)?,
+                config: take_string(payload, &mut pos)?,
+            }),
+            REQ_CANCEL => Request::Cancel {
+                job: get_u64(payload, &mut pos)?,
+            },
+            REQ_SHUTDOWN => Request::Shutdown,
+            _ => return Err(RpcError::Corrupt(format!("unknown request tag {tag:#04x}"))),
+        };
+        expect_consumed(payload, pos)?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response encode/decode.
+
+impl Response {
+    /// Serializes to `(frame tag, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut p = Vec::new();
+        let tag = match self {
+            Response::Pong(pong) => {
+                p.extend_from_slice(&pong.version.to_le_bytes());
+                p.extend_from_slice(&pong.workers.to_le_bytes());
+                p.extend_from_slice(&pong.queue_cap.to_le_bytes());
+                p.extend_from_slice(&pong.queued.to_le_bytes());
+                p.extend_from_slice(&pong.active.to_le_bytes());
+                p.extend_from_slice(&pong.jobs_done.to_le_bytes());
+                RSP_PONG
+            }
+            Response::Accepted { job } => {
+                p.extend_from_slice(&job.to_le_bytes());
+                RSP_ACCEPTED
+            }
+            Response::Output(bytes) => {
+                p.extend_from_slice(bytes);
+                RSP_OUTPUT
+            }
+            Response::Bench(b) => {
+                put_bytes(&mut p, b.id.as_bytes());
+                p.extend_from_slice(&b.wall_s.to_bits().to_le_bytes());
+                p.extend_from_slice(&b.sim_insts.to_le_bytes());
+                p.push(u8::from(b.cached));
+                RSP_BENCH
+            }
+            Response::Done(d) => {
+                p.extend_from_slice(&d.deviations.to_le_bytes());
+                p.extend_from_slice(&d.sim_insts.to_le_bytes());
+                RSP_DONE
+            }
+            Response::Error(e) => {
+                p.push(e.code);
+                p.extend_from_slice(&e.aux.to_le_bytes());
+                put_bytes(&mut p, e.msg.as_bytes());
+                RSP_ERROR
+            }
+        };
+        (tag, p)
+    }
+
+    /// Decodes a response frame.
+    pub fn decode(tag: u8, payload: &[u8]) -> Result<Response, RpcError> {
+        let mut pos = 0;
+        let rsp = match tag {
+            RSP_PONG => Response::Pong(Pong {
+                version: get_u32(payload, &mut pos)?,
+                workers: get_u32(payload, &mut pos)?,
+                queue_cap: get_u32(payload, &mut pos)?,
+                queued: get_u32(payload, &mut pos)?,
+                active: get_u32(payload, &mut pos)?,
+                jobs_done: get_u64(payload, &mut pos)?,
+            }),
+            RSP_ACCEPTED => Response::Accepted {
+                job: get_u64(payload, &mut pos)?,
+            },
+            RSP_OUTPUT => {
+                pos = payload.len();
+                Response::Output(payload.to_vec())
+            }
+            RSP_BENCH => Response::Bench(BenchRecord {
+                id: take_string(payload, &mut pos)?,
+                wall_s: f64::from_bits(get_u64(payload, &mut pos)?),
+                sim_insts: get_u64(payload, &mut pos)?,
+                cached: get_u8(payload, &mut pos)? != 0,
+            }),
+            RSP_DONE => Response::Done(DoneSummary {
+                deviations: get_u64(payload, &mut pos)?,
+                sim_insts: get_u64(payload, &mut pos)?,
+            }),
+            RSP_ERROR => Response::Error(WireError {
+                code: get_u8(payload, &mut pos)?,
+                aux: get_u32(payload, &mut pos)?,
+                msg: take_string(payload, &mut pos)?,
+            }),
+            _ => {
+                return Err(RpcError::Corrupt(format!(
+                    "unknown response tag {tag:#04x}"
+                )))
+            }
+        };
+        expect_consumed(payload, pos)?;
+        Ok(rsp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stream I/O.
+
+/// Writes the stream opening (magic + version).
+pub fn write_hello<W: Write>(w: &mut W) -> Result<(), RpcError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads and validates the peer's stream opening.
+pub fn read_hello<R: Read>(r: &mut R) -> Result<(), RpcError> {
+    let mut magic = [0u8; 8];
+    read_exact_or(r, &mut magic, "stream magic")?;
+    if magic != MAGIC {
+        return Err(RpcError::BadMagic);
+    }
+    let mut ver = [0u8; 4];
+    read_exact_or(r, &mut ver, "stream version")?;
+    let version = u32::from_le_bytes(ver);
+    if version != VERSION {
+        return Err(RpcError::UnsupportedVersion(version));
+    }
+    Ok(())
+}
+
+/// Writes one CRC-framed record.
+pub fn write_frame<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> Result<(), RpcError> {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES as usize);
+    w.write_all(&[tag])?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&crate::serve::crc32(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads one CRC-framed record, validating length cap and checksum.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(u8, Vec<u8>), RpcError> {
+    let mut tag = [0u8; 1];
+    read_exact_or(r, &mut tag, "frame tag")?;
+    let mut len4 = [0u8; 4];
+    read_exact_or(r, &mut len4, "frame length")?;
+    let len = u32::from_le_bytes(len4);
+    if len > MAX_FRAME_BYTES {
+        return Err(RpcError::Corrupt(format!(
+            "frame declares {len} payload bytes (cap {MAX_FRAME_BYTES})"
+        )));
+    }
+    let mut crc4 = [0u8; 4];
+    read_exact_or(r, &mut crc4, "frame checksum")?;
+    let expect = u32::from_le_bytes(crc4);
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(r, &mut payload, "frame payload")?;
+    let got = crate::serve::crc32(&payload);
+    if got != expect {
+        return Err(RpcError::ChecksumMismatch { expect, got });
+    }
+    Ok((tag[0], payload))
+}
+
+/// Sends one request frame (no flush — callers own buffering).
+pub fn send_request<W: Write>(w: &mut W, req: &Request) -> Result<(), RpcError> {
+    let (tag, payload) = req.encode();
+    write_frame(w, tag, &payload)
+}
+
+/// Reads and decodes one request frame.
+pub fn read_request<R: Read>(r: &mut R) -> Result<Request, RpcError> {
+    let (tag, payload) = read_frame(r)?;
+    Request::decode(tag, &payload)
+}
+
+/// Sends one response frame (no flush — callers own buffering).
+pub fn send_response<W: Write>(w: &mut W, rsp: &Response) -> Result<(), RpcError> {
+    let (tag, payload) = rsp.encode();
+    write_frame(w, tag, &payload)
+}
+
+/// Reads and decodes one response frame.
+pub fn read_response<R: Read>(r: &mut R) -> Result<Response, RpcError> {
+    let (tag, payload) = read_frame(r)?;
+    Response::decode(tag, &payload)
+}
+
+/// `read_exact` with EOF mapped to [`RpcError::Truncated`].
+fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8], ctx: &'static str) -> Result<(), RpcError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            RpcError::Truncated(ctx)
+        } else {
+            RpcError::Io(e)
+        }
+    })
+}

@@ -1,0 +1,351 @@
+//! A persistent job scheduler: the long-lived generalization of
+//! [`crate::sweep::map`]'s scoped work-stealing pool.
+//!
+//! `sweep::map` spins up scoped threads for one sweep and joins them at
+//! the end — perfect for a single CLI invocation, useless for a resident
+//! service. [`Scheduler`] keeps a fixed set of workers alive for the
+//! process lifetime and feeds them from a **bounded** queue:
+//!
+//! * [`submit`](Scheduler::submit) either queues the job and returns its
+//!   id, or rejects it with an explicit [`Reject`] — backpressure is a
+//!   first-class answer, not a hidden unbounded buffer.
+//! * [`cancel`](Scheduler::cancel) flips a per-job [`CancelToken`];
+//!   queued jobs observe it before doing any work, running jobs at their
+//!   next checkpoint.
+//! * [`drain`](Scheduler::drain) stops intake and waits for the queue
+//!   and all running jobs to finish — the graceful-shutdown half of
+//!   `dol serve`.
+//!
+//! Workers are plain `std::thread`s; a panicking job is caught and
+//! counted, never taking its worker down with it. Because the workers
+//! persist, their thread-local `dol_cpu::arena` pools stay warm across
+//! jobs — the same reuse a single long `run_all` gets, but across
+//! requests.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+pub use super::protocol::Reject;
+
+/// Job identifier, unique for the scheduler's lifetime.
+pub type JobId = u64;
+
+/// A queued unit of work. Receives its own id and cancellation token.
+pub type Task = Box<dyn FnOnce(JobId, &CancelToken) + Send + 'static>;
+
+/// Cooperative cancellation flag shared between a job and
+/// [`Scheduler::cancel`].
+#[derive(Clone)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Whether the job has been asked to stop.
+    pub fn cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Scheduler statistics (the payload of a `Pong`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Queue capacity (jobs beyond this are rejected `Busy`).
+    pub queue_cap: usize,
+    /// Jobs waiting in the queue.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub active: usize,
+    /// Jobs completed (or cancelled/panicked) since startup.
+    pub done: u64,
+}
+
+struct QueuedJob {
+    id: JobId,
+    flag: Arc<AtomicBool>,
+    task: Task,
+}
+
+struct State {
+    next_id: JobId,
+    queue: VecDeque<QueuedJob>,
+    /// `(id, flag)` of jobs currently on a worker.
+    running: Vec<(JobId, Arc<AtomicBool>)>,
+    draining: bool,
+    stopped: bool,
+    done: u64,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Signalled when work arrives or the scheduler stops.
+    work: Condvar,
+    /// Signalled when a job finishes (for `drain`).
+    idle: Condvar,
+    queue_cap: usize,
+    workers: usize,
+}
+
+/// A fixed pool of persistent workers behind a bounded job queue.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Starts `workers` persistent worker threads (`>= 1` enforced)
+    /// behind a queue of capacity `queue_cap`.
+    pub fn new(workers: usize, queue_cap: usize) -> Self {
+        let workers = workers.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                next_id: 1,
+                queue: VecDeque::new(),
+                running: Vec::new(),
+                draining: false,
+                stopped: false,
+                done: 0,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            queue_cap,
+            workers,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("dol-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        Scheduler {
+            inner,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Queues a job, returning its id — or rejects it when the queue is
+    /// at capacity (`Busy`) or the scheduler is draining
+    /// (`ShuttingDown`). A rejected task is dropped without running.
+    pub fn submit(&self, task: Task) -> Result<JobId, Reject> {
+        let mut st = self.inner.state.lock().expect("scheduler poisoned");
+        if st.draining || st.stopped {
+            return Err(Reject::ShuttingDown);
+        }
+        if st.queue.len() >= self.inner.queue_cap {
+            return Err(Reject::Busy);
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.queue.push_back(QueuedJob {
+            id,
+            flag: Arc::new(AtomicBool::new(false)),
+            task,
+        });
+        drop(st);
+        self.inner.work.notify_one();
+        Ok(id)
+    }
+
+    /// Flags job `id` for cancellation. Returns `false` when the id is
+    /// neither queued nor running (unknown, or already finished).
+    pub fn cancel(&self, id: JobId) -> bool {
+        let st = self.inner.state.lock().expect("scheduler poisoned");
+        if let Some(job) = st.queue.iter().find(|j| j.id == id) {
+            job.flag.store(true, Ordering::Relaxed);
+            return true;
+        }
+        if let Some((_, flag)) = st.running.iter().find(|(rid, _)| *rid == id) {
+            flag.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Current queue/worker statistics.
+    pub fn stats(&self) -> Stats {
+        let st = self.inner.state.lock().expect("scheduler poisoned");
+        Stats {
+            workers: self.inner.workers,
+            queue_cap: self.inner.queue_cap,
+            queued: st.queue.len(),
+            active: st.running.len(),
+            done: st.done,
+        }
+    }
+
+    /// Stops intake (new submits are rejected `ShuttingDown`) and blocks
+    /// until every queued and running job has finished.
+    pub fn drain(&self) {
+        let mut st = self.inner.state.lock().expect("scheduler poisoned");
+        st.draining = true;
+        while !st.queue.is_empty() || !st.running.is_empty() {
+            st = self.inner.idle.wait(st).expect("scheduler poisoned");
+        }
+    }
+
+    /// Drains, then stops and joins the workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.drain();
+        {
+            let mut st = self.inner.state.lock().expect("scheduler poisoned");
+            st.stopped = true;
+        }
+        self.inner.work.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("scheduler poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut st = inner.state.lock().expect("scheduler poisoned");
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    st.running.push((job.id, Arc::clone(&job.flag)));
+                    break job;
+                }
+                if st.stopped {
+                    return;
+                }
+                st = inner.work.wait(st).expect("scheduler poisoned");
+            }
+        };
+        let token = CancelToken(Arc::clone(&job.flag));
+        let id = job.id;
+        let task = job.task;
+        // A panicking job must not take its worker (or the whole pool)
+        // down; the panic is contained and the job simply counts as done.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || task(id, &token)));
+        let mut st = inner.state.lock().expect("scheduler poisoned");
+        st.running.retain(|(rid, _)| *rid != id);
+        st.done += 1;
+        drop(st);
+        inner.idle.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_drain_waits_for_them() {
+        let sched = Scheduler::new(2, 8);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..6 {
+            let hits = Arc::clone(&hits);
+            sched
+                .submit(Box::new(move |_, _| {
+                    std::thread::sleep(Duration::from_millis(2));
+                    hits.fetch_add(1, Ordering::SeqCst);
+                }))
+                .unwrap();
+        }
+        sched.drain();
+        assert_eq!(hits.load(Ordering::SeqCst), 6);
+        assert_eq!(sched.stats().done, 6);
+    }
+
+    #[test]
+    fn a_full_queue_rejects_with_busy() {
+        let sched = Scheduler::new(1, 1);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        // Occupy the single worker...
+        sched
+            .submit(Box::new(move |_, _| {
+                let _ = gate_rx.recv();
+            }))
+            .unwrap();
+        // ...then fill the queue. The worker may not have picked up the
+        // first job yet, so allow one or two successes before Busy.
+        let mut accepted = 0;
+        let mut busy = false;
+        for _ in 0..3 {
+            match sched.submit(Box::new(|_, _| {})) {
+                Ok(_) => accepted += 1,
+                Err(Reject::Busy) => {
+                    busy = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected rejection {other:?}"),
+            }
+        }
+        assert!(busy, "queue of 1 must reject (accepted {accepted})");
+        gate_tx.send(()).unwrap();
+        sched.drain();
+    }
+
+    #[test]
+    fn draining_rejects_new_jobs_as_shutting_down() {
+        let sched = Scheduler::new(1, 4);
+        sched.drain();
+        assert!(matches!(
+            sched.submit(Box::new(|_, _| {})),
+            Err(Reject::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_sets_its_token() {
+        let sched = Scheduler::new(1, 8);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        sched
+            .submit(Box::new(move |_, _| {
+                let _ = gate_rx.recv();
+            }))
+            .unwrap();
+        let saw_cancel = Arc::new(AtomicBool::new(false));
+        let saw = Arc::clone(&saw_cancel);
+        let id = sched
+            .submit(Box::new(move |_, token| {
+                saw.store(token.cancelled(), Ordering::SeqCst);
+            }))
+            .unwrap();
+        assert!(sched.cancel(id), "queued job is cancellable");
+        assert!(!sched.cancel(id + 999), "unknown ids report false");
+        gate_tx.send(()).unwrap();
+        sched.drain();
+        assert!(saw_cancel.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_wedge_its_worker() {
+        let sched = Scheduler::new(1, 8);
+        sched
+            .submit(Box::new(|_, _| panic!("job blew up")))
+            .unwrap();
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        sched
+            .submit(Box::new(move |_, _| flag.store(true, Ordering::SeqCst)))
+            .unwrap();
+        sched.drain();
+        assert!(ran.load(Ordering::SeqCst), "worker survived the panic");
+        assert_eq!(sched.stats().done, 2);
+    }
+
+    #[test]
+    fn job_ids_are_unique_and_increasing() {
+        let sched = Scheduler::new(2, 16);
+        let a = sched.submit(Box::new(|_, _| {})).unwrap();
+        let b = sched.submit(Box::new(|_, _| {})).unwrap();
+        assert!(b > a);
+        sched.drain();
+    }
+}

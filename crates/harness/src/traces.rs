@@ -8,7 +8,7 @@
 //! [`dol_trace::telemetry`] for the bench artifact.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -61,7 +61,11 @@ pub fn record_all(plan: &RunPlan, dir: &Path) -> Result<Vec<(String, u64)>, Trac
 /// [`dol_trace::telemetry`].
 pub fn load_workload(trace_dir: &Path, name: &str, plan: &RunPlan) -> Result<Workload, TraceError> {
     let path = trace_path(trace_dir, name);
-    let file = BufReader::new(File::open(&path)?);
+    // Plain file reads: the bulk decode reads whole frames into their
+    // final buffers, so a read-ahead thread would only add a copy.
+    // (`ReadAhead` pays off on the *streaming* replay paths, where
+    // decode shares the thread with simulation.)
+    let file = File::open(&path)?;
     let start = Instant::now();
     let (header, memory, trace) = decode_workload(file)?;
     let nanos = start.elapsed().as_nanos() as u64;

@@ -1,0 +1,491 @@
+//! `dol-rpc-v1` protocol and `dol serve` integration tests.
+//!
+//! Codec/error-path tests are pure and run in debug; tests that start a
+//! server and simulate real workloads follow the repo convention of
+//! being release-gated.
+
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use dol_harness::serve::client::{self as rpc, RpcClient};
+use dol_harness::serve::protocol::{
+    self, Reject, ReplayRequest, Request, Response, RpcError, RunRequest, SweepRequest, MAGIC,
+    MAX_FRAME_BYTES, VERSION,
+};
+use dol_harness::serve::server::{ServeOptions, Server};
+use dol_harness::{experiments, RunPlan};
+use proptest::prelude::*;
+
+/// A unique short socket path per test. Unix socket paths are length
+/// limited (108 bytes), so these live under the system temp dir, not
+/// the target dir.
+fn scratch_socket(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "dol-rpc-test-{}-{tag}-{n}.sock",
+        std::process::id()
+    ))
+}
+
+fn start_server(tag: &str, workers: usize, queue_cap: usize) -> Server {
+    Server::start(ServeOptions {
+        socket: scratch_socket(tag),
+        workers: Some(workers),
+        queue_cap,
+    })
+    .expect("server starts")
+}
+
+/// Polls `ping` until the server has retired `n` jobs. The worker sends
+/// a job's terminal frame *before* marking it done, so a client can
+/// observe the result a moment before the counter advances.
+fn wait_jobs_done(socket: &Path, n: u64) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let pong = rpc::ping(socket).expect("ping");
+        if pong.jobs_done >= n || Instant::now() > deadline {
+            return pong.jobs_done;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codec error paths (pure).
+
+fn encoded_hello_and_frame(req: &Request) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    protocol::write_hello(&mut bytes).unwrap();
+    protocol::send_request(&mut bytes, req).unwrap();
+    bytes
+}
+
+#[test]
+fn a_truncated_frame_reports_truncation_not_a_panic() {
+    let bytes = encoded_hello_and_frame(&Request::Sweep(SweepRequest::smoke()));
+    // Cut the stream at every prefix: each must yield BadMagic/Truncated
+    // (never a panic, never a bogus decode).
+    for cut in 0..bytes.len() {
+        let mut r = &bytes[..cut];
+        let err = protocol::read_hello(&mut r)
+            .and_then(|()| protocol::read_request(&mut r).map(|_| ()))
+            .unwrap_err();
+        assert!(
+            matches!(err, RpcError::Truncated(_) | RpcError::BadMagic),
+            "cut at {cut}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn a_flipped_payload_byte_is_a_checksum_mismatch() {
+    let bytes = encoded_hello_and_frame(&Request::Run(RunRequest {
+        workload: "stream_sum".into(),
+        config: "TPC".into(),
+        insts: 1000,
+        seed: 7,
+    }));
+    // Flip each byte inside the frame payload, one at a time (skipping
+    // magic+version and the 9-byte frame header).
+    let payload_start = 12 + 9;
+    for flip in payload_start..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[flip] ^= 0x40;
+        let mut r = &corrupt[..];
+        protocol::read_hello(&mut r).unwrap();
+        let err = protocol::read_request(&mut r).unwrap_err();
+        assert!(
+            matches!(err, RpcError::ChecksumMismatch { .. }),
+            "flip at {flip}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn a_flipped_crc_byte_is_a_checksum_mismatch() {
+    let mut bytes = encoded_hello_and_frame(&Request::Ping);
+    // Stream layout: magic(8) version(4) | tag(1) len(4) crc(4) payload.
+    bytes[12 + 1 + 4] ^= 0x01;
+    let mut r = &bytes[..];
+    protocol::read_hello(&mut r).unwrap();
+    assert!(matches!(
+        protocol::read_request(&mut r),
+        Err(RpcError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn an_unsupported_version_is_rejected_by_number() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        protocol::read_hello(&mut &bytes[..]),
+        Err(RpcError::UnsupportedVersion(99))
+    ));
+    let mut garbage = bytes.clone();
+    garbage[..8].copy_from_slice(b"NOTDOLPC");
+    assert!(matches!(
+        protocol::read_hello(&mut &garbage[..]),
+        Err(RpcError::BadMagic)
+    ));
+}
+
+#[test]
+fn an_oversized_frame_is_corruption_not_an_allocation() {
+    let mut bytes = Vec::new();
+    bytes.push(b'O');
+    bytes.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    assert!(matches!(
+        protocol::read_frame(&mut &bytes[..]),
+        Err(RpcError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn unknown_tags_and_trailing_bytes_are_corruption() {
+    assert!(matches!(
+        Request::decode(b'?', &[]),
+        Err(RpcError::Corrupt(_))
+    ));
+    assert!(matches!(
+        Response::decode(b'?', &[]),
+        Err(RpcError::Corrupt(_))
+    ));
+    // A ping carries no payload; trailing bytes mean a framing bug.
+    assert!(matches!(
+        Request::decode(b'P', &[1, 2, 3]),
+        Err(RpcError::Corrupt(_))
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Codec round-trip properties.
+
+/// Lowercase ASCII strings of up to `max` characters.
+fn name_strategy(max: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..26, 0..max)
+        .prop_map(|v| v.into_iter().map(|b| (b'a' + b) as char).collect())
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        Just(Request::Shutdown),
+        any::<u64>().prop_map(|job| Request::Cancel { job }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            name_strategy(24),
+            name_strategy(12)
+        )
+            .prop_map(|(insts, seed, workload, config)| Request::Run(RunRequest {
+                workload,
+                config,
+                insts,
+                seed,
+            })),
+        (name_strategy(40), name_strategy(12))
+            .prop_map(|(path, config)| Request::Replay(ReplayRequest { path, config })),
+        (
+            (any::<u64>(), any::<u64>(), any::<u32>(), any::<u32>()),
+            (
+                prop_oneof![Just(None), (0u32..u32::MAX).prop_map(Some)],
+                prop_oneof![Just(None), name_strategy(40).prop_map(Some)],
+                any::<bool>(),
+                any::<bool>(),
+            ),
+        )
+            .prop_map(
+                |(
+                    (insts, seed, mix_count, jobs),
+                    (max_workloads, trace_dir, smoke_label, bench),
+                )| {
+                    Request::Sweep(SweepRequest {
+                        insts,
+                        seed,
+                        mix_count,
+                        jobs,
+                        max_workloads,
+                        trace_dir,
+                        smoke_label,
+                        bench,
+                    })
+                }
+            ),
+    ]
+}
+
+proptest! {
+    /// Any request survives encode→frame→decode exactly.
+    #[test]
+    fn requests_round_trip(req in request_strategy()) {
+        let mut bytes = Vec::new();
+        protocol::send_request(&mut bytes, &req).unwrap();
+        let decoded = protocol::read_request(&mut &bytes[..]).unwrap();
+        prop_assert_eq!(decoded, req);
+    }
+
+    /// Arbitrary frame payloads survive the CRC framing, and flipping
+    /// any single payload bit breaks the checksum.
+    #[test]
+    fn frames_round_trip_and_detect_bit_flips(
+        tag in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        flip in any::<u64>(),
+    ) {
+        let mut bytes = Vec::new();
+        protocol::write_frame(&mut bytes, tag, &payload).unwrap();
+        let (t, p) = protocol::read_frame(&mut &bytes[..]).unwrap();
+        prop_assert_eq!(t, tag);
+        prop_assert_eq!(&p, &payload);
+        if !payload.is_empty() {
+            let mut corrupt = bytes.clone();
+            let idx = 9 + (flip as usize % payload.len());
+            corrupt[idx] ^= 1;
+            prop_assert!(matches!(
+                protocol::read_frame(&mut &corrupt[..]),
+                Err(RpcError::ChecksumMismatch { .. })
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server integration (no heavy simulation).
+
+#[test]
+fn ping_reports_the_resolved_worker_count() {
+    let server = start_server("ping", 3, 5);
+    let pong = rpc::ping(server.socket()).expect("ping");
+    assert_eq!(pong.version, VERSION);
+    assert_eq!(pong.workers, 3);
+    assert_eq!(pong.queue_cap, 5);
+    server.stop();
+}
+
+#[test]
+fn an_unknown_workload_is_a_typed_app_error_and_the_worker_survives() {
+    let server = start_server("apperr", 1, 4);
+    let req = Request::Run(RunRequest {
+        workload: "no_such_workload".into(),
+        config: "TPC".into(),
+        insts: 1000,
+        seed: 1,
+    });
+    match rpc::stream(server.socket(), &req, |_| {}) {
+        Err(RpcError::App(msg)) => assert!(msg.contains("no_such_workload"), "{msg}"),
+        other => panic!("expected App error, got {other:?}"),
+    }
+    // The worker that served the failed job must still retire it and
+    // stay available.
+    assert_eq!(wait_jobs_done(server.socket(), 1), 1);
+    server.stop();
+}
+
+#[test]
+fn a_version_mismatch_gets_a_typed_reply() {
+    let server = start_server("version", 1, 4);
+    let mut stream = UnixStream::connect(server.socket()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Greet with a future version; the server must answer with a typed
+    // UnsupportedVersion error, not hang or cut the connection silently.
+    stream.write_all(&MAGIC).unwrap();
+    stream.write_all(&42u32.to_le_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut reader = std::io::BufReader::new(stream);
+    protocol::read_hello(&mut reader).expect("server greeting is valid");
+    match protocol::read_response(&mut reader).expect("typed reply") {
+        Response::Error(e) => match e.into_rpc_error() {
+            RpcError::UnsupportedVersion(42) => {}
+            other => panic!("expected UnsupportedVersion(42), got {other:?}"),
+        },
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    server.stop();
+}
+
+#[test]
+fn a_garbage_request_does_not_wedge_the_server() {
+    let server = start_server("garbage", 1, 4);
+    {
+        let mut stream = UnixStream::connect(server.socket()).unwrap();
+        stream.write_all(&MAGIC).unwrap();
+        stream.write_all(&VERSION.to_le_bytes()).unwrap();
+        // A frame that lies about its length, then hang up.
+        stream.write_all(&[b'S', 0xFF, 0xFF]).unwrap();
+        stream.flush().unwrap();
+    } // dropped here — connection closed mid-frame
+      // The connection thread must have reported/closed without taking
+      // anything down.
+    let pong = rpc::ping(server.socket()).expect("ping after garbage");
+    assert_eq!(pong.version, VERSION);
+    server.stop();
+}
+
+#[test]
+fn backpressure_rejects_with_busy_and_queued_jobs_can_be_cancelled() {
+    // One worker, held on a FIFO the test controls: opening the trace
+    // file blocks until we open the write end, so the worker is pinned
+    // deterministically with zero CPU.
+    let fifo = scratch_socket("fifo-file");
+    assert!(std::process::Command::new("mkfifo")
+        .arg(&fifo)
+        .status()
+        .expect("mkfifo runs")
+        .success());
+    let server = start_server("busy", 1, 1);
+    let blocker = Request::Replay(ReplayRequest {
+        path: fifo.to_string_lossy().into_owned(),
+        config: "TPC".into(),
+    });
+    let mut held = RpcClient::connect(server.socket()).unwrap();
+    held.send(&blocker).unwrap();
+    let Response::Accepted { .. } = held.recv().unwrap() else {
+        panic!("blocker not accepted")
+    };
+    // Wait until the worker has picked the job up and blocked on the
+    // FIFO, so the queue slot below is genuinely free.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while rpc::ping(server.socket()).expect("ping").active == 0 {
+        assert!(Instant::now() < deadline, "worker never started the job");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Queue capacity is 1: the first extra job queues, the second is
+    // rejected with explicit backpressure.
+    let mut queued = RpcClient::connect(server.socket()).unwrap();
+    queued.send(&blocker).unwrap();
+    let Response::Accepted { job: queued_id } = queued.recv().unwrap() else {
+        panic!("queued job not accepted")
+    };
+    match rpc::stream(server.socket(), &blocker, |_| {}) {
+        Err(RpcError::Rejected(Reject::Busy)) => {}
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    // The queued job's id (learned at queue time) cancels it before it
+    // ever runs.
+    rpc::cancel(server.socket(), queued_id).expect("cancel queued job");
+
+    // Release the held worker: opening and closing the write end EOFs
+    // the FIFO, so the replay fails as a truncated trace (App error).
+    drop(std::fs::OpenOptions::new().write(true).open(&fifo).unwrap());
+    match held.recv().unwrap() {
+        Response::Error(e) => match e.into_rpc_error() {
+            RpcError::App(msg) => assert!(msg.contains("truncated"), "{msg}"),
+            other => panic!("expected App(truncated), got {other:?}"),
+        },
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    // The cancelled job reports Cancelled to its own stream.
+    match queued.recv().unwrap() {
+        Response::Error(e) => {
+            assert!(matches!(e.into_rpc_error(), RpcError::Cancelled))
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&fifo);
+    server.stop();
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn a_client_disconnecting_mid_job_does_not_wedge_the_worker() {
+    let server = start_server("kill", 1, 4);
+    let req = Request::Run(RunRequest {
+        workload: "stream_sum".into(),
+        config: "TPC".into(),
+        insts: 200_000,
+        seed: 2018,
+    });
+    // Kill the client as soon as the job is accepted: the job's first
+    // write hits a closed socket and the worker must shrug it off.
+    {
+        let mut victim = RpcClient::connect(server.socket()).unwrap();
+        victim.send(&req).unwrap();
+        let Response::Accepted { .. } = victim.recv().unwrap() else {
+            panic!("job not accepted")
+        };
+    } // dropped here — connection closed mid-job
+      // The same (single) worker must complete a healthy follow-up job.
+    let mut out = Vec::new();
+    let summary =
+        rpc::stream(server.socket(), &req, |chunk| out.extend_from_slice(chunk)).expect("job ok");
+    assert!(String::from_utf8(out)
+        .unwrap()
+        .starts_with("workload stream_sum"));
+    assert_eq!(summary.done.deviations, 0);
+    assert_eq!(wait_jobs_done(server.socket(), 2), 2, "both jobs retired");
+    server.stop();
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "simulation-heavy; run under --release")]
+fn a_served_sweep_is_byte_identical_to_the_in_process_run() {
+    let server = start_server("bytes", 2, 4);
+    let plan = RunPlan::smoke();
+    let mut req = SweepRequest::from_plan(&plan, true);
+    req.bench = true;
+    let mut streamed = Vec::new();
+    let summary = rpc::stream(server.socket(), &Request::Sweep(req), |chunk| {
+        streamed.extend_from_slice(chunk)
+    })
+    .expect("sweep ok");
+
+    // Reference: exactly what `run_all --smoke` prints to stdout.
+    let mut expected = String::new();
+    let mut deviations = 0u64;
+    for (_, run) in experiments::drivers() {
+        let report = run(&plan);
+        deviations += report.deviations() as u64;
+        expected.push_str(&report.render());
+        expected.push('\n');
+    }
+    expected.push_str(&format!("total shape-check deviations: {deviations}\n"));
+
+    assert_eq!(
+        String::from_utf8(streamed).unwrap(),
+        expected,
+        "served sweep output must match run_all byte for byte"
+    );
+    assert_eq!(summary.done.deviations, deviations);
+    // One bench record per driver, in driver order.
+    let ids: Vec<&str> = summary.bench.iter().map(|b| b.id.as_str()).collect();
+    let expected_ids: Vec<&str> = experiments::drivers().iter().map(|(id, _)| *id).collect();
+    assert_eq!(ids, expected_ids);
+
+    // Warmth: a second identical request must be served from the shared
+    // caches — strictly fewer instructions simulated than the first.
+    let warm = rpc::stream(
+        server.socket(),
+        &Request::Sweep(SweepRequest::from_plan(&plan, true)),
+        |_| {},
+    )
+    .expect("warm sweep ok");
+    assert!(
+        warm.done.sim_insts < summary.done.sim_insts,
+        "warm {} !< cold {}",
+        warm.done.sim_insts,
+        summary.done.sim_insts
+    );
+    server.stop();
+}
+
+#[test]
+fn shutdown_drains_and_stops_the_server() {
+    let server = start_server("shutdown", 2, 4);
+    let socket = server.socket().to_path_buf();
+    rpc::shutdown(&socket).expect("shutdown ack");
+    server.join();
+    // The socket file is gone and new connections fail.
+    assert!(!socket.exists());
+    assert!(rpc::ping(&socket).is_err());
+}

@@ -99,11 +99,10 @@ impl SparseMemory {
         }
     }
 
-    /// Writes the 64-bit word containing `addr`.
+    /// Slot of `page`, allocating it zero-filled if absent.
     #[inline]
-    pub fn write_u64(&mut self, addr: u64, value: u64) {
-        let (page, word) = Self::split(addr);
-        let slot = match self.find(page) {
+    fn ensure_page(&mut self, page: u64) -> u32 {
+        match self.find(page) {
             Some(slot) => slot,
             None => {
                 let slot = u32::try_from(self.pages.len()).expect("page count fits u32");
@@ -113,12 +112,28 @@ impl SparseMemory {
                 self.last.store(slot as u64, Ordering::Relaxed);
                 slot
             }
-        };
+        }
+    }
+
+    /// Writes the 64-bit word containing `addr`.
+    #[inline]
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        let (page, word) = Self::split(addr);
+        let slot = self.ensure_page(page);
         self.pages[slot as usize][word] = value;
     }
 
     /// Writes a contiguous slice of words starting at `addr`.
     pub fn write_words(&mut self, addr: u64, values: &[u64]) {
+        // Aligned whole-page writes (the trace memory-image decode path)
+        // resolve the page once and block-copy instead of paying the
+        // page lookup per word.
+        if addr % PAGE_BYTES == 0 && values.len() == WORDS_PER_PAGE {
+            let (page, _) = Self::split(addr);
+            let slot = self.ensure_page(page);
+            self.pages[slot as usize].copy_from_slice(values);
+            return;
+        }
         for (i, v) in values.iter().enumerate() {
             self.write_u64(addr + 8 * i as u64, *v);
         }

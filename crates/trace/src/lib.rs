@@ -72,15 +72,16 @@
 
 mod codec;
 mod crc;
+mod readahead;
 mod reader;
 pub mod telemetry;
 mod varint;
 mod writer;
 
+pub use crc::crc32;
+pub use readahead::ReadAhead;
 pub use reader::{decode_workload, ReplaySource, TraceReader};
 pub use writer::{encode_workload, TraceWriter};
-
-pub(crate) use crc::crc32;
 
 /// The 8-byte file magic.
 pub const MAGIC: [u8; 8] = *b"DOLTRACE";

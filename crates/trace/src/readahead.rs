@@ -1,0 +1,233 @@
+//! Double-buffered read-ahead: overlaps file I/O with decode.
+//!
+//! [`TraceReader`](crate::TraceReader) consumes its input synchronously
+//! — every frame boundary used to stall decode on a blocking `read`.
+//! [`ReadAhead`] moves the raw reads onto a background thread that keeps
+//! up to two block buffers in flight (a bounded rendezvous channel), so
+//! the next chunk is already in memory by the time the decoder asks for
+//! it. The wrapper is a plain [`Read`] impl: byte-for-byte transparent,
+//! usable around any source, and the decoder stays single-threaded and
+//! deterministic.
+
+use std::io::Read;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::thread::JoinHandle;
+
+/// Bytes fetched per background read.
+const BLOCK_BYTES: usize = 256 << 10;
+
+/// Buffers in flight beyond the one being drained (double buffering).
+const QUEUE_DEPTH: usize = 2;
+
+/// A [`Read`] adapter that prefetches the underlying stream on a
+/// background thread, two blocks deep.
+///
+/// An I/O error on the background thread is delivered in order: reads
+/// return the bytes fetched before the failure, then the error itself,
+/// then EOF — the same sequence a foreground reader would have seen.
+pub struct ReadAhead {
+    rx: Receiver<std::io::Result<Vec<u8>>>,
+    cur: Vec<u8>,
+    pos: usize,
+    done: bool,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ReadAhead {
+    /// Wraps `inner`, spawning the prefetch thread.
+    pub fn new<R: Read + Send + 'static>(mut inner: R) -> Self {
+        let (tx, rx) = sync_channel(QUEUE_DEPTH);
+        let handle = std::thread::spawn(move || {
+            loop {
+                let mut buf = vec![0u8; BLOCK_BYTES];
+                let mut filled = 0;
+                // Fill the whole block (short reads are common on pipes);
+                // a partial final block is sent as-is before EOF.
+                let err = loop {
+                    match inner.read(&mut buf[filled..]) {
+                        Ok(0) => break None,
+                        Ok(n) => {
+                            filled += n;
+                            if filled == buf.len() {
+                                break None;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => break Some(e),
+                    }
+                };
+                if filled > 0 {
+                    buf.truncate(filled);
+                    if tx.send(Ok(buf)).is_err() {
+                        return; // consumer dropped — stop prefetching
+                    }
+                }
+                match err {
+                    Some(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                    None if filled < BLOCK_BYTES => return, // EOF
+                    None => {}
+                }
+            }
+        });
+        ReadAhead {
+            rx,
+            cur: Vec::new(),
+            pos: 0,
+            done: false,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Read for ReadAhead {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        while self.pos == self.cur.len() {
+            if self.done {
+                return Ok(0);
+            }
+            match self.rx.recv() {
+                Ok(Ok(block)) => {
+                    self.cur = block;
+                    self.pos = 0;
+                }
+                Ok(Err(e)) => {
+                    self.done = true;
+                    return Err(e);
+                }
+                Err(_) => {
+                    // Sender gone without an error: clean EOF.
+                    self.done = true;
+                    return Ok(0);
+                }
+            }
+        }
+        let n = out.len().min(self.cur.len() - self.pos);
+        out[..n].copy_from_slice(&self.cur[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl Drop for ReadAhead {
+    fn drop(&mut self) {
+        // Disconnect the channel (a sender blocked on the full queue
+        // fails its send and exits), then reap the thread so no
+        // prefetcher outlives its consumer.
+        drop(std::mem::replace(&mut self.rx, sync_channel(0).1));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that yields `total` bytes of a deterministic pattern in
+    /// deliberately awkward short reads.
+    struct Chunky {
+        total: usize,
+        served: usize,
+    }
+
+    impl Read for Chunky {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.served == self.total {
+                return Ok(0);
+            }
+            // Vary the short-read size to cross block boundaries.
+            let n = out
+                .len()
+                .min(self.total - self.served)
+                .min(1 + self.served % 4093);
+            for (i, b) in out[..n].iter_mut().enumerate() {
+                *b = ((self.served + i) as u64).wrapping_mul(0x9E37_79B9) as u8;
+            }
+            self.served += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn bytes_are_identical_to_the_inner_stream() {
+        for total in [
+            0usize,
+            1,
+            4096,
+            BLOCK_BYTES,
+            BLOCK_BYTES + 1,
+            3 * BLOCK_BYTES + 17,
+        ] {
+            let mut direct = Vec::new();
+            Chunky { total, served: 0 }
+                .read_to_end(&mut direct)
+                .unwrap();
+            let mut ahead = Vec::new();
+            ReadAhead::new(Chunky { total, served: 0 })
+                .read_to_end(&mut ahead)
+                .unwrap();
+            assert_eq!(direct, ahead, "total {total}");
+        }
+    }
+
+    #[test]
+    fn errors_arrive_after_the_preceding_bytes() {
+        struct Failing {
+            served: usize,
+        }
+        impl Read for Failing {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if self.served >= 1000 {
+                    return Err(std::io::Error::other("disk on fire"));
+                }
+                let n = out.len().min(1000 - self.served);
+                out[..n].fill(0xAB);
+                self.served += n;
+                Ok(n)
+            }
+        }
+        let mut r = ReadAhead::new(Failing { served: 0 });
+        let mut buf = Vec::new();
+        let err = r.read_to_end(&mut buf).unwrap_err();
+        assert_eq!(err.to_string(), "disk on fire");
+        // read_to_end rolls back its buffer on error, so count via
+        // manual reads instead.
+        let mut r = ReadAhead::new(Failing { served: 0 });
+        let mut got = 0usize;
+        let mut chunk = [0u8; 256];
+        loop {
+            match r.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    assert!(chunk[..n].iter().all(|b| *b == 0xAB));
+                    got += n;
+                }
+                Err(e) => {
+                    assert_eq!(e.to_string(), "disk on fire");
+                    break;
+                }
+            }
+        }
+        assert_eq!(got, 1000, "all pre-error bytes are delivered first");
+        // After the error the stream is at EOF.
+        assert_eq!(r.read(&mut chunk).unwrap(), 0);
+    }
+
+    #[test]
+    fn dropping_mid_stream_reaps_the_prefetcher() {
+        let mut r = ReadAhead::new(Chunky {
+            total: 10 * BLOCK_BYTES,
+            served: 0,
+        });
+        let mut buf = [0u8; 64];
+        assert!(r.read(&mut buf).unwrap() > 0);
+        drop(r); // must not hang on the blocked sender
+    }
+}

@@ -3,7 +3,7 @@
 
 use std::io::Read;
 
-use dol_isa::{InstSource, RetiredInst, SparseMemory, Trace};
+use dol_isa::{InstBlock, InstSource, RetiredInst, SparseMemory, Trace};
 
 use crate::codec::{decode_inst, DeltaState};
 use crate::varint::read_u64;
@@ -154,24 +154,15 @@ impl<R: Read> TraceReader<R> {
         Ok(())
     }
 
-    /// Decodes the next instruction, or returns `Ok(None)` at a
-    /// validated end of stream.
-    pub fn next_inst(&mut self) -> Result<Option<RetiredInst>, TraceError> {
+    /// Advances frames until the current chunk holds an undecoded
+    /// instruction. Returns `false` at a validated end of stream.
+    fn refill(&mut self) -> Result<bool, TraceError> {
         loop {
             if self.ended {
-                return Ok(None);
+                return Ok(false);
             }
             if self.chunk_insts_left > 0 {
-                let inst = decode_inst(&self.chunk, &mut self.pos, &mut self.state)?;
-                self.chunk_insts_left -= 1;
-                self.decoded_insts += 1;
-                if self.chunk_insts_left == 0 && self.pos != self.chunk.len() {
-                    return Err(TraceError::Corrupt(format!(
-                        "instruction frame has {} trailing bytes",
-                        self.chunk.len() - self.pos
-                    )));
-                }
-                return Ok(Some(inst));
+                return Ok(true);
             }
             let (tag, payload) = read_frame(&mut self.r, &mut self.bytes_read)?
                 .ok_or(TraceError::Truncated("missing end frame"))?;
@@ -198,6 +189,56 @@ impl<R: Read> TraceReader<R> {
                 }
             }
         }
+    }
+
+    /// Decodes one instruction out of the current chunk (which must hold
+    /// one — see [`refill`](Self::refill)), maintaining the counters and
+    /// the frame-exhaustion check exactly like the one-at-a-time path.
+    #[inline]
+    fn decode_one(&mut self) -> Result<RetiredInst, TraceError> {
+        let inst = decode_inst(&self.chunk, &mut self.pos, &mut self.state)?;
+        self.chunk_insts_left -= 1;
+        self.decoded_insts += 1;
+        if self.chunk_insts_left == 0 && self.pos != self.chunk.len() {
+            return Err(TraceError::Corrupt(format!(
+                "instruction frame has {} trailing bytes",
+                self.chunk.len() - self.pos
+            )));
+        }
+        Ok(inst)
+    }
+
+    /// Decodes the next instruction, or returns `Ok(None)` at a
+    /// validated end of stream.
+    pub fn next_inst(&mut self) -> Result<Option<RetiredInst>, TraceError> {
+        if !self.refill()? {
+            return Ok(None);
+        }
+        self.decode_one().map(Some)
+    }
+
+    /// Fills `block` with up to `block.capacity()` instructions in one
+    /// batched pass over the chunk slice — the frame bookkeeping runs
+    /// once per refill instead of once per instruction, which is what
+    /// keeps decode MB/s off the critical path of replay-heavy serve
+    /// workloads. An empty block afterwards means end of stream.
+    ///
+    /// On a decode error the block keeps the instructions decoded before
+    /// the failure (the same prefix the one-at-a-time path would have
+    /// delivered) and the error is returned; the stream is unusable
+    /// afterwards.
+    pub fn next_block(&mut self, block: &mut InstBlock) -> Result<(), TraceError> {
+        block.clear();
+        while block.len() < block.capacity() {
+            if !self.refill()? {
+                return Ok(());
+            }
+            let n = (self.chunk_insts_left as usize).min(block.capacity() - block.len());
+            for _ in 0..n {
+                block.push(self.decode_one()?);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -246,6 +287,19 @@ impl<R: Read> InstSource for ReplaySource<R> {
                 self.error = Some(e);
                 None
             }
+        }
+    }
+
+    fn next_block(&mut self, block: &mut InstBlock) {
+        if self.error.is_some() {
+            block.clear();
+            return;
+        }
+        if let Err(e) = self.reader.next_block(block) {
+            // The block keeps the prefix decoded before the failure —
+            // exactly the instructions the per-inst path would have
+            // yielded; the next call returns an empty block.
+            self.error = Some(e);
         }
     }
 }

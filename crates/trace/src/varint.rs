@@ -21,8 +21,31 @@ pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
 }
 
 /// Reads an LEB128 varint from `buf` at `*pos`, advancing it.
+///
+/// Delta-encoded trace streams are dominated by one- and two-byte
+/// varints (PC strides, small address deltas), so those widths are
+/// decoded branch-light from the slice head before falling back to the
+/// general loop — the batched block decoder calls this once or twice
+/// per instruction, and the fast path is most of trace-decode MB/s.
 #[inline]
 pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
+    match buf.get(*pos..) {
+        Some([b0, ..]) if *b0 < 0x80 => {
+            *pos += 1;
+            Ok(u64::from(*b0))
+        }
+        Some([b0, b1, ..]) if *b1 < 0x80 => {
+            *pos += 2;
+            Ok(u64::from(b0 & 0x7F) | u64::from(*b1) << 7)
+        }
+        _ => read_u64_slow(buf, pos),
+    }
+}
+
+/// The general (3+-byte and error-path) LEB128 decode loop. Not marked
+/// cold: memory-image words are full-width data values, so image decode
+/// lands here for nearly every word.
+fn read_u64_slow(buf: &[u8], pos: &mut usize) -> Result<u64, TraceError> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
