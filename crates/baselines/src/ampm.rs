@@ -7,6 +7,7 @@
 //! so it picks up strided streams regardless of which instructions
 //! generate them.
 
+use dol_core::table::FullAssoc;
 use dol_core::{PrefetchRequest, Prefetcher, RetireInfo, CONF_MONOLITHIC};
 use dol_mem::{CacheLevel, Origin, LINE_BYTES};
 
@@ -20,19 +21,21 @@ const DEGREE: usize = 4;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Zone {
-    zone: u64,
     accessed: u64,
     prefetched: u64,
-    valid: bool,
-    stamp: u64,
 }
 
 /// The AMPM prefetcher (Table II: 4 KB — 128 access maps × 256 bits).
+///
+/// The maps live in a [`FullAssoc`] keyed by zone number: the per-access
+/// probe is a branch-free pass over the packed key vector (zones are
+/// unique among live maps; `zone_index` stamps exactly one map per call,
+/// so LRU victims are unchanged).
 #[derive(Debug, Clone)]
 pub struct Ampm {
     origin: Origin,
     dest: CacheLevel,
-    zones: Vec<Zone>,
+    zones: FullAssoc<Zone>,
     clock: u64,
 }
 
@@ -42,31 +45,19 @@ impl Ampm {
         Ampm {
             origin,
             dest,
-            zones: vec![Zone::default(); MAPS],
+            zones: FullAssoc::new(MAPS),
             clock: 0,
         }
     }
 
     fn zone_index(&mut self, zone: u64) -> usize {
         self.clock += 1;
-        if let Some(i) = self.zones.iter().position(|z| z.valid && z.zone == zone) {
-            self.zones[i].stamp = self.clock;
+        if let Some(i) = self.zones.find(zone) {
+            self.zones.touch(i, self.clock);
             return i;
         }
-        let victim = self
-            .zones
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, z)| if z.valid { z.stamp } else { 0 })
-            .map(|(i, _)| i)
-            .expect("maps are non-empty");
-        self.zones[victim] = Zone {
-            zone,
-            accessed: 0,
-            prefetched: 0,
-            valid: true,
-            stamp: self.clock,
-        };
+        let victim = self.zones.victim();
+        self.zones.put(victim, zone, self.clock, Zone::default());
         victim
     }
 
@@ -74,7 +65,7 @@ impl Ampm {
     /// accessed; offsets outside `0..64` consult the neighbor map.
     fn is_accessed(&self, cur: usize, off: i64) -> bool {
         if (0..LINES_PER_ZONE).contains(&off) {
-            let z = &self.zones[cur];
+            let z = self.zones.value(cur);
             (z.accessed | z.prefetched) & (1 << off) != 0
         } else {
             false
@@ -101,7 +92,7 @@ impl Prefetcher for Ampm {
         let zone = addr / ZONE_BYTES;
         let t = ((addr % ZONE_BYTES) / LINE_BYTES) as i64;
         let idx = self.zone_index(zone);
-        self.zones[idx].accessed |= 1 << t;
+        self.zones.value_mut(idx).accessed |= 1 << t;
 
         // Pattern match: forward and backward strides.
         let mut issued = 0;
@@ -119,7 +110,7 @@ impl Prefetcher for Ampm {
                     continue;
                 }
                 if self.is_accessed(idx, t - stride) && self.is_accessed(idx, t - 2 * stride) {
-                    self.zones[idx].prefetched |= 1 << target;
+                    self.zones.value_mut(idx).prefetched |= 1 << target;
                     issued += 1;
                     out.push(PrefetchRequest::new(
                         zone * ZONE_BYTES + target as u64 * LINE_BYTES,

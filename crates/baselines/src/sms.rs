@@ -7,7 +7,7 @@
 //! Table; single-access regions wait in the Filter Table; ended
 //! generations store their pattern in the Pattern History Table.
 
-use dol_core::table::{DirectTable, Geometry};
+use dol_core::table::{DirectTable, FullAssoc, Geometry};
 use dol_core::{PrefetchRequest, Prefetcher, RetireInfo, CONF_MONOLITHIC};
 use dol_mem::{line_of, region_of, CacheLevel, Origin, LINE_BYTES, REGION_LINES};
 
@@ -17,31 +17,31 @@ const PHT_ENTRIES: usize = 512;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct AtEntry {
-    region: u64,
     /// Trigger key: pc ^ (offset within region).
     key: u64,
     pattern: u16,
-    valid: bool,
-    stamp: u64,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
 struct FtEntry {
-    region: u64,
     key: u64,
     trigger_offset: u16,
-    valid: bool,
-    stamp: u64,
 }
 
 /// The SMS prefetcher (Table II: 12 KB — 64-entry AT, 32-entry FT,
 /// 512-entry PHT).
+///
+/// The AT and FT live in [`FullAssoc`] tables keyed by region, so the
+/// per-retire probes are branch-free passes over packed key vectors
+/// instead of record scans (regions are unique within each table, and
+/// the shared clock stamps at most one entry per table per retire, so
+/// lookup and LRU-victim results are unchanged).
 #[derive(Debug, Clone)]
 pub struct Sms {
     origin: Origin,
     dest: CacheLevel,
-    at: Vec<AtEntry>,
-    ft: Vec<FtEntry>,
+    at: FullAssoc<AtEntry>,
+    ft: FullAssoc<FtEntry>,
     /// Pattern history: direct-mapped by `key % PHT_ENTRIES`, tagged by
     /// the full trigger key.
     pht: DirectTable<u16>,
@@ -54,8 +54,8 @@ impl Sms {
         Sms {
             origin,
             dest,
-            at: vec![AtEntry::default(); AT_ENTRIES],
-            ft: vec![FtEntry::default(); FT_ENTRIES],
+            at: FullAssoc::new(AT_ENTRIES),
+            ft: FullAssoc::new(FT_ENTRIES),
             pht: DirectTable::new(Geometry::direct(PHT_ENTRIES, 30, 16)),
             clock: 0,
         }
@@ -79,14 +79,6 @@ impl Sms {
 
     fn pht_lookup(&self, key: u64) -> Option<u16> {
         self.pht.get(key).copied()
-    }
-
-    fn evict_at(&mut self, idx: usize) {
-        let e = self.at[idx];
-        if e.valid {
-            self.pht_store(e.key, e.pattern);
-        }
-        self.at[idx].valid = false;
     }
 }
 
@@ -112,34 +104,33 @@ impl Prefetcher for Sms {
         let pc = ev.inst.pc;
 
         // Already accumulating?
-        if let Some(i) = self.at.iter().position(|e| e.valid && e.region == region) {
-            self.at[i].pattern |= 1 << offset;
-            self.at[i].stamp = self.clock;
+        if let Some(i) = self.at.find(region) {
+            self.at.value_mut(i).pattern |= 1 << offset;
+            self.at.touch(i, self.clock);
             return;
         }
         // Second access to a filtered region promotes it to the AT.
-        if let Some(i) = self.ft.iter().position(|e| e.valid && e.region == region) {
-            let f = self.ft[i];
+        if let Some(i) = self.ft.find(region) {
+            let f = *self.ft.value(i);
             if u64::from(f.trigger_offset) == offset {
                 // Same line again; stay in the filter.
                 return;
             }
-            self.ft[i].valid = false;
-            let victim = self
-                .at
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| if e.valid { e.stamp } else { 0 })
-                .map(|(i, _)| i)
-                .expect("AT is non-empty");
-            self.evict_at(victim);
-            self.at[victim] = AtEntry {
+            self.ft.invalidate(i);
+            let victim = self.at.victim();
+            let displaced = self.at.put(
+                victim,
                 region,
-                key: f.key,
-                pattern: (1 << f.trigger_offset) | (1 << offset),
-                valid: true,
-                stamp: self.clock,
-            };
+                self.clock,
+                AtEntry {
+                    key: f.key,
+                    pattern: (1 << f.trigger_offset) | (1 << offset),
+                },
+            );
+            // An evicted generation's pattern is worth remembering.
+            if let Some(old) = displaced {
+                self.pht_store(old.key, old.pattern);
+            }
             return;
         }
 
@@ -163,20 +154,16 @@ impl Prefetcher for Sms {
             }
         }
         // Start filtering the new generation.
-        let victim = self
-            .ft
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| if e.valid { e.stamp } else { 0 })
-            .map(|(i, _)| i)
-            .expect("FT is non-empty");
-        self.ft[victim] = FtEntry {
+        let victim = self.ft.victim();
+        self.ft.put(
+            victim,
             region,
-            key,
-            trigger_offset: offset as u16,
-            valid: true,
-            stamp: self.clock,
-        };
+            self.clock,
+            FtEntry {
+                key,
+                trigger_offset: offset as u16,
+            },
+        );
     }
 }
 

@@ -5,7 +5,7 @@
 //! that hits wins. An Offset Prediction Table predicts the first delta of
 //! a freshly touched page from its first-access offset.
 
-use dol_core::table::{DirectTable, Geometry};
+use dol_core::table::{DirectTable, FullAssoc, Geometry};
 use dol_core::{PrefetchRequest, Prefetcher, RetireInfo, CONF_MONOLITHIC};
 use dol_mem::{CacheLevel, Origin, LINE_BYTES};
 
@@ -18,13 +18,10 @@ const DEGREE: usize = 4;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct DhbEntry {
-    page: u64,
     last_offset: i64,
     /// Most recent deltas, newest first; 0 = empty slot.
     deltas: [i64; 3],
     num_deltas: u8,
-    valid: bool,
-    stamp: u64,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -40,7 +37,9 @@ struct DptEntry {
 pub struct Vldp {
     origin: Origin,
     dest: CacheLevel,
-    dhb: Vec<DhbEntry>,
+    /// Delta history buffer, a [`FullAssoc`] keyed by page (pages are
+    /// unique among live entries; one stamp per retire keeps LRU exact).
+    dhb: FullAssoc<DhbEntry>,
     /// DPT-1, DPT-2, DPT-3: direct-mapped by the folded delta-history
     /// key, tagged by the full key (keyed by 1, 2, 3 most recent
     /// deltas).
@@ -65,7 +64,7 @@ impl Vldp {
         Vldp {
             origin,
             dest,
-            dhb: vec![DhbEntry::default(); DHB_ENTRIES],
+            dhb: FullAssoc::new(DHB_ENTRIES),
             dpt: [
                 DirectTable::new(Geometry::direct(DPT_ENTRIES, 12, 9)),
                 DirectTable::new(Geometry::direct(DPT_ENTRIES, 12, 9)),
@@ -135,25 +134,21 @@ impl Prefetcher for Vldp {
         let offset = ((addr % PAGE_BYTES) / LINE_BYTES) as i64;
         self.clock += 1;
 
-        let idx = match self.dhb.iter().position(|e| e.valid && e.page == page) {
+        let idx = match self.dhb.find(page) {
             Some(i) => i,
             None => {
                 // Allocate (LRU) and consult the OPT for the first delta.
-                let victim = self
-                    .dhb
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| if e.valid { e.stamp } else { 0 })
-                    .map(|(i, _)| i)
-                    .expect("DHB is non-empty");
-                self.dhb[victim] = DhbEntry {
+                let victim = self.dhb.victim();
+                self.dhb.put(
+                    victim,
                     page,
-                    last_offset: offset,
-                    deltas: [0; 3],
-                    num_deltas: 0,
-                    valid: true,
-                    stamp: self.clock,
-                };
+                    self.clock,
+                    DhbEntry {
+                        last_offset: offset,
+                        deltas: [0; 3],
+                        num_deltas: 0,
+                    },
+                );
                 if let Some(&prediction) = self.opt.get(offset as u64) {
                     let target_off = offset + prediction;
                     if (0..LINES_PER_PAGE).contains(&target_off) {
@@ -170,11 +165,12 @@ impl Prefetcher for Vldp {
             }
         };
 
-        let delta = offset - self.dhb[idx].last_offset;
+        // A same-line re-access leaves the entry (and its stamp) alone.
+        let delta = offset - self.dhb.value(idx).last_offset;
         if delta == 0 {
             return;
         }
-        let old = self.dhb[idx];
+        let old = *self.dhb.value(idx);
 
         // Train the OPT on the page's first delta.
         if old.num_deltas == 0 {
@@ -188,15 +184,17 @@ impl Prefetcher for Vldp {
         }
 
         // Shift the new delta in.
-        let e = &mut self.dhb[idx];
+        let e = self.dhb.value_mut(idx);
         e.deltas = [delta, old.deltas[0], old.deltas[1]];
         e.num_deltas = (old.num_deltas + 1).min(3);
         e.last_offset = offset;
-        e.stamp = self.clock;
+        let hist0 = e.deltas;
+        let num0 = e.num_deltas as usize;
+        self.dhb.touch(idx, self.clock);
 
         // Predict up to DEGREE steps ahead by chaining predictions.
-        let mut hist = e.deltas;
-        let mut num = e.num_deltas as usize;
+        let mut hist = hist0;
+        let mut num = num0;
         let mut look_offset = offset;
         for _ in 0..DEGREE {
             let Some(d) = self.predict_dpt(&hist, num) else {

@@ -13,7 +13,7 @@
 //! confirmed pointer-chain offset (`chain_delta`, the constant between
 //! one iteration's value and the next iteration's address).
 
-use crate::table::{DirectTable, Geometry};
+use crate::table::{DirectTable, FullAssoc, Geometry};
 
 /// The four-state label a memory instruction carries in the I-cache
 /// state bits.
@@ -64,7 +64,7 @@ impl Default for SitConfig {
 }
 
 /// One SIT entry (Figure 3-b, with P1's pointer extensions).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SitEntry {
     /// The modified PC this entry tracks.
     pub mpc: u64,
@@ -88,11 +88,10 @@ pub struct SitEntry {
     pub chain_delta: Option<i64>,
     /// Furthest address already prefetched for the stride stream.
     pub frontier: u64,
-    stamp: u64,
 }
 
 impl SitEntry {
-    fn new(mpc: u64, pc: u64, addr: u64, value: u64, stamp: u64) -> Self {
+    fn new(mpc: u64, pc: u64, addr: u64, value: u64) -> Self {
         SitEntry {
             mpc,
             pc,
@@ -104,7 +103,6 @@ impl SitEntry {
             aop_delta: None,
             chain_delta: None,
             frontier: addr,
-            stamp,
         }
     }
 
@@ -129,10 +127,15 @@ pub struct SitUpdate {
 }
 
 /// The Stride Identifier Table plus the instruction-label store.
+///
+/// Entries live in a [`FullAssoc`] keyed by mPC: the per-retire probe is
+/// one branch-free pass over the packed key vector instead of a scan of
+/// full records, and the LRU victim comes from the packed stamp vector.
+/// (The per-entry `stamp` field is gone; recency is the table's.)
 #[derive(Debug, Clone)]
 pub struct Sit {
     cfg: SitConfig,
-    entries: Vec<SitEntry>,
+    entries: FullAssoc<SitEntry>,
     labels: DirectTable<InstLabel>,
     clock: u64,
 }
@@ -149,7 +152,7 @@ impl Sit {
         let label_geom = Geometry::direct(cfg.label_entries.next_power_of_two(), 16, 2);
         Sit {
             cfg,
-            entries: Vec::with_capacity(cfg.entries),
+            entries: FullAssoc::new(cfg.entries),
             labels: DirectTable::new(label_geom),
             clock: 0,
         }
@@ -183,43 +186,34 @@ impl Sit {
 
     /// Shared access to an entry.
     pub fn entry(&self, mpc: u64) -> Option<&SitEntry> {
-        self.entries.iter().find(|e| e.mpc == mpc)
+        self.entries.find(mpc).map(|i| self.entries.value(i))
     }
 
     /// Mutable access to an entry.
     pub fn entry_mut(&mut self, mpc: u64) -> Option<&mut SitEntry> {
-        self.entries.iter_mut().find(|e| e.mpc == mpc)
+        self.entries.find(mpc).map(|i| self.entries.value_mut(i))
     }
 
     /// Finds the entry for `mpc`, allocating (LRU victim) if absent.
     pub fn find_or_alloc(&mut self, mpc: u64, pc: u64, addr: u64, value: u64) -> &mut SitEntry {
         self.clock += 1;
         let stamp = self.clock;
-        if let Some(i) = self.entries.iter().position(|e| e.mpc == mpc) {
-            self.entries[i].stamp = stamp;
-            return &mut self.entries[i];
+        if let Some(i) = self.entries.find(mpc) {
+            self.entries.touch(i, stamp);
+            return self.entries.value_mut(i);
         }
-        if self.entries.len() < self.cfg.entries {
-            self.entries
-                .push(SitEntry::new(mpc, pc, addr, value, stamp));
-            let i = self.entries.len() - 1;
-            return &mut self.entries[i];
-        }
-        let victim = self
-            .entries
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| e.stamp)
-            .map(|(i, _)| i)
-            .expect("table is non-empty");
-        self.entries[victim] = SitEntry::new(mpc, pc, addr, value, stamp);
-        &mut self.entries[victim]
+        let victim = self.entries.victim();
+        self.entries
+            .put(victim, mpc, stamp, SitEntry::new(mpc, pc, addr, value));
+        self.entries.value_mut(victim)
     }
 
     /// Removes the entry for `mpc` (instruction became non-strided and
     /// holds no pointer pattern).
     pub fn release(&mut self, mpc: u64) {
-        self.entries.retain(|e| e.mpc != mpc);
+        if let Some(i) = self.entries.find(mpc) {
+            self.entries.invalidate(i);
+        }
     }
 
     /// Records a new execution instance of `mpc`, updating stride
@@ -229,8 +223,9 @@ impl Sit {
         self.clock += 1;
         let stamp = self.clock;
         let cfg = self.cfg;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.mpc == mpc) {
-            e.stamp = stamp;
+        if let Some(i) = self.entries.find(mpc) {
+            self.entries.touch(i, stamp);
+            let e = self.entries.value_mut(i);
             let new_delta = addr.wrapping_sub(e.last_addr) as i64;
             let value_to_addr = addr.wrapping_sub(e.last_value) as i64;
             if new_delta == e.delta && new_delta != 0 {
@@ -260,8 +255,8 @@ impl Sit {
     }
 
     /// All live entries (for inspection and tests).
-    pub fn entries(&self) -> &[SitEntry] {
-        &self.entries
+    pub fn entries(&self) -> impl Iterator<Item = &SitEntry> {
+        self.entries.iter().map(|(_, e)| e)
     }
 }
 
@@ -277,7 +272,7 @@ mod tests {
     fn first_instance_allocates_without_delta() {
         let mut s = sit();
         assert!(s.update(0x100, 0x100, 0x8000, 0).is_none());
-        assert_eq!(s.entries().len(), 1);
+        assert_eq!(s.entries().count(), 1);
     }
 
     #[test]
@@ -397,6 +392,6 @@ mod tests {
         // Same pc, two mPCs (different RAS tops).
         s.update(0x100 ^ 0xAAAA, 0x100, 0x8000, 0);
         s.update(0x100 ^ 0xBBBB, 0x100, 0xF000, 0);
-        assert_eq!(s.entries().len(), 2);
+        assert_eq!(s.entries().count(), 2);
     }
 }

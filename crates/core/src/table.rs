@@ -473,6 +473,169 @@ impl<V: Default + Clone> AssocTable<V> {
     }
 }
 
+/// Fully-associative fixed-capacity table with global-LRU stamps —
+/// the hardware shape of the small CAM-like stores (SIT, SMS's AT/FT,
+/// VLDP's DHB, AMPM's zone maps) that were previously arrays of
+/// `{valid, key, stamp, payload}` records probed with `iter().position`
+/// and evicted with `min_by_key` scans.
+///
+/// Storage is structure-of-arrays: probes walk the packed key and stamp
+/// vectors (16 bytes per slot, early-exit on hit) instead of chasing
+/// 40-byte records, and a high-water mark bounds every scan to the
+/// slots that have ever been filled — a half-empty table probes like a
+/// small one. Validity is carried by the stamp vector alone — stamp 0
+/// ⇔ the slot is invalid; live stamps must be ≥ 1 (every caller stamps
+/// from a pre-incremented clock). Semantics are pinned to the old scans
+/// exactly:
+///
+/// * [`find`](Self::find) returns the *lowest* matching live slot —
+///   identical to `position(|e| e.valid && e.key == key)` (callers keep
+///   live keys unique, so the lowest match is the only match);
+/// * [`victim`](Self::victim) returns the first slot minimizing
+///   `if valid { stamp } else { 0 }` — identical to the old
+///   `min_by_key` idiom. Invalid slots hold stamp 0 by construction,
+///   so the first zero stamp (or the first never-filled slot) ends the
+///   scan immediately: nothing beats 0.
+#[derive(Debug, Clone)]
+pub struct FullAssoc<V> {
+    /// Packed keys (stale values persist in invalid slots; probes mask
+    /// them out via the zero stamp).
+    keys: Vec<u64>,
+    /// LRU stamps; 0 ⇔ the slot is invalid.
+    stamps: Vec<u64>,
+    values: Vec<V>,
+    /// High-water mark: slots `>= used` have never been filled, so
+    /// scans stop there (`victim` hands out slot `used` first).
+    used: usize,
+}
+
+impl<V: Default + Clone> FullAssoc<V> {
+    /// Allocates the table; all slots start invalid.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "FullAssoc capacity must be >= 1");
+        FullAssoc {
+            keys: vec![0; capacity],
+            stamps: vec![0; capacity],
+            values: vec![V::default(); capacity],
+            used: 0,
+        }
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of live slots.
+    pub fn live(&self) -> usize {
+        self.stamps[..self.used].iter().filter(|&&s| s != 0).count()
+    }
+
+    /// The lowest live slot holding `key`, if any — an early-exit walk
+    /// over the packed key/stamp vectors, bounded by the high-water
+    /// mark.
+    #[inline(always)]
+    pub fn find(&self, key: u64) -> Option<usize> {
+        self.keys[..self.used]
+            .iter()
+            .zip(&self.stamps[..self.used])
+            .position(|(&k, &s)| k == key && s != 0)
+    }
+
+    /// The first slot minimizing `if valid { stamp } else { 0 }`: the
+    /// lowest invalid slot when one exists (invalid stamps are 0 and
+    /// live stamps ≥ 1; a never-filled slot past the high-water mark
+    /// counts), else the least-recently-stamped live slot.
+    #[inline]
+    pub fn victim(&self) -> usize {
+        let mut best = u64::MAX;
+        let mut idx = 0;
+        for (i, &s) in self.stamps[..self.used].iter().enumerate() {
+            if s == 0 {
+                return i;
+            }
+            if s < best {
+                best = s;
+                idx = i;
+            }
+        }
+        if self.used < self.capacity() {
+            self.used
+        } else {
+            idx
+        }
+    }
+
+    /// Whether slot `i` is live.
+    #[inline(always)]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.stamps[i] != 0
+    }
+
+    /// The key in slot `i` (stale for invalid slots).
+    #[inline(always)]
+    pub fn key(&self, i: usize) -> u64 {
+        self.keys[i]
+    }
+
+    /// Shared payload access.
+    #[inline(always)]
+    pub fn value(&self, i: usize) -> &V {
+        &self.values[i]
+    }
+
+    /// Mutable payload access (does not refresh recency).
+    #[inline(always)]
+    pub fn value_mut(&mut self, i: usize) -> &mut V {
+        &mut self.values[i]
+    }
+
+    /// Refreshes slot `i`'s LRU stamp (must be ≥ 1).
+    #[inline(always)]
+    pub fn touch(&mut self, i: usize, stamp: u64) {
+        debug_assert!(stamp >= 1, "live stamps must be non-zero");
+        self.stamps[i] = stamp;
+    }
+
+    /// Fills slot `i` with `key -> value`, returning the displaced
+    /// payload when the slot was live.
+    pub fn put(&mut self, i: usize, key: u64, stamp: u64, value: V) -> Option<V> {
+        debug_assert!(stamp >= 1, "live stamps must be non-zero");
+        let displaced = if self.is_valid(i) {
+            Some(std::mem::replace(&mut self.values[i], value))
+        } else {
+            self.values[i] = value;
+            None
+        };
+        self.keys[i] = key;
+        self.stamps[i] = stamp;
+        self.used = self.used.max(i + 1);
+        displaced
+    }
+
+    /// Invalidates slot `i` (stamp returns to 0 so victim scans prefer
+    /// it again).
+    pub fn invalidate(&mut self, i: usize) {
+        self.stamps[i] = 0;
+    }
+
+    /// Iterates live `(key, &value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.values[..self.used]
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.stamps[i] != 0)
+            .map(|(i, v)| (self.keys[i], v))
+    }
+
+    /// Invalidates every slot.
+    pub fn clear(&mut self) {
+        self.stamps.iter_mut().for_each(|s| *s = 0);
+        self.values.iter_mut().for_each(|v| *v = V::default());
+        self.used = 0;
+    }
+}
+
 /// Small FIFO ring answering "was this key seen in the last N?".
 /// Fixed capacity, linear membership scan — the hardware shape of
 /// C1's recent-region suppression filter.
@@ -615,6 +778,95 @@ mod tests {
         assert_eq!(t.storage_bits(), before);
         // 256 entries * (1 valid + 16 tag + 16 value + 2 lru)
         assert_eq!(before, 256 * (1 + 16 + 16 + 2));
+    }
+
+    #[test]
+    fn full_assoc_find_matches_position_scan() {
+        let mut t: FullAssoc<u32> = FullAssoc::new(8);
+        assert_eq!(t.find(5), None);
+        t.put(3, 5, 1, 50);
+        t.put(0, 9, 2, 90);
+        assert_eq!(t.find(5), Some(3));
+        assert_eq!(t.find(9), Some(0));
+        // A stale key in an invalid slot must not match.
+        t.invalidate(3);
+        assert_eq!(t.find(5), None);
+        assert_eq!(t.live(), 1);
+    }
+
+    #[test]
+    fn full_assoc_victim_prefers_first_invalid_then_lru() {
+        let mut t: FullAssoc<u32> = FullAssoc::new(4);
+        assert_eq!(t.victim(), 0, "all invalid: first slot");
+        t.put(0, 10, 5, 0);
+        t.put(1, 11, 3, 0);
+        assert_eq!(t.victim(), 2, "first invalid slot wins over any live");
+        t.put(2, 12, 7, 0);
+        t.put(3, 13, 9, 0);
+        assert_eq!(t.victim(), 1, "all live: least stamp");
+        t.touch(1, 20);
+        assert_eq!(t.victim(), 0, "touch refreshes recency");
+        t.invalidate(2);
+        assert_eq!(t.victim(), 2, "invalidated slot becomes preferred again");
+    }
+
+    /// Differential check against the record-array idiom `FullAssoc`
+    /// replaces: a driven mirror of `{valid, key, stamp}` records probed
+    /// with `position` and evicted with `min_by_key` must agree on every
+    /// find and victim decision under a deterministic workload.
+    #[test]
+    fn full_assoc_matches_record_array_reference() {
+        #[derive(Clone, Copy, Default)]
+        struct Rec {
+            key: u64,
+            stamp: u64,
+            valid: bool,
+        }
+        const CAP: usize = 16;
+        let mut reference = [Rec::default(); CAP];
+        let mut t: FullAssoc<u64> = FullAssoc::new(CAP);
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut clock = 0u64;
+        for step in 0..50_000u64 {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (rng >> 33) % 24; // enough aliasing to churn
+            clock += 1;
+            let ref_hit = reference.iter().position(|e| e.valid && e.key == key);
+            assert_eq!(t.find(key), ref_hit, "find diverged at step {step}");
+            match ref_hit {
+                Some(i) => {
+                    reference[i].stamp = clock;
+                    t.touch(i, clock);
+                    // Occasionally release the entry, as SIT does.
+                    if rng & 0xff == 0 {
+                        reference[i].valid = false;
+                        t.invalidate(i);
+                    }
+                }
+                None => {
+                    let victim = reference
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| if e.valid { e.stamp } else { 0 })
+                        .map(|(i, _)| i)
+                        .expect("non-empty");
+                    assert_eq!(t.victim(), victim, "victim diverged at step {step}");
+                    reference[victim] = Rec {
+                        key,
+                        stamp: clock,
+                        valid: true,
+                    };
+                    t.put(victim, key, clock, step);
+                }
+            }
+        }
+        assert_eq!(
+            t.live(),
+            reference.iter().filter(|e| e.valid).count(),
+            "live counts diverged"
+        );
     }
 
     #[test]

@@ -47,7 +47,7 @@ proptest! {
         for (pc, addr) in &accesses {
             sit.update(pc * 4, pc * 4, addr & !7, 0);
         }
-        prop_assert!(sit.entries().len() <= entries);
+        prop_assert!(sit.entries().count() <= entries);
     }
 
     /// For any positive stride, T2's prefetch addresses are exact

@@ -85,6 +85,22 @@ pub(crate) fn release_out_buf(mut b: Vec<PrefetchRequest>) {
     });
 }
 
+/// Drops every pooled arena on the calling thread — core scratch,
+/// prefetch out-buffers, and reset memory systems — so the next run
+/// rebuilds its working set from the global allocator.
+///
+/// `run_all --bench-repeat` calls this (via the harness cache clear)
+/// between passes: a repeat pass that inherits warm arenas from the
+/// previous pass would measure a different allocator profile than the
+/// first pass did, making repeats incomparable. Pools are thread-local,
+/// so this clears the calling thread only; sweep worker threads are
+/// ephemeral and their pools die with them.
+pub fn clear_thread_pools() {
+    CORE_SCRATCH.with(|p| p.borrow_mut().clear());
+    OUT_BUFS.with(|p| p.borrow_mut().clear());
+    MEM_POOL.with(|p| p.borrow_mut().clear());
+}
+
 /// A memory system for `cfg`: pooled (pristine, reset) when one with the
 /// same configuration is available, freshly built otherwise.
 pub(crate) fn acquire_memory_system(cfg: HierarchyConfig) -> MemorySystem {

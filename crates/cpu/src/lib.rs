@@ -27,6 +27,7 @@ mod config;
 mod system;
 pub mod telemetry;
 
+pub use arena::clear_thread_pools as clear_arena_pools;
 pub use branch::BranchPredictor;
 pub use config::{CoreConfig, DestinationPolicy, SystemConfig};
 pub use system::{MultiRunResult, RunResult, System, Workload};

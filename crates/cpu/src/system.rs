@@ -32,7 +32,23 @@ pub struct Workload {
 impl Workload {
     /// Runs `vm` for up to `max_insts` instructions and captures the
     /// trace and memory image.
+    ///
+    /// Executes on the pre-decoded micro-op path ([`Vm::run_uop`]),
+    /// which is bit-identical to the reference interpreter (pinned by
+    /// the `uop_equivalence` tests); use [`Workload::capture_reference`]
+    /// to capture through the interpreter itself.
     pub fn capture(mut vm: Vm, max_insts: u64) -> Result<Workload, VmError> {
+        let trace = vm.run_uop(max_insts)?;
+        Ok(Workload {
+            trace,
+            memory: vm.memory().clone(),
+        })
+    }
+
+    /// Like [`Workload::capture`], but executes on the reference
+    /// interpreter ([`Vm::run`]). Exists so equivalence tests can
+    /// compare both paths end to end.
+    pub fn capture_reference(mut vm: Vm, max_insts: u64) -> Result<Workload, VmError> {
         let trace = vm.run(max_insts)?;
         Ok(Workload {
             trace,

@@ -101,7 +101,6 @@ fn mpc_distinguishes_call_sites_in_real_execution() {
     let stable = tpc
         .sit()
         .entries()
-        .iter()
         .filter(|e| e.delta == 64 && e.stable_for(16))
         .count();
     assert_eq!(stable, 2, "one SIT entry per call site");

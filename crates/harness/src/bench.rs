@@ -28,6 +28,8 @@
 //! throughput-smoke job when the measured total `insts_per_s` drops more
 //! than 30 % below it.
 
+use crate::phase::PhaseSplit;
+
 /// Timing record for one figure/table driver.
 #[derive(Debug, Clone)]
 pub struct DriverBench {
@@ -41,6 +43,9 @@ pub struct DriverBench {
     /// (simulated nothing itself). Cached drivers are excluded from the
     /// report's totals.
     pub cached: bool,
+    /// Wall time attributed to capture / classify / simulate / metrics /
+    /// render (see [`crate::phase`]).
+    pub phases: PhaseSplit,
 }
 
 impl DriverBench {
@@ -197,6 +202,16 @@ impl BenchReport {
         }
     }
 
+    /// Aggregate phase split across every driver (cached drivers
+    /// included — their render/metrics time is real work).
+    pub fn phases(&self) -> PhaseSplit {
+        let mut total = PhaseSplit::default();
+        for d in &self.drivers {
+            total.add(&d.phases);
+        }
+        total
+    }
+
     /// Serializes the report (schema `dol-bench-v1`).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(512 + 96 * self.drivers.len());
@@ -205,10 +220,11 @@ impl BenchReport {
         s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         s.push_str(&format!("  \"repeat\": {},\n", self.repeat));
         s.push_str(&format!(
-            "  \"total\": {{\"wall_s\": {:.3}, \"sim_insts\": {}, \"insts_per_s\": {:.1}}},\n",
+            "  \"total\": {{\"wall_s\": {:.3}, \"sim_insts\": {}, \"insts_per_s\": {:.1}{}}},\n",
             self.wall_s(),
             self.sim_insts(),
-            self.insts_per_s()
+            self.insts_per_s(),
+            fmt_phases(&self.phases())
         ));
         if let Some(t) = &self.trace {
             s.push_str(&format!(
@@ -254,18 +270,30 @@ impl BenchReport {
         for (i, d) in self.drivers.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"id\": \"{}\", \"cached\": {}, \"wall_s\": {:.3}, \"sim_insts\": {}, \
-                 \"insts_per_s\": {:.1}}}{}\n",
+                 \"insts_per_s\": {:.1}{}}}{}\n",
                 d.id,
                 d.cached,
                 d.wall_s,
                 d.sim_insts,
                 d.insts_per_s(),
+                fmt_phases(&d.phases),
                 if i + 1 < self.drivers.len() { "," } else { "" }
             ));
         }
         s.push_str("  ]\n}\n");
         s
     }
+}
+
+/// Serializes a phase split as trailing same-line fields — driver and
+/// total records stay one-record-per-line so the line-oriented floor
+/// scanners keep working.
+fn fmt_phases(p: &PhaseSplit) -> String {
+    format!(
+        ", \"capture_s\": {:.4}, \"classify_s\": {:.4}, \"simulate_s\": {:.4}, \
+         \"metrics_s\": {:.4}, \"render_s\": {:.4}",
+        p.capture_s, p.classify_s, p.simulate_s, p.metrics_s, p.render_s
+    )
 }
 
 /// Extracts the total `insts_per_s` from a `dol-bench-v1` JSON document
@@ -316,13 +344,127 @@ pub fn parse_serve_floor(json: &str) -> Option<f64> {
 }
 
 fn scan_rate(fragment: &str) -> Option<f64> {
-    let after = fragment.split("\"insts_per_s\"").nth(1)?;
+    scan_named(fragment, "insts_per_s")
+}
+
+/// Extracts the numeric value of `"name": <number>` from `fragment`
+/// (first occurrence).
+fn scan_named(fragment: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\"");
+    let after = fragment.split(&needle).nth(1)?;
     let num: String = after
         .chars()
         .skip_while(|c| *c == ':' || c.is_whitespace())
         .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
         .collect();
     num.parse().ok()
+}
+
+/// Extracts a phase split from one record fragment. `None` when any
+/// phase field is missing — documents recorded before phase attribution
+/// existed simply have no split.
+fn scan_phases(fragment: &str) -> Option<PhaseSplit> {
+    Some(PhaseSplit {
+        capture_s: scan_named(fragment, "capture_s")?,
+        classify_s: scan_named(fragment, "classify_s")?,
+        simulate_s: scan_named(fragment, "simulate_s")?,
+        metrics_s: scan_named(fragment, "metrics_s")?,
+        render_s: scan_named(fragment, "render_s")?,
+    })
+}
+
+/// Extracts the total phase split from a `dol-bench-v1` document.
+/// `None` for pre-phase-attribution documents — the CI phase gate
+/// simply doesn't fire against such floors.
+pub fn parse_total_phases(json: &str) -> Option<PhaseSplit> {
+    let line = json.split("\"total\"").nth(1)?.split('\n').next()?;
+    scan_phases(line)
+}
+
+/// One driver record parsed back out of a `dol-bench-v1` document.
+#[derive(Debug, Clone)]
+pub struct ParsedDriver {
+    /// Driver id.
+    pub id: String,
+    /// Wall seconds.
+    pub wall_s: f64,
+    /// Simulated-instruction delta.
+    pub sim_insts: u64,
+    /// Simulated instructions per second.
+    pub insts_per_s: f64,
+    /// Whether the record was cache-served.
+    pub cached: bool,
+    /// Phase split, when the document carries one.
+    pub phases: Option<PhaseSplit>,
+}
+
+/// A `dol-bench-v1` document parsed for comparison (`dol bench diff`).
+#[derive(Debug, Clone)]
+pub struct ParsedReport {
+    /// "smoke" or "full".
+    pub mode: String,
+    /// Total wall seconds across simulating drivers.
+    pub total_wall_s: f64,
+    /// Total simulated instructions.
+    pub total_sim_insts: u64,
+    /// Headline simulated instructions per second.
+    pub total_insts_per_s: f64,
+    /// Aggregate phase split, when present.
+    pub total_phases: Option<PhaseSplit>,
+    /// Per-driver records in document order.
+    pub drivers: Vec<ParsedDriver>,
+}
+
+impl ParsedReport {
+    /// Looks up a driver by id.
+    pub fn driver(&self, id: &str) -> Option<&ParsedDriver> {
+        self.drivers.iter().find(|d| d.id == id)
+    }
+}
+
+/// Parses a `dol-bench-v1` document back into comparable records.
+/// Relies on the writer's one-record-per-line layout (the same property
+/// the floor scanners use); returns `None` when the schema marker or
+/// total record is missing.
+pub fn parse_report(json: &str) -> Option<ParsedReport> {
+    if !json.contains("\"schema\": \"dol-bench-v1\"") {
+        return None;
+    }
+    let mode = json
+        .split("\"mode\"")
+        .nth(1)?
+        .split('"')
+        .nth(1)?
+        .to_string();
+    let total_line = json.split("\"total\"").nth(1)?.split('\n').next()?;
+    let mut drivers = Vec::new();
+    // Driver records are the lines with an "id" field after the
+    // "drivers" array opens; serve levels carry no "id".
+    let body = json.split("\"drivers\"").nth(1).unwrap_or("");
+    for line in body.lines() {
+        let Some(after_id) = line.split("\"id\": \"").nth(1) else {
+            continue;
+        };
+        let Some(id) = after_id.split('"').next() else {
+            continue;
+        };
+        drivers.push(ParsedDriver {
+            id: id.to_string(),
+            wall_s: scan_named(line, "wall_s")?,
+            sim_insts: scan_named(line, "sim_insts")? as u64,
+            insts_per_s: scan_named(line, "insts_per_s")?,
+            cached: line.contains("\"cached\": true"),
+            phases: scan_phases(line),
+        });
+    }
+    Some(ParsedReport {
+        mode,
+        total_wall_s: scan_named(total_line, "wall_s")?,
+        total_sim_insts: scan_named(total_line, "sim_insts")? as u64,
+        total_insts_per_s: scan_named(total_line, "insts_per_s")?,
+        total_phases: scan_phases(total_line),
+        drivers,
+    })
 }
 
 #[cfg(test)]
@@ -340,12 +482,26 @@ mod tests {
                     wall_s: 0.5,
                     sim_insts: 1_000_000,
                     cached: false,
+                    phases: PhaseSplit {
+                        capture_s: 0.1,
+                        classify_s: 0.05,
+                        simulate_s: 0.3,
+                        metrics_s: 0.025,
+                        render_s: 0.025,
+                    },
                 },
                 DriverBench {
                     id: "fig08",
                     wall_s: 1.5,
                     sim_insts: 5_000_000,
                     cached: false,
+                    phases: PhaseSplit {
+                        capture_s: 0.2,
+                        classify_s: 0.1,
+                        simulate_s: 1.0,
+                        metrics_s: 0.1,
+                        render_s: 0.1,
+                    },
                 },
             ],
             trace: None,
@@ -369,6 +525,7 @@ mod tests {
             wall_s: 0.7,
             sim_insts: 0,
             cached: true,
+            phases: PhaseSplit::default(),
         });
         // Totals are unchanged by the cache-served driver...
         assert_eq!(r.wall_s(), 2.0);
@@ -482,7 +639,88 @@ mod tests {
             wall_s: 0.0,
             sim_insts: 5,
             cached: false,
+            phases: PhaseSplit::default(),
         };
         assert_eq!(d.insts_per_s(), 0.0);
+    }
+
+    #[test]
+    fn phases_serialize_on_the_record_line_and_round_trip() {
+        let r = report();
+        let json = r.to_json();
+        // Every driver line carries all five phase fields.
+        for line in json.lines().filter(|l| l.contains("\"id\": \"")) {
+            for field in [
+                "capture_s",
+                "classify_s",
+                "simulate_s",
+                "metrics_s",
+                "render_s",
+            ] {
+                assert!(line.contains(field), "missing {field} in {line}");
+            }
+        }
+        // The total aggregates the drivers.
+        let total = parse_total_phases(&json).expect("total phases present");
+        assert!((total.capture_s - 0.3).abs() < 1e-3);
+        assert!((total.simulate_s - 1.3).abs() < 1e-3);
+        assert!((total.overhead_share() - 0.35).abs() < 0.01);
+        // Pre-phase documents parse to None.
+        assert_eq!(
+            parse_total_phases("{\"total\": {\"wall_s\": 1.0, \"insts_per_s\": 5.0}}"),
+            None
+        );
+    }
+
+    #[test]
+    fn parse_report_round_trips_the_document() {
+        let r = report();
+        let parsed = parse_report(&r.to_json()).expect("parsable");
+        assert_eq!(parsed.mode, "smoke");
+        assert_eq!(parsed.drivers.len(), 2);
+        assert_eq!(parsed.total_sim_insts, 6_000_000);
+        assert!((parsed.total_insts_per_s - 3_000_000.0).abs() < 0.5);
+        let fig08 = parsed.driver("fig08").expect("present");
+        assert!(!fig08.cached);
+        assert_eq!(fig08.sim_insts, 5_000_000);
+        assert!((fig08.insts_per_s - 3_333_333.3).abs() < 0.5);
+        let ph = fig08.phases.expect("phases present");
+        assert!((ph.simulate_s - 1.0).abs() < 1e-9);
+        assert!(parsed.driver("nope").is_none());
+        // Garbage and non-bench documents refuse to parse.
+        assert!(parse_report("").is_none());
+        assert!(parse_report("{\"schema\": \"other\"}").is_none());
+    }
+
+    #[test]
+    fn parse_report_handles_serve_sections_and_cached_drivers() {
+        let mut r = report();
+        r.drivers.push(DriverBench {
+            id: "table2",
+            wall_s: 0.7,
+            sim_insts: 0,
+            cached: true,
+            phases: PhaseSplit::default(),
+        });
+        r.serve = Some(ServeBench {
+            workers: 4,
+            queue_cap: 16,
+            cold_wall_s: 2.0,
+            cold_sim_insts: 1_000_000,
+            warm_wall_s: 0.2,
+            warm_sim_insts: 0,
+            levels: vec![ServeLevel {
+                clients: 1,
+                completed: 8,
+                rejected: 0,
+                wall_s: 2.0,
+                p50_ms: 240.0,
+                p99_ms: 300.0,
+            }],
+        });
+        let parsed = parse_report(&r.to_json()).expect("parsable");
+        // Serve levels must not leak into the driver list.
+        assert_eq!(parsed.drivers.len(), 3);
+        assert!(parsed.driver("table2").expect("present").cached);
     }
 }

@@ -27,8 +27,10 @@
 use std::time::Instant;
 
 use dol_harness::bench::{
-    parse_driver_floor, parse_floor, parse_serve_floor, BenchReport, DriverBench, TraceBench,
+    parse_driver_floor, parse_floor, parse_serve_floor, parse_total_phases, BenchReport,
+    DriverBench, TraceBench,
 };
+use dol_harness::phase::{timed, totals, Phase};
 use dol_harness::{experiments, RunPlan};
 
 const USAGE: &str = "usage: run_all [--smoke] [--jobs N] [--trace-dir DIR] [--bench-out PATH] \
@@ -36,6 +38,10 @@ const USAGE: &str = "usage: run_all [--smoke] [--jobs N] [--trace-dir DIR] [--be
 
 /// Largest tolerated throughput drop vs the recorded floor.
 const MAX_REGRESSION: f64 = 0.30;
+
+/// Largest tolerated absolute growth in the non-simulate share of
+/// attributed phase time vs the recorded floor (0.10 = ten points).
+const MAX_PHASE_SHARE_CREEP: f64 = 0.10;
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -144,23 +150,30 @@ fn main() {
         let mut pass_drivers = Vec::new();
         for (id, run) in experiments::drivers() {
             let insts_before = dol_cpu::telemetry::simulated_instructions();
+            let phases_before = totals();
             let t0 = Instant::now();
             let report = run(&plan);
+            let wall_s = t0.elapsed().as_secs_f64();
             let sim_insts = dol_cpu::telemetry::simulated_instructions() - insts_before;
+            // Reports are printed once; repeat passes only re-measure.
+            // Rendering (and the terminal write) is part of the driver's
+            // attributed time but deliberately outside wall_s, which
+            // floors compare across runs with and without printing.
+            if pass == 0 {
+                let rendered = timed(Phase::Render, || report.render());
+                println!("{rendered}");
+                deviations += report.deviations();
+            }
             pass_drivers.push(DriverBench {
                 id,
-                wall_s: t0.elapsed().as_secs_f64(),
+                wall_s,
                 sim_insts,
                 // A zero instruction delta means the driver was served
                 // entirely from the memoized run caches; keep it out of
                 // the throughput denominator.
                 cached: sim_insts == 0,
+                phases: totals().since(&phases_before),
             });
-            // Reports are printed once; repeat passes only re-measure.
-            if pass == 0 {
-                println!("{}", report.render());
-                deviations += report.deviations();
-            }
         }
         if pass == 0 {
             bench.drivers = pass_drivers;
@@ -168,7 +181,11 @@ fn main() {
             for (best, again) in bench.drivers.iter_mut().zip(pass_drivers) {
                 assert_eq!(best.id, again.id, "driver order is fixed");
                 if !again.cached && (best.cached || again.insts_per_s() > best.insts_per_s()) {
+                    // Repeat passes never render; keep pass 0's render
+                    // time so the phase split stays complete.
+                    let render_s = best.phases.render_s;
                     *best = again;
+                    best.phases.render_s = render_s;
                 }
             }
         }
@@ -260,6 +277,42 @@ fn main() {
         if measured < limit {
             eprintln!("THROUGHPUT REGRESSION: more than 30% below the recorded floor");
             std::process::exit(1);
+        }
+        // Phase-attribution gate: the share of attributed time spent
+        // outside the simulate phase must not creep past the floor's
+        // share by more than an absolute tolerance. This catches "the
+        // plumbing got slow" regressions that total throughput can hide
+        // when the simulate phase happens to speed up. Floors recorded
+        // before phase attribution existed simply don't gate.
+        let split = bench.phases();
+        eprintln!(
+            "phase split: capture {:.2}s, classify {:.2}s, simulate {:.2}s, \
+             metrics {:.2}s, render {:.2}s (overhead share {:.1}%)",
+            split.capture_s,
+            split.classify_s,
+            split.simulate_s,
+            split.metrics_s,
+            split.render_s,
+            split.overhead_share() * 100.0
+        );
+        if let Some(floor_split) = parse_total_phases(&text) {
+            let measured_share = split.overhead_share();
+            let floor_share = floor_split.overhead_share();
+            let limit = floor_share + MAX_PHASE_SHARE_CREEP;
+            eprintln!(
+                "phase gate: overhead share {:.1}% vs floor {:.1}% (fail above {:.1}%)",
+                measured_share * 100.0,
+                floor_share * 100.0,
+                limit * 100.0
+            );
+            if measured_share > limit {
+                eprintln!(
+                    "PHASE REGRESSION: non-simulate overhead share grew more than \
+                     {:.0} points past the recorded floor",
+                    MAX_PHASE_SHARE_CREEP * 100.0
+                );
+                std::process::exit(1);
+            }
         }
         // The multi-core co-run driver gets its own floor entry: its
         // shared-hierarchy hot path is disjoint enough from the

@@ -28,7 +28,9 @@ pub fn run(plan: &RunPlan) -> Report {
     let specs = plan.cap_suite(dol_workloads::spec21());
     let per_app: Vec<Vec<Vec<f64>>> = crate::sweep::map(plan.jobs, &specs, |spec| {
         let base = BaselineRun::capture(spec, plan, &base_sys);
-        let lhf_lines = Arc::new(base.classifier.lines_in(Category::Lhf));
+        let lhf_lines = Arc::new(crate::phase::timed(crate::phase::Phase::Metrics, || {
+            base.classifier.lines_in(Category::Lhf)
+        }));
         policies
             .iter()
             .map(|policy_name| {

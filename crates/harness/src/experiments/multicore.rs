@@ -97,7 +97,9 @@ fn corun(sys4: &System, members: &[Workload; 4], configs: &[&str; 4]) -> CoRun {
         .collect();
     let ps: &mut [prefetchers::Built; 4] = (&mut ps[..]).try_into().expect("4 cores");
     let mut metrics = StreamingMetrics::new();
-    let result = sys4.run_corun(members, ps, &mut metrics);
+    let result = crate::phase::timed(crate::phase::Phase::Simulate, || {
+        sys4.run_corun(members, ps, &mut metrics)
+    });
     CoRun { result, metrics }
 }
 
@@ -125,6 +127,7 @@ fn run_scenario(
     sys4: &System,
     sc: &Scenario,
     captured: &HashMap<String, Arc<BaselineRun>>,
+    none_runs: &HashMap<[&'static str; 4], Arc<CoRun>>,
 ) -> ScenarioRow {
     let members: [Workload; 4] = sc.members.map(|m| captured[m].workload.clone());
     let alone: Vec<f64> = sc
@@ -133,7 +136,7 @@ fn run_scenario(
         .map(|m| captured[*m].result.ipc())
         .collect();
 
-    let none = corun(sys4, &members, &["none"; 4]);
+    let none = &none_runs[&sc.members];
     let plan = corun(sys4, &members, &sc.configs);
     let ws_none = weighted_speedup(&none.result.ipcs(), &alone);
     let ws_plan = weighted_speedup(&plan.result.ipcs(), &alone);
@@ -190,8 +193,26 @@ pub fn run(plan: &RunPlan) -> Report {
     .into_iter()
     .collect();
 
+    // The no-prefetch reference co-run depends only on the member set,
+    // and scenarios share member sets on purpose (the two `mixed/*`
+    // scenarios contrast plans over identical co-runners) — run each
+    // distinct reference exactly once and share it.
+    let mut member_sets: Vec<[&'static str; 4]> = Vec::new();
+    for sc in &scenarios {
+        if !member_sets.contains(&sc.members) {
+            member_sets.push(sc.members);
+        }
+    }
+    let none_runs: HashMap<[&'static str; 4], Arc<CoRun>> =
+        crate::sweep::map(plan.jobs, &member_sets, |set| {
+            let members: [Workload; 4] = set.map(|m| captured[m].workload.clone());
+            (*set, Arc::new(corun(&sys4, &members, &["none"; 4])))
+        })
+        .into_iter()
+        .collect();
+
     let rows: Vec<ScenarioRow> = crate::sweep::map(plan.jobs, &scenarios, |sc| {
-        run_scenario(&sys4, sc, &captured)
+        run_scenario(&sys4, sc, &captured, &none_runs)
     });
 
     let mut t = TextTable::new(

@@ -1,0 +1,222 @@
+//! Wall-time phase attribution for the bench pipeline.
+//!
+//! Every `dol-bench-v1` driver record splits its wall time into five
+//! phases — **capture** (functional VM / trace decode), **classify**
+//! (offline LHF/MHF/HHF analysis), **simulate** (the timing model),
+//! **metrics** (footprint extraction and accounting queries), and
+//! **render** (report formatting + stdout) — so the next Amdahl analysis
+//! is read from the JSON artifact instead of re-profiled by hand.
+//!
+//! The leaf call sites (`runner`, the experiment drivers, `run_all`'s
+//! print block) wrap their hot regions in [`timed`], which accrues
+//! elapsed nanoseconds into process-wide atomic counters. Nested spans
+//! attribute to the *outermost* phase only (a per-thread re-entrancy
+//! guard), so instrumented helpers can call each other without double
+//! counting. `run_all` snapshots [`totals`] around each driver and
+//! stores the delta in the driver's [`PhaseSplit`].
+//!
+//! With `--jobs N > 1` the counters accrue from every worker thread, so
+//! a driver's phase seconds are *CPU-attributed* time and may exceed its
+//! wall clock; with `--jobs 1` (how floors are recorded) they partition
+//! it. Ratios between phases are meaningful either way.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One attributed phase of a driver's wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Functional-VM execution or `dol-trace-v1` decode of a workload.
+    Capture,
+    /// Offline `classify_trace` analysis.
+    Classify,
+    /// The timing model (`System::run*`).
+    Simulate,
+    /// Metric extraction: footprints, accounting queries, summaries.
+    Metrics,
+    /// Report formatting and stdout writes.
+    Render,
+}
+
+/// Number of phases (the length of [`PhaseTotals`]' counter array).
+pub const PHASE_COUNT: usize = 5;
+
+static NANOS: [AtomicU64; PHASE_COUNT] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+thread_local! {
+    static IN_SPAN: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Accrues into `NANOS[phase]` on drop and releases the re-entrancy
+/// guard — drop-based so a panicking span still unwinds cleanly.
+struct SpanGuard {
+    phase: Phase,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        NANOS[self.phase as usize]
+            .fetch_add(self.start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        IN_SPAN.with(|c| c.set(false));
+    }
+}
+
+/// Runs `f`, attributing its elapsed time to `phase`.
+///
+/// Re-entrant calls on the same thread (an instrumented helper inside an
+/// instrumented region) run `f` without accruing: time belongs to the
+/// outermost span's phase.
+#[inline]
+pub fn timed<T>(phase: Phase, f: impl FnOnce() -> T) -> T {
+    let entered = IN_SPAN.with(|c| {
+        if c.get() {
+            false
+        } else {
+            c.set(true);
+            true
+        }
+    });
+    if !entered {
+        return f();
+    }
+    let _guard = SpanGuard {
+        phase,
+        start: Instant::now(),
+    };
+    f()
+}
+
+/// A point-in-time snapshot of the process-wide phase counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    nanos: [u64; PHASE_COUNT],
+}
+
+/// Snapshots the process-wide phase counters.
+pub fn totals() -> PhaseTotals {
+    let mut nanos = [0u64; PHASE_COUNT];
+    for (slot, ctr) in nanos.iter_mut().zip(NANOS.iter()) {
+        *slot = ctr.load(Ordering::Relaxed);
+    }
+    PhaseTotals { nanos }
+}
+
+impl PhaseTotals {
+    /// The per-phase seconds accrued since an `earlier` snapshot.
+    pub fn since(&self, earlier: &PhaseTotals) -> PhaseSplit {
+        let d = |i: usize| self.nanos[i].saturating_sub(earlier.nanos[i]) as f64 / 1e9;
+        PhaseSplit {
+            capture_s: d(Phase::Capture as usize),
+            classify_s: d(Phase::Classify as usize),
+            simulate_s: d(Phase::Simulate as usize),
+            metrics_s: d(Phase::Metrics as usize),
+            render_s: d(Phase::Render as usize),
+        }
+    }
+}
+
+/// Per-phase seconds for one driver (or one whole report).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseSplit {
+    /// Seconds in workload capture (VM execution or trace decode).
+    pub capture_s: f64,
+    /// Seconds in `classify_trace`.
+    pub classify_s: f64,
+    /// Seconds in the timing model.
+    pub simulate_s: f64,
+    /// Seconds in metric extraction and accounting queries.
+    pub metrics_s: f64,
+    /// Seconds rendering and printing reports.
+    pub render_s: f64,
+}
+
+impl PhaseSplit {
+    /// Total seconds attributed to any phase.
+    pub fn attributed(&self) -> f64 {
+        self.capture_s + self.classify_s + self.simulate_s + self.metrics_s + self.render_s
+    }
+
+    /// Seconds attributed to non-simulation phases — the "other 54%"
+    /// the Amdahl analysis tracks.
+    pub fn overhead(&self) -> f64 {
+        self.attributed() - self.simulate_s
+    }
+
+    /// Non-simulation share of attributed time, in `[0, 1]` (`0` when
+    /// nothing was attributed).
+    pub fn overhead_share(&self) -> f64 {
+        let total = self.attributed();
+        if total > 0.0 {
+            self.overhead() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Accumulates another split into this one.
+    pub fn add(&mut self, other: &PhaseSplit) {
+        self.capture_s += other.capture_s;
+        self.classify_s += other.classify_s;
+        self.simulate_s += other.simulate_s;
+        self.metrics_s += other.metrics_s;
+        self.render_s += other.render_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_accrues_to_the_named_phase() {
+        let before = totals();
+        timed(Phase::Classify, || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
+        let split = totals().since(&before);
+        assert!(split.classify_s > 0.0);
+        // Concurrent tests may accrue elsewhere; classify must dominate
+        // nothing in particular, only be present.
+    }
+
+    #[test]
+    fn nested_spans_attribute_to_the_outer_phase() {
+        let before = totals();
+        timed(Phase::Simulate, || {
+            timed(Phase::Metrics, || {
+                std::thread::sleep(std::time::Duration::from_millis(2))
+            })
+        });
+        let split = totals().since(&before);
+        assert!(split.simulate_s >= 0.002, "outer phase owns the time");
+    }
+
+    #[test]
+    fn split_arithmetic() {
+        let mut a = PhaseSplit {
+            capture_s: 1.0,
+            classify_s: 0.5,
+            simulate_s: 2.0,
+            metrics_s: 0.25,
+            render_s: 0.25,
+        };
+        assert_eq!(a.attributed(), 4.0);
+        assert_eq!(a.overhead(), 2.0);
+        assert_eq!(a.overhead_share(), 0.5);
+        a.add(&PhaseSplit {
+            simulate_s: 2.0,
+            ..PhaseSplit::default()
+        });
+        assert_eq!(a.attributed(), 6.0);
+        assert!((a.overhead_share() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(PhaseSplit::default().overhead_share(), 0.0);
+    }
+}

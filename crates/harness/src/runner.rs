@@ -19,9 +19,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use dol_core::Prefetcher;
 use dol_cpu::{RunResult, System, SystemConfig, Workload};
+use dol_isa::Trace;
 use dol_metrics::{classify_trace, Classifier, Footprint, StreamingMetrics};
 use dol_workloads::Spec;
 
+use crate::phase::{timed, Phase};
 use crate::plan::RunPlan;
 use crate::prefetchers;
 
@@ -55,6 +57,45 @@ static APP_RUN_CACHE: Mutex<AppRunCache> = Mutex::new(AppRunCache {
     held_insts: 0,
     entries: VecDeque::new(),
 });
+
+/// Bounded memo of `classify_trace` results keyed by the capture's
+/// content hash (plus length, belt-and-braces against collisions).
+///
+/// Captures themselves are memoized, but the capture cache is bounded by
+/// *instructions* and the full 36-workload suite overflows it — a
+/// recaptured workload used to re-run the whole three-pass
+/// classification. Classifier artifacts are tiny (per-PC and per-line
+/// category maps), so an entry-bounded FIFO holds the entire suite.
+type ClassifierKey = (usize, u64);
+
+const CLASSIFIER_CACHE_CAP: usize = 64;
+
+static CLASSIFIER_CACHE: Mutex<VecDeque<(ClassifierKey, Arc<Classifier>)>> =
+    Mutex::new(VecDeque::new());
+
+/// Classifies `trace`, reusing a memoized result when a bit-identical
+/// trace was classified before. Time (including the content hash) is
+/// attributed to the classify phase.
+pub fn classify_cached(trace: &Trace) -> Arc<Classifier> {
+    timed(Phase::Classify, || {
+        let key: ClassifierKey = (trace.len(), trace.content_hash());
+        {
+            let cache = CLASSIFIER_CACHE.lock().expect("classifier cache poisoned");
+            if let Some((_, hit)) = cache.iter().find(|(k, _)| *k == key) {
+                return Arc::clone(hit);
+            }
+        }
+        let fresh = Arc::new(classify_trace(trace));
+        let mut cache = CLASSIFIER_CACHE.lock().expect("classifier cache poisoned");
+        if !cache.iter().any(|(k, _)| *k == key) {
+            cache.push_back((key, Arc::clone(&fresh)));
+            while cache.len() > CLASSIFIER_CACHE_CAP {
+                cache.pop_front();
+            }
+        }
+        fresh
+    })
+}
 
 fn cache_budget_insts() -> u64 {
     static BUDGET: OnceLock<u64> = OnceLock::new();
@@ -123,7 +164,7 @@ impl BaselineRun {
     }
 
     fn capture_uncached(spec: &Spec, plan: &RunPlan, sys: &System) -> Self {
-        let workload = match &plan.trace_dir {
+        let workload = timed(Phase::Capture, || match &plan.trace_dir {
             // Replay path: decode the recorded trace instead of running
             // the functional VM. The decoded workload is bit-identical
             // to a live capture, so everything downstream (including the
@@ -137,12 +178,14 @@ impl BaselineRun {
             }),
             None => Workload::capture(spec.build_vm(plan.seed), plan.insts)
                 .unwrap_or_else(|e| panic!("workload {} failed: {e}", spec.name)),
-        };
+        });
         let mut none = dol_core::NoPrefetcher;
         let mut sm = StreamingMetrics::new();
-        let result = sys.run_with_sink(&workload, &mut none, &mut sm);
-        let [fp_l1, fp_l2, _] = sm.into_footprints();
-        let classifier = Arc::new(classify_trace(&workload.trace));
+        let result = timed(Phase::Simulate, || {
+            sys.run_with_sink(&workload, &mut none, &mut sm)
+        });
+        let [fp_l1, fp_l2, _] = timed(Phase::Metrics, || sm.into_footprints());
+        let classifier = classify_cached(&workload.trace);
         let mpki = result.stats.cores[0].l1_misses as f64 * 1000.0 / result.instructions as f64;
         BaselineRun {
             name: spec.name.to_string(),
@@ -241,7 +284,9 @@ impl AppRun {
     ) -> Self {
         let mut p = prefetchers::build(config)
             .unwrap_or_else(|| panic!("unknown prefetcher config {config}"));
-        let result = sys.run_with_sink(&base.workload, &mut p, &mut metrics);
+        let result = timed(Phase::Simulate, || {
+            sys.run_with_sink(&base.workload, &mut p, &mut metrics)
+        });
         AppRun {
             config: config.to_string(),
             result,
@@ -261,10 +306,12 @@ impl AppRun {
     }
 }
 
-/// Empties the process-wide capture and per-config run caches, so the
-/// next run re-simulates everything from scratch. Used by `run_all
-/// --bench-repeat`, where a repeat pass served from the caches would
-/// measure bookkeeping instead of simulation throughput.
+/// Empties the process-wide capture, per-config run, classifier, and
+/// pre-decoded micro-op caches, plus the calling thread's arena pools,
+/// so the next run re-simulates everything from scratch. Used by
+/// `run_all --bench-repeat`, where a repeat pass served from the caches
+/// (or measuring against pre-warmed arenas) would measure bookkeeping
+/// instead of simulation throughput.
 pub fn clear_run_caches() {
     let mut cap = CAPTURE_CACHE.lock().expect("capture cache poisoned");
     cap.held_insts = 0;
@@ -273,6 +320,15 @@ pub fn clear_run_caches() {
     let mut runs = APP_RUN_CACHE.lock().expect("app-run cache poisoned");
     runs.held_insts = 0;
     runs.entries.clear();
+    drop(runs);
+    CLASSIFIER_CACHE
+        .lock()
+        .expect("classifier cache poisoned")
+        .clear();
+    dol_isa::clear_uop_cache();
+    // Arena pools are thread-local; sweep workers are ephemeral, so the
+    // pools that persist across passes are the calling thread's.
+    dol_cpu::clear_arena_pools();
 }
 
 /// The standard single-core system of the paper's Table I.
@@ -295,7 +351,7 @@ pub fn run_configs(base: &BaselineRun, configs: &[&str], sys: &System) -> Vec<Ap
 /// Runs one workload under one boxed prefetcher (for callers that build
 /// prefetchers themselves).
 pub fn run_with(base: &BaselineRun, p: &mut dyn Prefetcher, sys: &System) -> RunResult {
-    sys.run(&base.workload, p)
+    timed(Phase::Simulate, || sys.run(&base.workload, p))
 }
 
 #[cfg(test)]

@@ -280,6 +280,8 @@ pub struct BenchRecord {
     pub sim_insts: u64,
     /// Whether the driver was served from the memoized run caches.
     pub cached: bool,
+    /// Wall time split by pipeline phase, measured server-side.
+    pub phases: crate::phase::PhaseSplit,
 }
 
 /// Terminal summary of a successful job.
@@ -555,6 +557,15 @@ impl Response {
                 p.extend_from_slice(&b.wall_s.to_bits().to_le_bytes());
                 p.extend_from_slice(&b.sim_insts.to_le_bytes());
                 p.push(u8::from(b.cached));
+                for s in [
+                    b.phases.capture_s,
+                    b.phases.classify_s,
+                    b.phases.simulate_s,
+                    b.phases.metrics_s,
+                    b.phases.render_s,
+                ] {
+                    p.extend_from_slice(&s.to_bits().to_le_bytes());
+                }
                 RSP_BENCH
             }
             Response::Done(d) => {
@@ -596,6 +607,13 @@ impl Response {
                 wall_s: f64::from_bits(get_u64(payload, &mut pos)?),
                 sim_insts: get_u64(payload, &mut pos)?,
                 cached: get_u8(payload, &mut pos)? != 0,
+                phases: crate::phase::PhaseSplit {
+                    capture_s: f64::from_bits(get_u64(payload, &mut pos)?),
+                    classify_s: f64::from_bits(get_u64(payload, &mut pos)?),
+                    simulate_s: f64::from_bits(get_u64(payload, &mut pos)?),
+                    metrics_s: f64::from_bits(get_u64(payload, &mut pos)?),
+                    render_s: f64::from_bits(get_u64(payload, &mut pos)?),
+                },
             }),
             RSP_DONE => Response::Done(DoneSummary {
                 deviations: get_u64(payload, &mut pos)?,

@@ -360,22 +360,25 @@ fn run_sweep_job(
             return w.flush().map_err(RpcError::Io);
         }
         let before = dol_cpu::telemetry::simulated_instructions();
+        let phases_before = crate::phase::totals();
         let t0 = Instant::now();
         let report = run(&plan);
+        let wall_s = t0.elapsed().as_secs_f64();
         let sim_insts = dol_cpu::telemetry::simulated_instructions() - before;
         deviations += report.deviations() as u64;
-        protocol::send_response(
-            w,
-            &Response::Output(format!("{}\n", report.render()).into_bytes()),
-        )?;
+        let rendered = crate::phase::timed(crate::phase::Phase::Render, || {
+            format!("{}\n", report.render())
+        });
+        protocol::send_response(w, &Response::Output(rendered.into_bytes()))?;
         if req.bench {
             protocol::send_response(
                 w,
                 &Response::Bench(BenchRecord {
                     id: id.to_string(),
-                    wall_s: t0.elapsed().as_secs_f64(),
+                    wall_s,
                     sim_insts,
                     cached: sim_insts == 0,
+                    phases: crate::phase::totals().since(&phases_before),
                 }),
             )?;
         }

@@ -1,0 +1,88 @@
+//! Hand-run profiling probe for the simulate phase (ignored by default;
+//! `cargo test --release -p dol-harness --test perf_probe -- --ignored --nocapture`).
+//!
+//! Breaks the per-retire edge into its layers — core bookkeeping +
+//! hierarchy (NoPrefetcher/NullSink), prefetcher training cost per
+//! config, and StreamingMetrics sink cost — so perf work targets the
+//! measured hot layer instead of a guessed one.
+
+use std::time::Instant;
+
+use dol_core::NoPrefetcher;
+use dol_cpu::{System, SystemConfig, Workload};
+use dol_harness::prefetchers;
+use dol_metrics::StreamingMetrics;
+
+fn time_ns_per_inst<F: FnMut() -> u64>(reps: u32, mut f: F) -> f64 {
+    // One warmup rep, then the best of `reps` (least-disturbed) runs.
+    let mut insts = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        insts = f();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best / insts.max(1) as f64
+}
+
+#[test]
+#[ignore = "profiling probe, run by hand with --nocapture"]
+fn simulate_layer_breakdown() {
+    let insts = 40_000u64;
+    let sys = System::new(SystemConfig::isca2018(1));
+    let specs = dol_workloads::spec21();
+    let picks = ["stream_sum", "listchase", "hash_probe", "btree_search"];
+    let workloads: Vec<(&str, Workload)> = specs
+        .iter()
+        .filter(|s| picks.contains(&s.name))
+        .map(|s| {
+            (
+                s.name,
+                Workload::capture(s.build_vm(1), insts).expect("captures"),
+            )
+        })
+        .collect();
+    let workloads = if workloads.is_empty() {
+        specs
+            .iter()
+            .take(4)
+            .map(|s| {
+                (
+                    s.name,
+                    Workload::capture(s.build_vm(1), insts).expect("captures"),
+                )
+            })
+            .collect()
+    } else {
+        workloads
+    };
+
+    for (name, w) in &workloads {
+        println!("== {name} ({} insts) ==", w.trace.len());
+        let base = time_ns_per_inst(8, || {
+            let r = sys.run(w, &mut NoPrefetcher);
+            r.instructions
+        });
+        println!("  none/null-sink        {base:7.1} ns/inst");
+        for cfg in ["T2", "TPC", "SPP", "VLDP", "BOP", "SMS", "FDP"] {
+            let Some(mut p) = prefetchers::build(cfg) else {
+                continue;
+            };
+            let t = time_ns_per_inst(8, || {
+                let r = sys.run(w, &mut p);
+                r.instructions
+            });
+            println!(
+                "  {cfg:<6}/null-sink      {t:7.1} ns/inst  (+{:.1})",
+                t - base
+            );
+        }
+        let mut p = prefetchers::build("TPC").expect("TPC builds");
+        let t = time_ns_per_inst(8, || {
+            let mut sm = StreamingMetrics::new();
+            let r = sys.run_with_sink(w, &mut p, &mut sm);
+            r.instructions
+        });
+        println!("  TPC   /streaming      {t:7.1} ns/inst");
+    }
+}

@@ -112,7 +112,7 @@ impl From<i64> for Operand {
 ///
 /// Construct programs through [`crate::ProgramBuilder`]; `Inst` values with
 /// branch targets are expressed in absolute byte PCs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Inst {
     /// `dst = value`.
     Imm {

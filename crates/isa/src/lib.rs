@@ -52,6 +52,7 @@ mod memory;
 mod program;
 mod reg;
 mod trace;
+mod uop;
 mod vm;
 
 pub use hash::{DetHashMap, DetHashSet, DetHasher, DetState};
@@ -60,6 +61,7 @@ pub use memory::SparseMemory;
 pub use program::{Label, Program, ProgramBuilder, ProgramError, DEFAULT_BASE_PC};
 pub use reg::Reg;
 pub use trace::{InstBlock, InstKind, InstSource, RetiredInst, Trace, TraceCursor, BLOCK_INSTS};
+pub use uop::{clear_uop_cache, decode_cached, UopProgram};
 pub use vm::{Vm, VmError};
 
 /// Byte distance between consecutive instruction PCs.

@@ -64,6 +64,11 @@ impl Program {
         self.insts.get(((pc - self.base_pc) / INST_BYTES) as usize)
     }
 
+    /// The resolved instructions in layout order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
     /// Iterates over `(pc, inst)` pairs in layout order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &Inst)> {
         let base = self.base_pc;

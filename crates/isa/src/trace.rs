@@ -3,7 +3,7 @@
 use crate::Reg;
 
 /// The dynamic payload of one retired instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstKind {
     /// An arithmetic/logic instruction (includes immediate moves).
     Alu {
@@ -54,7 +54,7 @@ pub enum InstKind {
 }
 
 /// One retired instruction as observed by the microarchitecture.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RetiredInst {
     /// The instruction's PC (its static identity).
     pub pc: u64,
@@ -316,6 +316,12 @@ impl Trace {
         self.insts.push(inst);
     }
 
+    /// Reserves capacity for at least `additional` more instructions
+    /// (capture paths that know their budget skip the growth doublings).
+    pub fn reserve(&mut self, additional: usize) {
+        self.insts.reserve(additional);
+    }
+
     /// Number of retired instructions.
     pub fn len(&self) -> usize {
         self.insts.len()
@@ -339,6 +345,21 @@ impl Trace {
     /// Count of loads and stores.
     pub fn mem_count(&self) -> usize {
         self.insts.iter().filter(|i| i.is_mem()).count()
+    }
+
+    /// A deterministic content hash over every retired instruction
+    /// (fixed-seed [`crate::DetHasher`], stable across processes). Two
+    /// traces hash equal iff their instruction streams are bit-identical
+    /// — the memo key for per-capture derived artifacts such as the
+    /// offline classifier.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{BuildHasher, Hash, Hasher};
+        let mut h = crate::DetState.build_hasher();
+        self.insts.len().hash(&mut h);
+        for inst in &self.insts {
+            inst.hash(&mut h);
+        }
+        h.finish()
     }
 }
 

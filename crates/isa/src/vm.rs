@@ -31,7 +31,7 @@ impl std::fmt::Display for VmError {
 
 impl std::error::Error for VmError {}
 
-const MAX_CALL_DEPTH: usize = 1024;
+pub(crate) const MAX_CALL_DEPTH: usize = 1024;
 
 /// Functional executor for a [`Program`].
 ///
@@ -40,13 +40,13 @@ const MAX_CALL_DEPTH: usize = 1024;
 /// [`RetiredInst`] record consumed by the timing model and prefetchers.
 #[derive(Debug, Clone)]
 pub struct Vm {
-    program: Program,
-    regs: [u64; Reg::COUNT],
-    pc: u64,
-    memory: SparseMemory,
-    call_stack: Vec<u64>,
-    halted: bool,
-    retired: u64,
+    pub(crate) program: Program,
+    pub(crate) regs: [u64; Reg::COUNT],
+    pub(crate) pc: u64,
+    pub(crate) memory: SparseMemory,
+    pub(crate) call_stack: Vec<u64>,
+    pub(crate) halted: bool,
+    pub(crate) retired: u64,
 }
 
 impl Vm {

@@ -1,0 +1,197 @@
+//! The micro-op VM must be bit-identical to the reference interpreter.
+//!
+//! Programs here are adversarial: branch/jump/call targets are drawn to
+//! include misaligned PCs, PCs below the program base, and PCs past the
+//! end, so every error path (`BadPc`, `ReturnUnderflow`, `CallOverflow`)
+//! and the deferred bad-target semantics (a taken branch to an invalid
+//! PC retires, the fault surfaces on the next fetch) are exercised on
+//! both paths and compared.
+
+use dol_isa::{
+    AluOp, Cond, Inst, Operand, ProgramBuilder, Reg, Trace, Vm, DEFAULT_BASE_PC, INST_BYTES,
+};
+use proptest::prelude::*;
+use proptest::strategy::boxed;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0usize..Reg::COUNT).prop_map(|i| Reg::from_index(i).expect("index in range"))
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::SltS),
+        Just(AluOp::SltU),
+    ]
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Ge),
+        Just(Cond::LtU),
+        Just(Cond::GeU),
+    ]
+}
+
+fn operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        reg().prop_map(Operand::Reg),
+        (-8i64..8).prop_map(Operand::Imm),
+    ]
+}
+
+/// A control-flow target: usually a valid in-program PC, sometimes
+/// misaligned, below base, or past the end.
+fn target(len: usize) -> impl Strategy<Value = u64> {
+    let last = len as u64 + 2;
+    prop_oneof![
+        boxed((0u64..last).prop_map(|i| DEFAULT_BASE_PC + i * INST_BYTES)),
+        boxed((0u64..last).prop_map(|i| DEFAULT_BASE_PC + i * INST_BYTES)),
+        boxed((0u64..last).prop_map(|i| DEFAULT_BASE_PC + i * INST_BYTES)),
+        boxed((0u64..last * INST_BYTES).prop_map(|off| DEFAULT_BASE_PC + off)),
+        boxed(0u64..DEFAULT_BASE_PC + 2),
+    ]
+}
+
+fn inst(len: usize) -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        boxed((reg(), -64i64..64).prop_map(|(dst, value)| Inst::Imm { dst, value })),
+        boxed(
+            (alu_op(), reg(), reg(), operand()).prop_map(|(op, dst, a, b)| Inst::Alu {
+                op,
+                dst,
+                a,
+                b
+            })
+        ),
+        boxed(
+            (reg(), reg(), -64i64..64).prop_map(|(dst, base, offset)| Inst::Load {
+                dst,
+                base,
+                offset
+            })
+        ),
+        boxed(
+            (reg(), reg(), -64i64..64).prop_map(|(src, base, offset)| Inst::Store {
+                src,
+                base,
+                offset
+            })
+        ),
+        boxed(
+            (cond(), reg(), operand(), target(len))
+                .prop_map(|(cond, a, b, target)| { Inst::Branch { cond, a, b, target } })
+        ),
+        boxed(target(len).prop_map(|target| Inst::Jump { target })),
+        boxed(target(len).prop_map(|target| Inst::Call { target })),
+        boxed(Just(Inst::Ret)),
+        boxed(Just(Inst::Halt)),
+    ]
+}
+
+fn program(len: usize) -> impl Strategy<Value = Vec<Inst>> {
+    proptest::collection::vec(inst(len), 1..len + 1)
+}
+
+/// Builds the two VMs over the same program with the same seeded memory.
+fn build_pair(insts: &[Inst], mem: &[u64]) -> (Vm, Vm) {
+    let mut b = ProgramBuilder::new();
+    for i in insts {
+        b.push(*i);
+    }
+    let mut vm = Vm::new(b.build().expect("nonempty"));
+    for (i, v) in mem.iter().enumerate() {
+        vm.memory_mut().write_u64(i as u64 * 8, *v);
+    }
+    (vm.clone(), vm)
+}
+
+/// Asserts both VMs ended in exactly the same architectural state.
+fn assert_same_state(reference: &Vm, uop: &Vm) {
+    assert_eq!(reference.pc(), uop.pc(), "pc diverged");
+    assert_eq!(reference.retired(), uop.retired(), "retired diverged");
+    assert_eq!(reference.is_halted(), uop.is_halted(), "halt flag diverged");
+    for i in 0..Reg::COUNT {
+        let r = Reg::from_index(i).unwrap();
+        assert_eq!(reference.reg(r), uop.reg(r), "register {r} diverged");
+    }
+}
+
+proptest! {
+    /// For arbitrary (often invalid) programs and any budget, the
+    /// micro-op path returns the same trace or the same error as the
+    /// interpreter, and leaves identical architectural state.
+    #[test]
+    fn uop_matches_interpreter(
+        insts in program(48),
+        mem in proptest::collection::vec(0u64..4096, 8..64),
+        budget in 0u64..4000,
+    ) {
+        let (mut reference, mut uop) = build_pair(&insts, &mem);
+        let expect = reference.run(budget);
+        let got = uop.run_uop(budget);
+        match (&expect, &got) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.as_slice(), b.as_slice()),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            other => panic!("paths diverged: {other:?}"),
+        }
+        assert_same_state(&reference, &uop);
+    }
+
+    /// Splitting the budget across multiple `run_uop` calls retires the
+    /// same cumulative trace as one reference `run` (errors excluded:
+    /// `run` discards the partial trace on `Err`).
+    #[test]
+    fn uop_budget_chunks_compose(
+        insts in program(32),
+        mem in proptest::collection::vec(0u64..4096, 8..32),
+        split in 1u64..200,
+    ) {
+        let budget = 400u64;
+        let (mut reference, mut uop) = build_pair(&insts, &mem);
+        let Ok(whole) = reference.run(budget) else { return; };
+        let mut combined = Trace::new();
+        let first = uop.run_uop(split.min(budget)).expect("reference succeeded");
+        for r in first.iter() {
+            combined.push(*r);
+        }
+        let rest = uop.run_uop(budget).expect("reference succeeded");
+        for r in rest.iter() {
+            combined.push(*r);
+        }
+        prop_assert_eq!(whole.as_slice(), combined.as_slice());
+        assert_same_state(&reference, &uop);
+    }
+
+    /// Mixing the two engines mid-stream over shared state is seamless:
+    /// the interpreter can pick up where the micro-op path stopped.
+    #[test]
+    fn engines_interleave_on_shared_state(
+        insts in program(32),
+        mem in proptest::collection::vec(0u64..4096, 8..32),
+        split in 1u64..200,
+    ) {
+        let budget = 400u64;
+        let (mut reference, mut mixed) = build_pair(&insts, &mem);
+        let Ok(whole) = reference.run(budget) else { return; };
+        let mut combined = Trace::new();
+        for r in mixed.run_uop(split.min(budget)).expect("reference succeeded").iter() {
+            combined.push(*r);
+        }
+        for r in mixed.run(budget).expect("reference succeeded").iter() {
+            combined.push(*r);
+        }
+        prop_assert_eq!(whole.as_slice(), combined.as_slice());
+        assert_same_state(&reference, &mixed);
+    }
+}

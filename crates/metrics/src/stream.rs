@@ -12,7 +12,6 @@
 //! — only the induced-miss blame shares are non-integral — happens in
 //! event order per accounting cell, exactly as the replay loop would.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use dol_mem::{CacheLevel, EventSink, MemEvent, Origin};
@@ -32,6 +31,49 @@ fn level_idx(level: CacheLevel) -> usize {
 
 const LEVELS: [CacheLevel; 3] = [CacheLevel::L1, CacheLevel::L2, CacheLevel::L3];
 
+/// Small per-origin cell store on the per-event hot path.
+///
+/// Origins number a handful per run (the prefetcher component ids), and
+/// consecutive events overwhelmingly share an origin, so a flat vector
+/// with a last-hit cursor beats an ordered map: the common case is one
+/// equality check, the miss case a short linear scan. Insertion order is
+/// first-seen, but no caller iterates the store — lookups are by origin
+/// — so replacing the previous `BTreeMap` changes no observable result;
+/// each cell's f64 accumulation order is untouched (still event order).
+#[derive(Debug, Clone, Default)]
+struct OriginCells<T> {
+    cells: Vec<(Origin, T)>,
+    /// Index of the most recently updated origin.
+    last: usize,
+}
+
+impl<T: Default> OriginCells<T> {
+    /// The cell for `origin`, created zeroed on first sight.
+    #[inline]
+    fn entry(&mut self, origin: Origin) -> &mut T {
+        if self.cells.get(self.last).is_some_and(|(o, _)| *o == origin) {
+            return &mut self.cells[self.last].1;
+        }
+        match self.cells.iter().position(|(o, _)| *o == origin) {
+            Some(i) => {
+                self.last = i;
+                &mut self.cells[i].1
+            }
+            None => {
+                self.last = self.cells.len();
+                self.cells.push((origin, T::default()));
+                &mut self.cells.last_mut().expect("just pushed").1
+            }
+        }
+    }
+
+    /// The cell for `origin`, if it has appeared.
+    #[inline]
+    fn get(&self, origin: &Origin) -> Option<&T> {
+        self.cells.iter().find(|(o, _)| o == origin).map(|(_, c)| c)
+    }
+}
+
 /// Per-level effective-accuracy cells for the whole prefetcher and for
 /// each origin separately, updated in event order.
 ///
@@ -43,7 +85,7 @@ const LEVELS: [CacheLevel; 3] = [CacheLevel::L1, CacheLevel::L2, CacheLevel::L3]
 #[derive(Debug, Clone, Default)]
 struct Accounting {
     overall: [EffectiveAccuracy; 3],
-    per_origin: BTreeMap<Origin, [EffectiveAccuracy; 3]>,
+    per_origin: OriginCells<[EffectiveAccuracy; 3]>,
 }
 
 impl Accounting {
@@ -57,7 +99,7 @@ impl Accounting {
                     if *dest <= lvl {
                         let i = level_idx(lvl);
                         self.overall[i].issued += 1;
-                        self.per_origin.entry(*origin).or_default()[i].issued += 1;
+                        self.per_origin.entry(*origin)[i].issued += 1;
                     }
                 }
             }
@@ -69,7 +111,7 @@ impl Accounting {
             } if line_ok(*line) => {
                 let i = level_idx(*level);
                 self.overall[i].useful += 1;
-                self.per_origin.entry(*origin).or_default()[i].useful += 1;
+                self.per_origin.entry(*origin)[i].useful += 1;
             }
             MemEvent::PrefetchUnused {
                 level,
@@ -79,7 +121,7 @@ impl Accounting {
             } if line_ok(*line) => {
                 let i = level_idx(*level);
                 self.overall[i].unused += 1;
-                self.per_origin.entry(*origin).or_default()[i].unused += 1;
+                self.per_origin.entry(*origin)[i].unused += 1;
             }
             MemEvent::AvoidedMiss {
                 level,
@@ -89,7 +131,7 @@ impl Accounting {
             } if line_ok(*line) => {
                 let i = level_idx(*level);
                 self.overall[i].avoided += 1;
-                self.per_origin.entry(*origin).or_default()[i].avoided += 1;
+                self.per_origin.entry(*origin)[i].avoided += 1;
             }
             MemEvent::InducedMiss {
                 level,
@@ -106,7 +148,7 @@ impl Accounting {
                     let share = 1.0 / blamed.len() as f64;
                     for o in blamed {
                         self.overall[i].induced += share;
-                        self.per_origin.entry(*o).or_default()[i].induced += share;
+                        self.per_origin.entry(*o)[i].induced += share;
                     }
                 }
             }
@@ -170,10 +212,12 @@ pub struct StreamingMetrics {
     /// Lines attempted by any origin (issued or dropped).
     pfp_all: LineSet,
     /// Lines attempted per origin.
-    pfp_by_origin: BTreeMap<Origin, LineSet>,
+    pfp_by_origin: OriginCells<LineSet>,
     /// Per-level × per-category accounting (present with a classifier).
     classifier: Option<Arc<Classifier>>,
     by_category: [[EffectiveAccuracy; 3]; 3],
+    /// Last `(line, category index)` resolved through the classifier.
+    cat_memo: Option<(u64, usize)>,
     /// Per-core accounting (indexed by core id, grown on demand).
     per_core: Vec<CoreCells>,
 }
@@ -214,15 +258,28 @@ impl StreamingMetrics {
             MemEvent::PrefetchIssued { line, origin, .. }
             | MemEvent::PrefetchDropped { line, origin, .. } => {
                 self.pfp_all.insert(*line);
-                self.pfp_by_origin.entry(*origin).or_default().insert(*line);
+                self.pfp_by_origin.entry(*origin).insert(*line);
             }
             _ => {}
         }
         if let Some(cls) = self.classifier.as_deref() {
-            let cat_idx = |line: u64| match cls.line_category(line) {
-                Category::Lhf => 0usize,
-                Category::Mhf => 1,
-                Category::Hhf => 2,
+            // One-entry memo: bursts of events (issue, useful, avoided)
+            // hit the same line back to back, so most lookups skip the
+            // classifier's hash probe entirely.
+            let memo = &mut self.cat_memo;
+            let mut cat_idx = |line: u64| {
+                if let Some((l, i)) = *memo {
+                    if l == line {
+                        return i;
+                    }
+                }
+                let i = match cls.line_category(line) {
+                    Category::Lhf => 0usize,
+                    Category::Mhf => 1,
+                    Category::Hhf => 2,
+                };
+                *memo = Some((line, i));
+                i
             };
             match ev {
                 MemEvent::PrefetchIssued { dest, line, .. } => {
